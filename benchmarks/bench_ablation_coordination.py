@@ -1,0 +1,90 @@
+"""Ablation — coordinated hierarchy vs leaf-only capping.
+
+The paper's key insight: different constraints at different levels of the
+power hierarchy necessitate *coordinated*, data center-wide management.
+This bench makes that concrete: with power oversubscribed above the leaf
+level, every RPP can stay comfortably inside its own rating while their
+sum overloads the SB.  Leaf-only capping (the prior-work configuration)
+never acts and the SB breaker trips; the full hierarchy caps through
+contractual limits and survives.
+"""
+
+from repro.analysis.report import Table
+from repro.analysis.worlds import build_surge_world
+from repro.baselines.local_only import LeafOnlyCapping
+from repro.baselines.uncontrolled import UncontrolledBaseline
+from repro.core.dynamo import Dynamo
+from repro.fleet import FleetDriver
+from repro.workloads.events import TrafficSurgeEvent
+
+
+def build(seed=31):
+    surge = TrafficSurgeEvent(
+        start_s=120.0, end_s=2400.0, multiplier=1.55, ramp_s=60.0
+    )
+    return build_surge_world(
+        surge=surge,
+        n_servers=40,
+        rpp_rating_w=50_000.0,  # RPPs never binding
+        seed=seed,
+    )
+
+
+def run_strategy(name: str) -> dict:
+    engine, topology, fleet, rng = build()
+    if name == "uncontrolled":
+        baseline = UncontrolledBaseline(engine, topology, fleet)
+        baseline.start()
+        driver = baseline.driver
+    elif name == "leaf-only":
+        driver = FleetDriver(engine, topology, fleet)
+        system = LeafOnlyCapping(
+            engine, topology, fleet, rng_streams=rng.fork("lo")
+        )
+        driver.start()
+        system.start()
+    else:
+        driver = FleetDriver(engine, topology, fleet)
+        system = Dynamo(engine, topology, fleet, rng_streams=rng.fork("d"))
+        driver.start()
+        system.start()
+    engine.run_until(2000.0)
+    rpp_peaks = [
+        topology.device(f"rpp{i}").breaker.tripped for i in range(2)
+    ]
+    return {
+        "tripped": bool(driver.trips),
+        "trip_level": driver.trips[0].level if driver.trips else "-",
+        "rpp_tripped": any(rpp_peaks),
+    }
+
+
+def run_experiment():
+    return {
+        name: run_strategy(name)
+        for name in ("uncontrolled", "leaf-only", "dynamo")
+    }
+
+
+def test_ablation_coordination(once):
+    results = once(run_experiment)
+
+    table = Table(
+        "Ablation: coordination strategy under an SB-level overload",
+        ["strategy", "breaker_tripped", "trip_level"],
+    )
+    for name, r in results.items():
+        table.add_row(name, r["tripped"], r["trip_level"])
+    print()
+    print(table.render())
+
+    # Nothing ever overloads an RPP in this world...
+    for r in results.values():
+        assert not r["rpp_tripped"]
+    # ...so leaf-only capping is blind: the SB trips, exactly like
+    # having no management at all.
+    assert results["uncontrolled"]["tripped"]
+    assert results["leaf-only"]["tripped"]
+    assert results["leaf-only"]["trip_level"] == "sb"
+    # Coordinated Dynamo protects the SB through contractual limits.
+    assert not results["dynamo"]["tripped"]

@@ -1,0 +1,37 @@
+"""Figure 1 — power vs CPU utilization for the 2011 and 2015 web servers.
+
+Paper: the 2015 Haswell web server nearly doubles the 2011 Westmere
+server's power at every utilization point; both curves rise monotonically
+from idle to peak.
+"""
+
+from repro.analysis.report import Table
+from repro.server.platform import HASWELL_2015, WESTMERE_2011
+from repro.server.power_model import PowerModel, sample_curve
+
+
+def run_experiment():
+    westmere = sample_curve(PowerModel(WESTMERE_2011), points=11)
+    haswell = sample_curve(PowerModel(HASWELL_2015), points=11)
+    return westmere, haswell
+
+
+def test_fig01_power_model(once):
+    westmere, haswell = once(run_experiment)
+
+    table = Table(
+        "Figure 1: server power (W) vs CPU utilization (%)",
+        ["util_%", "2011_westmere_W", "2015_haswell_W", "ratio"],
+    )
+    for (u, p_w), (_, p_h) in zip(westmere, haswell):
+        table.add_row(u, p_w, p_h, p_h / p_w)
+    print()
+    print(table.render())
+
+    # Shape: both monotone increasing.
+    assert all(b[1] > a[1] for a, b in zip(westmere, westmere[1:]))
+    assert all(b[1] > a[1] for a, b in zip(haswell, haswell[1:]))
+    # Shape: 2015 peak nearly double the 2011 peak (paper's headline).
+    assert 1.7 <= haswell[-1][1] / westmere[-1][1] <= 2.2
+    # Shape: 2015 server dominates at every point.
+    assert all(h[1] > w[1] for w, h in zip(westmere, haswell))

@@ -1,0 +1,72 @@
+"""Figure 3 — breaker trip time as a function of normalized power.
+
+Paper: trip time falls steeply (log scale) with overdraw; lower-level
+devices (racks, RPPs) sustain relatively more overdraw than higher-level
+devices (SBs, MSBs).  Anchors: RPP/rack hold 10% overdraw ~17 min; an RPP
+holds 40% for ~60 s; an MSB holds 15% for ~60 s and trips on ~5% in as
+little as ~2 min.
+"""
+
+import math
+
+from repro.analysis.report import Table
+from repro.power.breaker import STANDARD_CURVES, CircuitBreaker
+
+RATIOS = (1.05, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0)
+LEVELS = ("rack", "rpp", "sb", "msb")
+
+
+def empirical_trip_time(level: str, ratio: float, dt: float = 1.0) -> float:
+    """Trip time measured by actually integrating a breaker."""
+    breaker = CircuitBreaker(1000.0, STANDARD_CURVES[level])
+    t = 0.0
+    while not breaker.observe(1000.0 * ratio, dt, t):
+        t += dt
+        if t > 100_000.0:
+            return math.inf
+    return t
+
+
+def run_experiment():
+    analytic = {
+        level: [STANDARD_CURVES[level].trip_time(r) for r in RATIOS]
+        for level in LEVELS
+    }
+    empirical = {
+        level: [empirical_trip_time(level, r) for r in RATIOS]
+        for level in LEVELS
+    }
+    return analytic, empirical
+
+
+def test_fig03_breaker_curve(once):
+    analytic, empirical = once(run_experiment)
+
+    table = Table(
+        "Figure 3: breaker trip time (s) vs power normalized to rating",
+        ["ratio"] + [f"{lvl}_s" for lvl in LEVELS],
+    )
+    for i, ratio in enumerate(RATIOS):
+        table.add_row(ratio, *(analytic[lvl][i] for lvl in LEVELS))
+    print()
+    print(table.render())
+
+    # Shape: trip time monotone decreasing in overdraw for every level.
+    for level in LEVELS:
+        times = analytic[level]
+        assert all(b <= a for a, b in zip(times, times[1:]))
+    # Shape: lower levels sustain more than higher levels at the same
+    # overdraw (rack/rpp > sb > msb).
+    for i in range(len(RATIOS)):
+        assert analytic["rpp"][i] > analytic["msb"][i]
+        assert analytic["rpp"][i] >= analytic["sb"][i]
+    # Paper anchors.
+    assert 800 < analytic["rpp"][1] < 1300  # 10% overdraw ~17 min
+    assert 40 < analytic["rpp"][3] < 80  # 40% overdraw ~60 s
+    assert 90 < STANDARD_CURVES["msb"].trip_time(1.05) < 150  # ~2 min
+    # Empirical integration agrees with the analytic law to within the
+    # integration step.
+    for level in LEVELS:
+        for a, e in zip(analytic[level], empirical[level]):
+            if math.isfinite(a) and a > 5:
+                assert abs(e - a) <= max(0.10 * a, 1.5)

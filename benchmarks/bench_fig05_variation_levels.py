@@ -1,0 +1,110 @@
+"""Figure 5 — power-variation CDFs per hierarchy level and time window.
+
+Paper's two observations, which this bench must reproduce in shape:
+
+1. Larger time windows have larger power variations (per level, p99
+   variation grows monotonically from the 3 s to the 600 s window).
+2. The higher the hierarchy level, the smaller the *relative* variation,
+   due to load multiplexing (rack >> RPP > SB >= MSB; the paper reports
+   rack p99 ranging 10-50% across windows vs 1-6% at the MSB).
+"""
+
+from repro.analysis.report import Table
+from repro.fleet import FleetDriver, ServiceAllocation, populate_fleet
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.device import DeviceLevel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.variation import variation_summary
+
+WINDOWS_S = (3.0, 30.0, 60.0, 150.0, 300.0, 600.0)
+LEVELS = (DeviceLevel.RACK, DeviceLevel.RPP, DeviceLevel.SB, DeviceLevel.MSB)
+TRACE_S = 4500.0
+
+
+def run_experiment():
+    spec = DataCenterSpec(
+        name="charz",
+        msb_count=1,
+        sbs_per_msb=2,
+        rpps_per_sb=2,
+        racks_per_rpp=3,
+    )
+    engine = SimulationEngine()
+    topology = build_datacenter(spec)
+    rng = RngStreams(5)
+    # 8 servers/rack x 12 racks = 96 servers, mixed services.
+    fleet = populate_fleet(
+        topology,
+        [
+            ServiceAllocation("web", 36),
+            ServiceAllocation("cache", 24),
+            ServiceAllocation("hadoop", 12),
+            ServiceAllocation("database", 12),
+            ServiceAllocation("newsfeed", 12),
+        ],
+        rng,
+    )
+    driver = FleetDriver(engine, topology, fleet, step_interval_s=3.0)
+    sampler = PowerSampler(engine, interval_s=3.0)
+    # One representative device per level, plus the MSB root.
+    observed = {
+        DeviceLevel.RACK: topology.device("rack0.0.0.0"),
+        DeviceLevel.RPP: topology.device("rpp0.0.0"),
+        DeviceLevel.SB: topology.device("sb0.0"),
+        DeviceLevel.MSB: topology.device("msb0"),
+    }
+    for level, device in observed.items():
+        sampler.add_source(level.value, device.power_w)
+    driver.start()
+    sampler.start(phase=1.0)
+    engine.run_until(TRACE_S)
+
+    summaries: dict[str, dict[float, dict[str, float]]] = {}
+    for level in LEVELS:
+        series = sampler.series[level.value]
+        summaries[level.value] = {
+            w: variation_summary(series, w) for w in WINDOWS_S
+        }
+    return summaries
+
+
+def test_fig05_variation_levels(once):
+    summaries = once(run_experiment)
+
+    table = Table(
+        "Figure 5: p99 power variation (% of mean) by level and window",
+        ["window_s"] + [lvl.value for lvl in LEVELS],
+    )
+    for window in WINDOWS_S:
+        table.add_row(
+            window,
+            *(summaries[lvl.value][window]["p99"] for lvl in LEVELS),
+        )
+    print()
+    print(table.render())
+
+    # Observation 1: larger windows -> larger p99 variation (per level).
+    for level in LEVELS:
+        p99s = [summaries[level.value][w]["p99"] for w in WINDOWS_S]
+        assert all(b >= a * 0.95 for a, b in zip(p99s, p99s[1:])), (
+            f"p99 not (weakly) increasing with window at {level.value}: {p99s}"
+        )
+    # Observation 2: higher level -> smaller relative variation.
+    for window in (60.0, 300.0, 600.0):
+        rack = summaries["rack"][window]["p99"]
+        rpp = summaries["rpp"][window]["p99"]
+        msb = summaries["msb"][window]["p99"]
+        assert rack > rpp > msb, (
+            f"multiplexing ordering violated at {window}s: "
+            f"rack={rack:.1f} rpp={rpp:.1f} msb={msb:.1f}"
+        )
+    # Magnitudes: rack p99 at 600 s is tens of percent (paper: 10-50%);
+    # the MSB is far smoother.  Our MSB aggregates ~100 servers rather
+    # than the paper's ~30 K, so its absolute smoothing is weaker — the
+    # shape check is the ratio, not the paper's 1-6% band.
+    assert summaries["rack"][600.0]["p99"] > 10.0
+    assert (
+        summaries["msb"][600.0]["p99"] < summaries["rack"][600.0]["p99"] / 2.5
+    )

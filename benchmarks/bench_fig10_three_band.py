@@ -1,0 +1,69 @@
+"""Figure 10 — the three-band capping/uncapping algorithm in action.
+
+Drives a synthetic power ramp up through the capping threshold, holds,
+and back down through the uncapping threshold, recording the decision at
+every step.  The shape checks are the algorithm's defining properties:
+exactly one cap episode, exactly one uncap, and zero oscillation while
+power sits between the bands.
+"""
+
+from repro.analysis.report import Table
+from repro.config import ThreeBandConfig
+from repro.core.three_band import BandAction, ThreeBandController
+
+LIMIT_W = 100_000.0
+
+
+def power_profile(t: float) -> float:
+    """Ramp up, plateau above the threshold, ramp down, settle low."""
+    if t < 100:
+        return 80_000.0 + 200.0 * t  # ramp to 100 KW
+    if t < 200:
+        return 100_500.0  # above the 99 KW threshold
+    if t < 300:
+        return 94_000.0  # inside the hysteresis band
+    if t < 400:
+        return 100_500.0 - 150.0 * (t - 300)  # fall through uncap band
+    return 82_000.0
+
+
+def run_experiment():
+    band = ThreeBandController(ThreeBandConfig())
+    log = []
+    for t in range(0, 500, 3):
+        decision = band.decide(power_profile(float(t)), LIMIT_W)
+        log.append((float(t), decision.aggregated_power_w, decision.action))
+    return log
+
+
+def test_fig10_three_band(once):
+    log = once(run_experiment)
+
+    caps = [t for t, _, a in log if a is BandAction.CAP]
+    uncaps = [t for t, _, a in log if a is BandAction.UNCAP]
+
+    table = Table(
+        "Figure 10: three-band decisions over a ramp profile",
+        ["metric", "value"],
+    )
+    table.add_row("capping threshold (W)", LIMIT_W * 0.99)
+    table.add_row("capping target (W)", LIMIT_W * 0.95)
+    table.add_row("uncapping threshold (W)", LIMIT_W * 0.90)
+    table.add_row("first cap at (s)", caps[0] if caps else "never")
+    table.add_row("cap decisions", len(caps))
+    table.add_row("uncap at (s)", uncaps[0] if uncaps else "never")
+    print()
+    print(table.render())
+
+    # Caps only while power exceeds the threshold.
+    for t, power, action in log:
+        if action is BandAction.CAP:
+            assert power > LIMIT_W * 0.99
+    # Exactly one uncap, after the power fell below 90 KW.
+    assert len(uncaps) == 1
+    assert power_profile(uncaps[0]) < LIMIT_W * 0.90
+    # No decision flapping inside the hysteresis band (200-300 s).
+    in_band = [a for t, _, a in log if 205 <= t < 300]
+    assert all(a is BandAction.HOLD for a in in_band)
+    # Cap happened during the ramp crossing, before the plateau ended.
+    assert caps and caps[0] <= 200.0

@@ -1,0 +1,83 @@
+"""Figure 13 — web server slowdown vs power-capping level.
+
+Paper: a control group of six web servers, three capped at varying levels
+and three uncapped.  Relative slowdown (server-side latency) grows slowly
+while the power reduction stays under ~20%, then accelerates sharply —
+CPU frequency becomes the bottleneck.
+
+We run one capped and one uncapped trio per reduction level and report
+delivered-work slowdown; the knee near 20% is the shape under test.
+"""
+
+from repro.analysis.report import Table
+from repro.server.platform import HASWELL_2015
+from repro.server.server import ConstantWorkload, Server
+
+REDUCTIONS = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45)
+DEMAND_UTIL = 0.92
+RUN_S = 120.0
+
+
+def measure_slowdown(reduction: float) -> float:
+    """Average slowdown of 3 capped servers vs 3 uncapped controls."""
+    capped = [
+        Server(f"c{i}", HASWELL_2015, ConstantWorkload(DEMAND_UTIL))
+        for i in range(3)
+    ]
+    control = [
+        Server(f"u{i}", HASWELL_2015, ConstantWorkload(DEMAND_UTIL))
+        for i in range(3)
+    ]
+    # Settle everyone, then apply caps and measure.
+    for server in capped + control:
+        t = 0.0
+        while t < 20.0:
+            t += 1.0
+            server.step(t, 1.0)
+        server.reset_work_counters()
+    full_power = capped[0].power_model.power_w(DEMAND_UTIL)
+    if reduction > 0.0:
+        for server in capped:
+            server.rapl.set_limit(full_power * (1.0 - reduction))
+    t = 20.0
+    while t < 20.0 + RUN_S:
+        t += 1.0
+        for server in capped + control:
+            server.step(t, 1.0)
+    capped_work = sum(s.delivered_work for s in capped)
+    control_work = sum(s.delivered_work for s in control)
+    # Server-side latency slowdown ~ inverse of relative throughput.
+    return (control_work / capped_work - 1.0) * 100.0
+
+
+def run_experiment():
+    return {r: measure_slowdown(r) for r in REDUCTIONS}
+
+
+def test_fig13_perf_slowdown(once):
+    slowdowns = once(run_experiment)
+
+    table = Table(
+        "Figure 13: web server slowdown vs power reduction",
+        ["power_reduction_%", "slowdown_%"],
+    )
+    for r in REDUCTIONS:
+        table.add_row(r * 100.0, slowdowns[r])
+    print()
+    print(table.render())
+
+    # No reduction, no slowdown.
+    assert abs(slowdowns[0.0]) < 1.0
+    # Monotone: more power cut, more slowdown.
+    values = [slowdowns[r] for r in REDUCTIONS]
+    assert all(b >= a - 0.5 for a, b in zip(values, values[1:]))
+    # Mild below 20%: slowdown under ~25% at a 20% power reduction.
+    assert slowdowns[0.20] < 25.0
+    # Knee: the marginal slowdown per percent of power reduction is
+    # larger beyond 20% than below it (paper: "decreases faster, which
+    # may indicate that CPU frequency becomes a bottleneck").
+    below_knee_rate = (slowdowns[0.20] - slowdowns[0.0]) / 20.0
+    above_knee_rate = (slowdowns[0.40] - slowdowns[0.20]) / 20.0
+    assert above_knee_rate > 1.5 * below_knee_rate
+    # Deep capping hurts a lot (paper shows ~60-100% at 40%+).
+    assert slowdowns[0.45] > 40.0

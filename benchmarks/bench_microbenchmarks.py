@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Unlike the figure/table benches (run-once experiments), these use
+pytest-benchmark's repeated timing to track the throughput of the inner
+loops that dominate large simulations: server stepping, workload
+sampling, leaf-controller control cycles, the allocators, and breaker
+integration.  Regressions here directly lengthen every experiment.
+"""
+
+import numpy as np
+
+from repro.core.agent import DynamoAgent
+from repro.core.bucket import AllocationInput, allocate_high_bucket_first
+from repro.core.leaf_controller import LeafPowerController
+from repro.core.offender import ChildState, punish_offender_first
+from repro.power.breaker import STANDARD_CURVES, CircuitBreaker
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.rpc.transport import RpcTransport
+from repro.server.platform import HASWELL_2015
+from repro.server.server import ConstantWorkload, Server
+from repro.simulation.rng import RngStreams
+from repro.workloads.web import WebWorkload
+
+
+def test_perf_server_step(benchmark):
+    server = Server("s", HASWELL_2015, ConstantWorkload(0.7))
+    clock = {"t": 0.0}
+
+    def step():
+        clock["t"] += 1.0
+        server.step(clock["t"], 1.0)
+
+    benchmark(step)
+
+
+def test_perf_web_workload_sample(benchmark):
+    workload = WebWorkload(RngStreams(1).stream("w"))
+    clock = {"t": 0.0}
+
+    def sample():
+        clock["t"] += 3.0
+        return workload.utilization(clock["t"])
+
+    benchmark(sample)
+
+
+def test_perf_leaf_controller_tick(benchmark):
+    transport = RpcTransport(np.random.default_rng(0))
+    device = PowerDevice("rpp0", DeviceLevel.RPP, 1e6)
+    server_ids = []
+    for i in range(100):
+        server = Server(f"s{i}", HASWELL_2015, ConstantWorkload(0.6))
+        server.step(1.0, 1.0)
+        device.attach_load(server.server_id, server.power_w)
+        DynamoAgent(server, transport)
+        server_ids.append(server.server_id)
+    controller = LeafPowerController(device, server_ids, transport)
+    clock = {"t": 0.0}
+
+    def tick():
+        clock["t"] += 3.0
+        controller.tick(clock["t"])
+
+    benchmark(tick)
+
+
+def test_perf_bucket_allocation(benchmark):
+    rng = np.random.default_rng(0)
+    servers = [
+        AllocationInput(f"s{i}", float(p), 150.0)
+        for i, p in enumerate(rng.normal(240.0, 30.0, 500))
+    ]
+
+    benchmark(
+        allocate_high_bucket_first, servers, 10_000.0, bucket_width_w=20.0
+    )
+
+
+def test_perf_offender_allocation(benchmark):
+    children = [
+        ChildState(f"c{i}", 150_000.0 + i * 7_000.0, 150_000.0)
+        for i in range(16)
+    ]
+
+    benchmark(punish_offender_first, children, 60_000.0)
+
+
+def test_perf_breaker_observe(benchmark):
+    breaker = CircuitBreaker(1_000.0, STANDARD_CURVES["rpp"])
+    clock = {"t": 0.0}
+
+    def observe():
+        clock["t"] += 1.0
+        breaker.observe(990.0, 1.0, clock["t"])
+
+    benchmark(observe)

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports, then asserts the *shape*
+of the result (who wins, orderings, crossovers) rather than absolute
+numbers — our substrate is a simulator, not Facebook's fleet.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Capacity planning: recovering stranded power with Dynamo.
+
+The paper's motivation: conservative nameplate-based planning strands
+power — a megawatt of capacity costs $10-20M to build, and data centers
+hit their power budgets long before their space budgets ("ghost space").
+This example quantifies the recovery on a simulated row:
+
+1. trace real(istic) server power for a few hours,
+2. report stranded power per device under today's draw,
+3. compare packing policies: nameplate worst-case vs measured peak vs
+   99th-percentile planning (the policy Dynamo's capping makes safe),
+4. validate the aggressive packing with a surge run under Dynamo.
+
+Run:  python examples/capacity_planning.py     (~15 s)
+"""
+
+import numpy as np
+
+from repro.analysis.capacity import (
+    PackingPlanner,
+    stranded_power_report,
+    total_stranded_w,
+)
+from repro.analysis.worlds import build_surge_world
+from repro.core.dynamo import Dynamo
+from repro.fleet import FleetDriver, ServiceAllocation, populate_fleet
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.oversubscription import plan_quotas
+from repro.server.platform import HASWELL_2015
+from repro.server.power_model import PowerModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+from repro.telemetry.sampler import PowerSampler
+from repro.units import format_power, hours
+from repro.workloads.events import TrafficSurgeEvent
+from repro.workloads.registry import make_workload
+
+
+def main() -> None:
+    # -- 1. Trace a running row ----------------------------------------
+    engine = SimulationEngine()
+    topology = build_datacenter(
+        DataCenterSpec(
+            name="plan-dc", msb_count=1, sbs_per_msb=1, rpps_per_sb=2,
+            racks_per_rpp=2,
+        )
+    )
+    plan_quotas(topology)
+    rng = RngStreams(23)
+    fleet = populate_fleet(
+        topology,
+        [ServiceAllocation("web", 16), ServiceAllocation("cache", 8)],
+        rng,
+    )
+    FleetDriver(engine, topology, fleet, step_interval_s=3.0).start()
+    sampler = PowerSampler(engine, interval_s=3.0)
+    for device in topology.iter_devices():
+        sampler.add_source(device.name, device.power_w)
+    sampler.start(phase=1.0)
+    engine.run_until(hours(3))
+
+    # -- 2. Stranded power ----------------------------------------------
+    report = stranded_power_report(topology, sampler.series)
+    print("Stranded power after a 3 h trace:")
+    for level in ("msb", "sb", "rpp"):
+        stranded = total_stranded_w(report, level)
+        print(f"  {level}: {format_power(stranded)} provisioned-but-unused")
+    hottest = max(report, key=lambda e: e.utilization)
+    print(f"  hottest device: {hottest.device_name} at "
+          f"{100 * hottest.utilization:.0f}% of rating")
+
+    # -- 3. Packing policies ---------------------------------------------
+    model = PowerModel(HASWELL_2015)
+    workload = make_workload("web", rng.stream("planning"))
+    # Plan against *peak-hours* demand (the paper normalizes to power
+    # during peak hours); planning on a whole-day trace would let the
+    # nighttime trough inflate the packing.
+    observed = np.array([
+        model.power_w(workload.utilization(float(t)))
+        for t in range(int(hours(11)), int(hours(17)), 3)
+    ])
+    budget = 30_000.0
+    planner = PackingPlanner(
+        budget,
+        nameplate_w=HASWELL_2015.turbo_peak_power_w,
+        observed_powers_w=observed,
+    )
+    print(f"\nPacking a {format_power(budget)} budget with web servers:")
+    print(f"  nameplate (worst-case) planning: {planner.servers_nameplate()}")
+    print(f"  measured-peak planning:          {planner.servers_measured_peak()}")
+    print(f"  p99 planning (Dynamo-backed):    {planner.servers_percentile(99)}")
+    print(f"  capacity recovered: +{100 * planner.gain_fraction(99):.0f}% "
+          "(paper: 8% realized, more underway)")
+
+    # -- 4. Validate with a surge under Dynamo ---------------------------
+    surge = TrafficSurgeEvent(start_s=120.0, end_s=900.0, multiplier=1.4)
+    engine, topology, dense_fleet, rng2 = build_surge_world(
+        surge=surge,
+        n_servers=planner.servers_percentile(99),
+        sb_rating_w=budget,
+        seed=31,
+    )
+    dynamo = Dynamo(engine, topology, dense_fleet, rng_streams=rng2.fork("d"))
+    driver = FleetDriver(engine, topology, dense_fleet)
+    driver.start()
+    dynamo.start()
+    engine.run_until(1200.0)
+    print(f"\nValidation surge on the densely packed row: "
+          f"{dynamo.total_cap_events()} cap events, "
+          f"{len(driver.trips)} breaker trips")
+    assert not driver.trips
+    print("The p99 packing is safe because Dynamo absorbs the tail.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: build a small datacenter, attach Dynamo, watch it monitor.
+
+Builds an OCP-style power topology (1 MSB, 2 SBs, 4 RPPs, 12 racks),
+populates it with a realistic service mix, plans power quotas, starts the
+Dynamo controller hierarchy, and runs ten simulated minutes while
+printing what every controller observes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DataCenterSpec,
+    Dynamo,
+    FleetDriver,
+    RngStreams,
+    ServiceAllocation,
+    SimulationEngine,
+    build_datacenter,
+    plan_quotas,
+    populate_fleet,
+)
+from repro.units import format_power
+
+
+def main() -> None:
+    engine = SimulationEngine()
+    spec = DataCenterSpec(
+        name="quickstart-dc",
+        msb_count=1,
+        sbs_per_msb=2,
+        rpps_per_sb=2,
+        racks_per_rpp=3,
+    )
+    topology = build_datacenter(spec)
+    plan_quotas(topology, ratio=1.0)
+    print(f"Built {topology}: {topology.device_count} power devices")
+
+    rng = RngStreams(seed=42)
+    fleet = populate_fleet(
+        topology,
+        [
+            ServiceAllocation("web", 24),
+            ServiceAllocation("cache", 12),
+            ServiceAllocation("hadoop", 8),
+            ServiceAllocation("database", 4),
+        ],
+        rng,
+    )
+    print(f"Populated {len(fleet.servers)} servers across 4 services")
+
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    driver = FleetDriver(engine, topology, fleet)
+    driver.start()
+    dynamo.start()
+    print(
+        f"Dynamo online: {dynamo.hierarchy.controller_count} controllers "
+        f"({len(dynamo.hierarchy.leaf_controllers)} leaf @ 3 s, "
+        f"{len(dynamo.hierarchy.upper_controllers)} upper @ 9 s), "
+        f"{len(dynamo.agents)} agents"
+    )
+
+    engine.run_until(600.0)
+
+    print("\nAfter 10 simulated minutes:")
+    print(f"  datacenter power: {format_power(topology.total_power_w())}")
+    for name, leaf in sorted(dynamo.hierarchy.leaf_controllers.items()):
+        aggregate = leaf.last_aggregate_power_w or 0.0
+        print(
+            f"  leaf {name}: {format_power(aggregate)} / "
+            f"{format_power(leaf.device.rated_power_w)} "
+            f"({100 * aggregate / leaf.device.rated_power_w:.0f}% of rating, "
+            f"{len(leaf.aggregate_series)} samples at 3 s)"
+        )
+    for name, upper in sorted(dynamo.hierarchy.upper_controllers.items()):
+        aggregate = upper.last_aggregate_power_w or 0.0
+        print(
+            f"  upper {name}: {format_power(aggregate)} / "
+            f"{format_power(upper.device.rated_power_w)}"
+        )
+    print(f"  cap events: {dynamo.total_cap_events()}")
+    print(f"  breaker trips: {len(driver.trips)}")
+    print(f"  alerts: {dynamo.alerts.count()}")
+    assert not driver.trips
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment's pip lacks the ``wheel`` package,
+so editable installs go through ``setup.py develop`` instead of PEP 517.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

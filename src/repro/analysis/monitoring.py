@@ -1,0 +1,134 @@
+"""Monitoring reports: "monitoring is as important as capping".
+
+Section VI: many power problems could have been avoided with close
+power monitoring catching bottlenecks early.  This module turns a
+running deployment into the operator-facing report that lesson calls
+for: per-level utilization, devices nearest their limits, top consumers,
+capping activity, and outstanding alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Table
+from repro.core.dynamo import Dynamo
+from repro.errors import ConfigurationError
+from repro.units import format_power
+
+
+@dataclass(frozen=True)
+class DeviceStatus:
+    """One device's monitoring snapshot."""
+
+    name: str
+    level: str
+    power_w: float
+    rated_power_w: float
+    capping_active: bool
+
+    @property
+    def utilization(self) -> float:
+        """Power as a fraction of rating."""
+        return self.power_w / self.rated_power_w
+
+
+@dataclass
+class MonitoringReport:
+    """A point-in-time report over a Dynamo deployment."""
+
+    time_s: float
+    devices: list[DeviceStatus] = field(default_factory=list)
+    capped_servers: int = 0
+    total_servers: int = 0
+    cap_events: int = 0
+    uncap_events: int = 0
+    alerts: int = 0
+    top_consumers: list[tuple[str, str, float]] = field(default_factory=list)
+
+    def hottest_devices(self, count: int = 5) -> list[DeviceStatus]:
+        """Devices closest to their ratings."""
+        return sorted(
+            self.devices, key=lambda d: d.utilization, reverse=True
+        )[:count]
+
+    def utilization_by_level(self) -> dict[str, float]:
+        """Mean utilization per hierarchy level."""
+        by_level: dict[str, list[float]] = {}
+        for device in self.devices:
+            by_level.setdefault(device.level, []).append(device.utilization)
+        return {
+            level: sum(vals) / len(vals) for level, vals in by_level.items()
+        }
+
+    def render(self) -> str:
+        """Human-readable report text."""
+        lines = [f"Dynamo monitoring report @ t={self.time_s:.0f}s", ""]
+        table = Table(
+            "Hottest devices",
+            ["device", "level", "power", "rating", "util_%", "capping"],
+        )
+        for d in self.hottest_devices():
+            table.add_row(
+                d.name,
+                d.level,
+                format_power(d.power_w),
+                format_power(d.rated_power_w),
+                100.0 * d.utilization,
+                "ACTIVE" if d.capping_active else "-",
+            )
+        lines.append(table.render())
+        lines.append("")
+        levels = self.utilization_by_level()
+        lines.append(
+            "mean utilization: "
+            + ", ".join(
+                f"{lvl}={100 * u:.0f}%" for lvl, u in sorted(levels.items())
+            )
+        )
+        lines.append(
+            f"servers capped: {self.capped_servers}/{self.total_servers}; "
+            f"cap events {self.cap_events}, uncap events {self.uncap_events}; "
+            f"alerts {self.alerts}"
+        )
+        if self.top_consumers:
+            top = ", ".join(
+                f"{sid} ({svc}, {p:.0f} W)"
+                for sid, svc, p in self.top_consumers
+            )
+            lines.append(f"top consumers: {top}")
+        return "\n".join(lines)
+
+
+def build_report(dynamo: Dynamo, *, top_n: int = 5) -> MonitoringReport:
+    """Snapshot a running deployment into a report."""
+    report = MonitoringReport(time_s=dynamo.engine.clock.now)
+    for device in dynamo.topology.iter_devices():
+        try:
+            controller = dynamo.controller(device.name)
+            capping = controller.band.capping_active
+        except ConfigurationError:
+            # Devices below the leaf level (skipped racks) have no
+            # controller; they are monitored through their parents.
+            capping = False
+        report.devices.append(
+            DeviceStatus(
+                name=device.name,
+                level=device.level.value,
+                power_w=device.power_w(),
+                rated_power_w=device.rated_power_w,
+                capping_active=capping,
+            )
+        )
+    report.total_servers = len(dynamo.fleet.servers)
+    report.capped_servers = dynamo.capped_server_count()
+    report.cap_events = dynamo.total_cap_events()
+    report.uncap_events = dynamo.total_uncap_events()
+    report.alerts = dynamo.alerts.count()
+    consumers = sorted(
+        dynamo.fleet.servers.values(), key=lambda s: s.power_w(), reverse=True
+    )[:top_n]
+    report.top_consumers = [
+        (s.server_id, s.service, s.power_w()) for s in consumers
+    ]
+    return report

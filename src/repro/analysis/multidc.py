@@ -1,0 +1,189 @@
+"""Multi-datacenter regions and cascading-failure experiments.
+
+The paper's introduction warns: "a power failure in one data center
+could cause a redistribution of load to other data centers, tripping
+their power breakers and leading to a cascading power failure event."
+
+This module builds a region of small datacenters behind a global
+traffic manager.  When one site goes dark, its traffic share
+redistributes to the survivors — exactly the stimulus that cascades
+without capping and that Dynamo absorbs with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.worlds import build_surge_world
+from repro.core.dynamo import Dynamo
+from repro.errors import ConfigurationError
+from repro.fleet import Fleet, FleetDriver
+from repro.power.topology import PowerTopology
+from repro.simulation.engine import SimulationEngine
+
+
+class RegionalTrafficManager:
+    """Splits a region's total traffic across its active datacenters.
+
+    Each datacenter has a weight (its capacity share).  The demand
+    multiplier for an active site is ``total_weight / active_weight``:
+    with three equal sites and one down, the survivors each run 1.5x.
+    """
+
+    def __init__(self) -> None:
+        self._weights: dict[str, float] = {}
+        self._down: set[str] = set()
+
+    def register(self, dc_name: str, weight: float = 1.0) -> None:
+        """Add a datacenter to the region."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self._weights[dc_name] = weight
+
+    def mark_down(self, dc_name: str) -> None:
+        """Take a site out of rotation (site failure)."""
+        if dc_name not in self._weights:
+            raise ConfigurationError(f"unknown datacenter {dc_name!r}")
+        self._down.add(dc_name)
+
+    def mark_up(self, dc_name: str) -> None:
+        """Return a site to rotation."""
+        self._down.discard(dc_name)
+
+    def is_down(self, dc_name: str) -> bool:
+        """Whether a site is out of rotation."""
+        return dc_name in self._down
+
+    def multiplier(self, dc_name: str) -> float:
+        """Current demand multiplier for one site."""
+        if dc_name in self._down:
+            return 0.0
+        total = sum(self._weights.values())
+        active = sum(
+            w for name, w in self._weights.items() if name not in self._down
+        )
+        if active <= 0.0:
+            return 0.0
+        return total / active
+
+
+@dataclass(frozen=True)
+class RegionalTrafficModifier:
+    """Workload modifier scaling demand by the site's traffic share."""
+
+    manager: RegionalTrafficManager
+    dc_name: str
+
+    def apply(self, now_s: float, utilization: float) -> float:
+        """Scale demand by the manager's current multiplier."""
+        return utilization * self.manager.multiplier(self.dc_name)
+
+
+@dataclass
+class DataCenterSite:
+    """One site in a region."""
+
+    name: str
+    topology: PowerTopology
+    fleet: Fleet
+    driver: FleetDriver
+    dynamo: Dynamo | None = None
+
+    def tripped(self) -> bool:
+        """Whether any breaker at this site has tripped."""
+        return bool(self.driver.trips)
+
+
+@dataclass
+class Region:
+    """A set of datacenters sharing one engine and traffic manager."""
+
+    engine: SimulationEngine
+    manager: RegionalTrafficManager
+    sites: list[DataCenterSite] = field(default_factory=list)
+
+    def site(self, name: str) -> DataCenterSite:
+        """Look up a site by name."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise ConfigurationError(f"no site named {name!r}")
+
+    def start(self) -> None:
+        """Start every site's physics and controllers."""
+        for site in self.sites:
+            site.driver.start()
+            if site.dynamo is not None:
+                site.dynamo.start()
+
+    def fail_site(self, name: str) -> None:
+        """Site-level failure: traffic drains, servers go dark."""
+        self.manager.mark_down(name)
+        for server in self.site(name).fleet.servers.values():
+            server.set_online(False)
+
+    def tripped_sites(self) -> list[str]:
+        """Names of sites that have lost a breaker."""
+        return [s.name for s in self.sites if s.tripped()]
+
+
+def build_region(
+    *,
+    site_count: int = 3,
+    servers_per_site: int = 24,
+    level: float = 0.62,
+    with_dynamo: bool = True,
+    seed: int = 97,
+) -> Region:
+    """A region of identical small sites behind a traffic manager.
+
+    Site headroom is set so normal operation is comfortable but a
+    one-site failure pushes the survivors' SBs past their limits —
+    the cascading-failure configuration.
+    """
+    if site_count < 2:
+        raise ConfigurationError("a region needs at least two sites")
+    engine = SimulationEngine()
+    manager = RegionalTrafficManager()
+    region = Region(engine=engine, manager=manager)
+    for i in range(site_count):
+        name = f"dc{i}"
+        manager.register(name)
+        # Reuse the surge-world builder for each site, but on the shared
+        # engine: rebuild its pieces here with the site's own RNG family.
+        site_engine, topology, fleet, rng = build_surge_world(
+            n_servers=servers_per_site,
+            level=level,
+            seed=seed + i,
+        )
+        # Transplant onto the shared engine by rebuilding drivers and
+        # Dynamo against `engine` (the world builder's engine is unused).
+        for server in fleet.servers.values():
+            server.workload.add_modifier(
+                RegionalTrafficModifier(manager, name)
+            )
+        topology.name = f"{name}-topology"
+        _rename_devices(topology, name)
+        driver = FleetDriver(engine, topology, fleet)
+        dynamo = None
+        if with_dynamo:
+            dynamo = Dynamo(
+                engine, topology, fleet, rng_streams=rng.fork("dynamo")
+            )
+        region.sites.append(
+            DataCenterSite(
+                name=name,
+                topology=topology,
+                fleet=fleet,
+                driver=driver,
+                dynamo=dynamo,
+            )
+        )
+    return region
+
+
+def _rename_devices(topology: PowerTopology, prefix: str) -> None:
+    """Prefix device names so sites don't collide in reports."""
+    for device in topology.iter_devices():
+        device.name = f"{prefix}.{device.name}"
+    topology.reindex()

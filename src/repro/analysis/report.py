@@ -1,0 +1,58 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; this module renders them readably without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Table:
+    """A titled table of string-convertible cells."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append a row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} "
+                "columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render to aligned plain text."""
+        return format_table(self)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` with aligned columns and a title rule."""
+    str_rows = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [len(c) for c in table.columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(table.columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

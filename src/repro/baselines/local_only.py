@@ -1,0 +1,77 @@
+"""Leaf-only capping: hierarchical coordination removed.
+
+Prior work mostly capped at server or ensemble level in isolation.  This
+baseline runs Dynamo's leaf controllers but *no upper-level controllers*:
+each leaf keeps its own device safe, yet nothing protects the SB or MSB
+when power is oversubscribed above the leaf level — every RPP can sit
+happily under its 190 KW while their sum overloads the 1.25 MW SB.  The
+ablation benches use it to show why the paper's key insight (coordinated,
+data center-wide management) is necessary.
+"""
+
+from __future__ import annotations
+
+from repro.config import DynamoConfig
+from repro.core.agent import DynamoAgent
+from repro.core.coordinator import PRIORITY_LEAF
+from repro.core.hierarchy import build_controller_hierarchy
+from repro.core.priority import PriorityPolicy
+from repro.fleet import Fleet
+from repro.power.topology import PowerTopology
+from repro.rpc.transport import RpcTransport
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+from repro.simulation.rng import RngStreams
+from repro.telemetry.alerts import AlertSink
+
+
+class LeafOnlyCapping:
+    """Dynamo's leaf controllers without the coordinating upper levels."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: PowerTopology,
+        fleet: Fleet,
+        *,
+        config: DynamoConfig | None = None,
+        rng_streams: RngStreams | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or DynamoConfig()
+        self.alerts = AlertSink()
+        rng_streams = rng_streams or RngStreams(0)
+        self.transport = RpcTransport(rng_streams.stream("rpc"))
+        self.agents = {
+            server_id: DynamoAgent(server, self.transport, clock=engine.clock)
+            for server_id, server in fleet.servers.items()
+        }
+        hierarchy = build_controller_hierarchy(
+            topology,
+            self.transport,
+            config=self.config,
+            policy=PriorityPolicy(),
+            alerts=self.alerts,
+        )
+        # Keep only the leaves; upper controllers are discarded unstarted.
+        self.leaf_controllers = hierarchy.leaf_controllers
+        self._processes = [
+            PeriodicProcess(
+                engine,
+                controller.config.leaf_pull_interval_s,
+                controller.tick,
+                label=f"leafonly.{controller.name}",
+                priority=PRIORITY_LEAF,
+            )
+            for controller in self.leaf_controllers.values()
+        ]
+
+    def start(self) -> None:
+        """Start the leaf control cycles."""
+        for process in self._processes:
+            process.start(phase=process.interval_s)
+
+    def stop(self) -> None:
+        """Stop the leaf control cycles."""
+        for process in self._processes:
+            process.stop()

@@ -1,0 +1,68 @@
+"""Oracle capping: instantaneous, perfectly informed — an upper bound.
+
+The oracle sees true server power with zero sampling delay, zero RPC
+cost, and zero RAPL settling: each step it checks every protected device
+top-down and, where the aggregate exceeds the capping target, scales all
+downstream servers proportionally so the device lands exactly on target.
+No real system achieves this; benches use it to bound how much of the
+remaining performance gap is Dynamo's design vs physics.
+"""
+
+from __future__ import annotations
+
+from repro.config import ThreeBandConfig
+from repro.fleet import Fleet
+from repro.power.topology import PowerTopology
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+
+
+class OracleCapping:
+    """Instantaneous proportional capping with perfect knowledge."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: PowerTopology,
+        fleet: Fleet,
+        *,
+        interval_s: float = 1.0,
+        band: ThreeBandConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.fleet = fleet
+        self._band = band or ThreeBandConfig()
+        self.cap_events = 0
+        self._process = PeriodicProcess(
+            engine, interval_s, self._tick, label="oracle", priority=9
+        )
+
+    def start(self) -> None:
+        """Begin oracle control."""
+        self._process.start(phase=self._process.interval_s)
+
+    def stop(self) -> None:
+        """Stop oracle control."""
+        self._process.stop()
+
+    def _tick(self, now_s: float) -> None:
+        for device in self.topology.iter_devices():
+            power = device.power_w()
+            limit = device.rated_power_w
+            if power <= limit * self._band.capping_threshold:
+                continue
+            target = limit * self._band.capping_target
+            scale = target / power
+            self.cap_events += 1
+            for server_id in device.iter_load_ids():
+                server = self.fleet.servers.get(server_id)
+                if server is None:
+                    continue
+                new_limit = max(
+                    server.power_w() * scale,
+                    server.platform.effective_min_cap_w(),
+                )
+                server.rapl.set_limit(new_limit)
+                # Oracle enforcement is instantaneous: snap RAPL to the
+                # target rather than letting it settle.
+                server.rapl.step(server.power_w(), 1e9)

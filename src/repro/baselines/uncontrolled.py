@@ -1,0 +1,43 @@
+"""No power management: the trip-exposure baseline."""
+
+from __future__ import annotations
+
+from repro.fleet import Fleet, FleetDriver
+from repro.power.topology import PowerTopology
+from repro.simulation.engine import SimulationEngine
+
+
+class UncontrolledBaseline:
+    """Runs the physical world with no capping whatsoever.
+
+    Useful as the counterfactual in surge experiments: with the same
+    stimulus, does a breaker trip when Dynamo is absent?
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: PowerTopology,
+        fleet: Fleet,
+        *,
+        step_interval_s: float = 1.0,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.fleet = fleet
+        self.driver = FleetDriver(
+            engine, topology, fleet, step_interval_s=step_interval_s
+        )
+
+    def start(self) -> None:
+        """Start the physical simulation (nothing else to start)."""
+        self.driver.start()
+
+    def stop(self) -> None:
+        """Stop the physical simulation."""
+        self.driver.stop()
+
+    @property
+    def trips(self):
+        """Breaker trips observed so far."""
+        return self.driver.trips

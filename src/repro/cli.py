@@ -1,0 +1,193 @@
+"""Command-line interface: run scenarios and inspect results.
+
+Usage::
+
+    python -m repro list
+    python -m repro run quickstart
+    python -m repro run ashburn --duration-h 2
+    python -m repro run altoona
+    python -m repro run hadoop --servers 100 --duration-h 6
+    python -m repro run cascade
+
+Each scenario prints a short report; exit code is 0 when the run's
+safety invariant (no breaker trips) holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.multidc import build_region
+from repro.analysis.scenarios import (
+    altoona_outage_recovery,
+    ashburn_load_test,
+    mixed_service_row,
+    prineville_hadoop_turbo,
+)
+from repro.units import hours, to_kilowatts
+
+SCENARIOS = ("quickstart", "ashburn", "altoona", "hadoop", "mixedrow", "cascade")
+
+
+def _run_quickstart(args: argparse.Namespace) -> int:
+    from repro import (
+        DataCenterSpec,
+        Dynamo,
+        FleetDriver,
+        RngStreams,
+        ServiceAllocation,
+        SimulationEngine,
+        build_datacenter,
+        plan_quotas,
+        populate_fleet,
+    )
+
+    engine = SimulationEngine()
+    topology = build_datacenter(
+        DataCenterSpec(msb_count=1, sbs_per_msb=2, rpps_per_sb=2, racks_per_rpp=3)
+    )
+    plan_quotas(topology)
+    rng = RngStreams(args.seed)
+    fleet = populate_fleet(
+        topology,
+        [ServiceAllocation("web", 24), ServiceAllocation("cache", 12)],
+        rng,
+    )
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    driver = FleetDriver(engine, topology, fleet)
+    driver.start()
+    dynamo.start()
+    engine.run_until(hours(args.duration_h))
+    print(
+        f"ran {args.duration_h} h: power {to_kilowatts(topology.total_power_w()):.1f} KW, "
+        f"{dynamo.total_cap_events()} cap events, {len(driver.trips)} trips"
+    )
+    return 1 if driver.trips else 0
+
+
+def _run_ashburn(args: argparse.Namespace) -> int:
+    scenario = ashburn_load_test(server_count=args.servers, seed=args.seed)
+    scenario.start()
+    scenario.run_until(hours(8) + hours(args.duration_h))
+    controller = scenario.dynamo.leaf_controller("rpp0")
+    print(
+        f"PDU peak {to_kilowatts(controller.aggregate_series.max()):.1f} KW, "
+        f"{controller.cap_events} cap / {controller.uncap_events} uncap "
+        f"events, {len(scenario.driver.trips)} trips"
+    )
+    return 1 if scenario.driver.trips else 0
+
+
+def _run_altoona(args: argparse.Namespace) -> int:
+    scenario = altoona_outage_recovery(seed=args.seed)
+    scenario.start()
+    scenario.run_until(hours(14) + 600.0)
+    sb = scenario.dynamo.controller("sb0")
+    capped_rows = [
+        n
+        for n, leaf in scenario.dynamo.hierarchy.leaf_controllers.items()
+        if leaf.cap_events > 0
+    ]
+    print(
+        f"SB peak {to_kilowatts(sb.aggregate_series.max()):.1f} KW / "
+        f"{to_kilowatts(sb.device.rated_power_w):.0f} KW, rows capped "
+        f"{sorted(capped_rows)}, {len(scenario.driver.trips)} trips"
+    )
+    return 1 if scenario.driver.trips else 0
+
+
+def _run_hadoop(args: argparse.Namespace) -> int:
+    scenario = prineville_hadoop_turbo(
+        server_count=args.servers, seed=args.seed
+    )
+    scenario.start()
+    scenario.run_until(hours(args.duration_h))
+    sb = scenario.dynamo.controller("sb0")
+    print(
+        f"SB mean {to_kilowatts(sb.aggregate_series.mean()):.1f} / rating "
+        f"{to_kilowatts(scenario.extras['sb_rating_w']):.1f} KW, "
+        f"{sb.uncap_events} capping episodes, "
+        f"{len(scenario.driver.trips)} trips"
+    )
+    return 1 if scenario.driver.trips else 0
+
+
+def _run_mixedrow(args: argparse.Namespace) -> int:
+    scenario = mixed_service_row(seed=args.seed)
+    controller = scenario.dynamo.leaf_controller("rpp0")
+    scenario.start()
+    trigger_on = hours(13) + 50 * 60
+    scenario.engine.schedule_at(
+        trigger_on, lambda: controller.set_contractual_limit_w(95_000.0)
+    )
+    scenario.engine.schedule_at(
+        hours(14) + 120, lambda: controller.clear_contractual_limit()
+    )
+    scenario.run_until(hours(14) + 600)
+    capped_cache = sum(
+        1 for s in scenario.extras["cache_servers"] if s.rapl.capped
+    )
+    print(
+        f"{controller.cap_events} cap events; cache servers capped: "
+        f"{capped_cache} (must be 0); trips {len(scenario.driver.trips)}"
+    )
+    return 1 if (scenario.driver.trips or capped_cache) else 0
+
+
+def _run_cascade(args: argparse.Namespace) -> int:
+    region = build_region(with_dynamo=not args.no_dynamo, seed=args.seed)
+    region.start()
+    region.engine.run_until(300.0)
+    region.fail_site("dc0")
+    region.engine.run_until(1200.0)
+    tripped = region.tripped_sites()
+    print(
+        f"site dc0 failed at t=300 s; cascaded sites: {tripped or 'none'}"
+    )
+    return 1 if tripped else 0
+
+
+_RUNNERS = {
+    "quickstart": _run_quickstart,
+    "ashburn": _run_ashburn,
+    "altoona": _run_altoona,
+    "hadoop": _run_hadoop,
+    "mixedrow": _run_mixedrow,
+    "cascade": _run_cascade,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamo (ISCA 2016) reproduction scenarios",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available scenarios")
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("scenario", choices=SCENARIOS)
+    run.add_argument("--servers", type=int, default=150)
+    run.add_argument("--duration-h", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--no-dynamo",
+        action="store_true",
+        help="cascade scenario only: run without Dynamo",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    return _RUNNERS[args.scenario](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Central configuration dataclasses with defaults taken from the paper.
+
+Every tunable in the reproduction lives here so experiments can be described
+as configuration deltas.  The defaults reproduce the deployment the paper
+describes:
+
+* leaf controllers pull power every 3 s; upper controllers every 9 s (3x),
+* the three-band algorithm caps at 99% of the breaker limit, targets 95%,
+  and uncaps below a configurable lower threshold,
+* the high-bucket-first allocator uses 20 W buckets,
+* RAPL capping settles in roughly 2 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThreeBandConfig:
+    """Thresholds for the three-band capping/uncapping algorithm (Fig 10).
+
+    All three values are fractions of the device power limit.  The paper
+    uses a capping threshold of 99% of the breaker limit and a capping
+    target "conservatively chosen to be 5% below the breaker limit".
+    """
+
+    capping_threshold: float = 0.99
+    capping_target: float = 0.95
+    uncapping_threshold: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.uncapping_threshold < self.capping_target:
+            raise ConfigurationError(
+                "uncapping threshold must lie strictly below the capping target"
+            )
+        if not self.capping_target < self.capping_threshold <= 1.0:
+            raise ConfigurationError(
+                "capping target must lie strictly below the capping threshold"
+            )
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Timing and robustness parameters for Dynamo controllers."""
+
+    leaf_pull_interval_s: float = 3.0
+    upper_pull_interval_s: float = 9.0
+    rpc_timeout_s: float = 1.0
+    max_reading_failure_fraction: float = 0.20
+    three_band: ThreeBandConfig = field(default_factory=ThreeBandConfig)
+
+    def __post_init__(self) -> None:
+        if self.leaf_pull_interval_s <= 2.0:
+            # Figure 9: RAPL takes ~2 s to settle; sampling faster than
+            # that yields unstable readings.
+            raise ConfigurationError(
+                "leaf pull interval must exceed the 2 s RAPL settling time"
+            )
+        if self.upper_pull_interval_s < self.leaf_pull_interval_s:
+            raise ConfigurationError(
+                "upper-level pull interval must be >= the leaf pull interval"
+            )
+        if not 0.0 <= self.max_reading_failure_fraction <= 1.0:
+            raise ConfigurationError(
+                "max reading failure fraction must be within [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class BucketConfig:
+    """High-bucket-first allocation parameters (Section III-C3).
+
+    The paper finds bucket sizes between 10 and 30 W work well and deploys
+    20 W buckets.
+    """
+
+    bucket_width_w: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.bucket_width_w <= 0:
+            raise ConfigurationError("bucket width must be positive")
+
+
+@dataclass(frozen=True)
+class RaplConfig:
+    """Behaviour of the simulated RAPL power-limiting module."""
+
+    settling_time_s: float = 2.0
+    min_limit_w: float = 50.0
+    enforcement_slack_w: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.settling_time_s <= 0:
+            raise ConfigurationError("settling time must be positive")
+        if self.min_limit_w < 0:
+            raise ConfigurationError("minimum RAPL limit cannot be negative")
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Per-server Dynamo agent parameters."""
+
+    rapl: RaplConfig = field(default_factory=RaplConfig)
+    sensor_noise_fraction: float = 0.005
+    watchdog_interval_s: float = 30.0
+
+
+@dataclass(frozen=True)
+class DynamoConfig:
+    """Top-level configuration for a Dynamo deployment."""
+
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    bucket: BucketConfig = field(default_factory=BucketConfig)
+    agent: AgentConfig = field(default_factory=AgentConfig)
+    # The paper skips rack-level controllers in the Facebook deployment
+    # (footnote 2): leaf controllers sit at the RPP / PDU-breaker level.
+    leaf_level: str = "rpp"
+    enable_backup_controllers: bool = True
+
+
+DEFAULT_CONFIG = DynamoConfig()

@@ -1,0 +1,69 @@
+"""Dynamo: the data center-wide power management system (the paper's core).
+
+Components mirror Section III:
+
+* :class:`~repro.core.agent.DynamoAgent` — per-server daemon answering
+  power-read and cap/uncap requests (Figure 8).
+* :class:`~repro.core.leaf_controller.LeafPowerController` — per-leaf-device
+  controller: 3 s power pulls, aggregation with failure estimation, the
+  three-band algorithm (Figure 10), and performance-aware capping via
+  priority groups and high-bucket-first allocation.
+* :class:`~repro.core.upper_controller.UpperLevelPowerController` —
+  per-upper-device controller: 9 s pulls from child controllers and
+  punish-offender-first coordination through contractual power limits.
+* :class:`~repro.core.dynamo.Dynamo` — the facade that attaches the whole
+  controller hierarchy to a datacenter and runs it.
+"""
+
+from repro.core.agent import DynamoAgent
+from repro.core.bucket import allocate_high_bucket_first
+from repro.core.capping_plan import CappingPlan, ServerCut
+from repro.core.dryrun import (
+    CappingTestHarness,
+    DryRunLeafController,
+    DryRunRecorder,
+)
+from repro.core.dynamo import Dynamo
+from repro.core.failover import FailoverController
+from repro.core.hierarchy import build_controller_hierarchy
+from repro.core.leaf_controller import (
+    LeafPowerController,
+    NonServerComponent,
+)
+from repro.core.messages import CapRequest, PowerReading
+from repro.core.offender import punish_offender_first
+from repro.core.pi_controller import PiPowerController
+from repro.core.priority import PriorityPolicy
+from repro.core.rollout import RolloutState, StagedRollout
+from repro.core.three_band import BandAction, ThreeBandController
+from repro.core.upper_controller import UpperLevelPowerController
+from repro.core.validation import BreakerReadingSource, BreakerValidator
+from repro.core.watchdog import AgentWatchdog
+
+__all__ = [
+    "AgentWatchdog",
+    "BandAction",
+    "BreakerReadingSource",
+    "BreakerValidator",
+    "CapRequest",
+    "CappingPlan",
+    "CappingTestHarness",
+    "DryRunLeafController",
+    "DryRunRecorder",
+    "Dynamo",
+    "DynamoAgent",
+    "FailoverController",
+    "LeafPowerController",
+    "NonServerComponent",
+    "PiPowerController",
+    "PowerReading",
+    "PriorityPolicy",
+    "RolloutState",
+    "ServerCut",
+    "StagedRollout",
+    "ThreeBandController",
+    "UpperLevelPowerController",
+    "allocate_high_bucket_first",
+    "build_controller_hierarchy",
+    "punish_offender_first",
+]

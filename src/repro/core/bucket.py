@@ -1,0 +1,143 @@
+"""High-bucket-first power-cut allocation (Section III-C3).
+
+Analogous to tax brackets: servers are grouped into power buckets (20 W
+wide by default) by their current consumption, and the total-power-cut is
+drained from the highest bucket first — punishing the servers consuming
+the most (likely regressions or runaway software).  If the highest bucket
+cannot absorb the whole cut, the next bucket joins, and so on, until
+either the cut is satisfied or every server has hit its SLA floor.
+Within the included set, servers take an even share of the cut (clamped
+per server by its own headroom — the classic water-filling refinement the
+even-share rule implies).
+
+Figure 16's snapshot is exactly this allocator's output: all web/feed
+servers above the 210 W bucket boundary received cuts, with caps floored
+at 210 W.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AllocationInput:
+    """One server's state as seen by the allocator."""
+
+    server_id: str
+    power_w: float
+    min_cap_w: float
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of one allocation run."""
+
+    cuts_w: dict[str, float]
+    unallocated_w: float
+
+    @property
+    def total_cut_w(self) -> float:
+        """Sum of the allocated per-server cuts."""
+        return sum(self.cuts_w.values())
+
+
+def _distribute_evenly(
+    headrooms: dict[str, float], amount: float
+) -> dict[str, float]:
+    """Water-fill ``amount`` evenly across servers bounded by headrooms."""
+    cuts = {server_id: 0.0 for server_id in headrooms}
+    active = {s: h for s, h in headrooms.items() if h > 0.0}
+    remaining = amount
+    while remaining > 1e-9 and active:
+        share = remaining / len(active)
+        exhausted: list[str] = []
+        for server_id, headroom in active.items():
+            take = min(share, headroom)
+            cuts[server_id] += take
+            remaining -= take
+            new_headroom = headroom - take
+            if new_headroom <= 1e-12:
+                exhausted.append(server_id)
+            else:
+                active[server_id] = new_headroom
+        for server_id in exhausted:
+            del active[server_id]
+        if not exhausted and remaining > 1e-9:
+            # Everyone still has headroom: one more equal pass clears it.
+            continue
+    return cuts
+
+
+def allocate_high_bucket_first(
+    servers: list[AllocationInput],
+    total_cut_w: float,
+    *,
+    bucket_width_w: float = 20.0,
+) -> AllocationResult:
+    """Allocate ``total_cut_w`` across ``servers`` high-bucket-first.
+
+    Buckets descend from the highest occupied one; at each stage every
+    server in an included bucket may be cut down to the lower edge of the
+    lowest included bucket (never below its own ``min_cap_w``).  The cut
+    at each stage is distributed evenly (water-filled) across included
+    servers.
+
+    Returns per-server cuts and any remainder that SLA floors made
+    impossible to allocate.
+    """
+    if total_cut_w < 0:
+        raise ConfigurationError("total cut cannot be negative")
+    if bucket_width_w <= 0:
+        raise ConfigurationError("bucket width must be positive")
+    cuts: dict[str, float] = {s.server_id: 0.0 for s in servers}
+    if total_cut_w == 0.0 or not servers:
+        return AllocationResult(cuts_w=cuts, unallocated_w=total_cut_w)
+
+    by_id = {s.server_id: s for s in servers}
+    buckets: dict[int, list[str]] = {}
+    for s in servers:
+        buckets.setdefault(int(math.floor(s.power_w / bucket_width_w)), []).append(
+            s.server_id
+        )
+
+    remaining = total_cut_w
+    included: list[str] = []
+    for bucket_index in sorted(buckets, reverse=True):
+        included.extend(buckets[bucket_index])
+        floor_w = bucket_index * bucket_width_w
+        headrooms: dict[str, float] = {}
+        for server_id in included:
+            s = by_id[server_id]
+            lower_bound = max(floor_w, s.min_cap_w)
+            current = s.power_w - cuts[server_id]
+            headrooms[server_id] = max(0.0, current - lower_bound)
+        capacity = sum(headrooms.values())
+        if capacity <= 0.0:
+            continue
+        stage_cut = min(remaining, capacity)
+        stage_cuts = _distribute_evenly(headrooms, stage_cut)
+        for server_id, cut in stage_cuts.items():
+            cuts[server_id] += cut
+        remaining -= sum(stage_cuts.values())
+        if remaining <= 1e-9:
+            remaining = 0.0
+            break
+
+    # Whatever buckets could not satisfy, SLA floors may still allow: a
+    # final pass cuts everyone toward their floor evenly.
+    if remaining > 1e-9:
+        headrooms = {
+            s.server_id: max(0.0, s.power_w - cuts[s.server_id] - s.min_cap_w)
+            for s in servers
+        }
+        final_cuts = _distribute_evenly(headrooms, remaining)
+        for server_id, cut in final_cuts.items():
+            cuts[server_id] += cut
+        remaining -= sum(final_cuts.values())
+        remaining = max(0.0, remaining)
+
+    return AllocationResult(cuts_w=cuts, unallocated_w=remaining)

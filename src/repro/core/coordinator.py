@@ -1,0 +1,94 @@
+"""The consolidated controller binary (Section IV).
+
+In production, all controller instances for neighbouring devices in a
+suite are consolidated into one binary, each controller a thread (~100
+threads), running on dedicated Dynamo servers.  The coordinator plays that
+binary's role: it owns the periodic scheduling of every controller in a
+hierarchy, leaf controllers on the 3 s cycle and upper controllers on the
+9 s cycle.
+
+Event priorities guarantee the intra-instant ordering nested control
+loops need: when a leaf tick and an upper tick land on the same instant,
+the leaf runs first, so the upper controller always sees the freshest
+aggregations.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import ControllerHierarchy
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+
+#: Event priorities (lower runs first at the same instant).
+PRIORITY_FLEET_STEP = 0
+PRIORITY_SAMPLER = 5
+PRIORITY_LEAF = 10
+PRIORITY_UPPER = 20
+PRIORITY_WATCHDOG = 30
+
+
+class ControllerCoordinator:
+    """Schedules every controller in a hierarchy on the engine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        hierarchy: ControllerHierarchy,
+    ) -> None:
+        self._engine = engine
+        self.hierarchy = hierarchy
+        self._processes: list[PeriodicProcess] = []
+        for controller in hierarchy.leaf_controllers.values():
+            self._processes.append(
+                PeriodicProcess(
+                    engine,
+                    controller.config.leaf_pull_interval_s,
+                    controller.tick,
+                    label=f"leaf.{controller.name}",
+                    priority=PRIORITY_LEAF,
+                )
+            )
+        # Sort upper controllers deepest-first so that, at coincident
+        # instants, SB controllers run before their MSB parent and the
+        # parent sees this cycle's aggregations.
+        uppers = sorted(
+            hierarchy.upper_controllers.values(),
+            key=lambda c: -c.device.level.depth,
+        )
+        for controller in uppers:
+            self._processes.append(
+                PeriodicProcess(
+                    engine,
+                    controller.config.upper_pull_interval_s,
+                    controller.tick,
+                    label=f"upper.{controller.name}",
+                    priority=PRIORITY_UPPER + (3 - controller.device.level.depth),
+                )
+            )
+        self._started = False
+
+    def start(self) -> None:
+        """Start every controller's periodic process.
+
+        The first leaf tick happens one leaf interval in; upper ticks one
+        upper interval in, giving leaves a head start on aggregation.
+        """
+        for process in self._processes:
+            process.start(phase=process.interval_s)
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop all controller processes."""
+        for process in self._processes:
+            process.stop()
+        self._started = False
+
+    @property
+    def running(self) -> bool:
+        """Whether controllers are currently scheduled."""
+        return self._started
+
+    @property
+    def thread_count(self) -> int:
+        """Number of controller 'threads' in the consolidated binary."""
+        return len(self._processes)

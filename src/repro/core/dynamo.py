@@ -1,0 +1,148 @@
+"""The Dynamo facade: attach the whole system to a datacenter and run it.
+
+Wires together everything Section III describes: one agent per server on
+a shared RPC fabric, a controller hierarchy mirroring the power topology
+(leaves at the RPP level by default), the consolidated coordinator
+scheduling all controller cycles, and the agent watchdog.  Experiments
+construct a :class:`Dynamo`, call :meth:`start`, and run the engine.
+"""
+
+from __future__ import annotations
+
+from repro.config import DynamoConfig
+from repro.core.agent import DynamoAgent
+from repro.core.coordinator import ControllerCoordinator
+from repro.core.hierarchy import (
+    ControllerHierarchy,
+    build_controller_hierarchy,
+)
+from repro.core.priority import PriorityPolicy
+from repro.core.watchdog import AgentWatchdog
+from repro.fleet import Fleet
+from repro.power.topology import PowerTopology
+from repro.rpc.transport import FailureInjector, RpcTransport
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+from repro.telemetry.alerts import AlertSink
+
+
+class Dynamo:
+    """A complete Dynamo deployment over one datacenter."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: PowerTopology,
+        fleet: Fleet,
+        *,
+        config: DynamoConfig | None = None,
+        policy: PriorityPolicy | None = None,
+        rng_streams: RngStreams | None = None,
+        injector: FailureInjector | None = None,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.fleet = fleet
+        self.config = config or DynamoConfig()
+        self.policy = policy or PriorityPolicy()
+        self.alerts = AlertSink()
+        rng_streams = rng_streams or RngStreams(0)
+        self.transport = RpcTransport(
+            rng_streams.stream("rpc"), injector=injector
+        )
+        self.agents: dict[str, DynamoAgent] = {
+            server_id: DynamoAgent(server, self.transport, clock=engine.clock)
+            for server_id, server in fleet.servers.items()
+        }
+        self.hierarchy: ControllerHierarchy = build_controller_hierarchy(
+            topology,
+            self.transport,
+            config=self.config,
+            policy=self.policy,
+            alerts=self.alerts,
+        )
+        self.coordinator = ControllerCoordinator(engine, self.hierarchy)
+        self.watchdog = AgentWatchdog(
+            engine,
+            list(self.agents.values()),
+            interval_s=self.config.agent.watchdog_interval_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all controller cycles and the watchdog."""
+        self.coordinator.start()
+        self.watchdog.start(phase=self.config.agent.watchdog_interval_s)
+
+    def stop(self) -> None:
+        """Stop all periodic activity."""
+        self.coordinator.stop()
+        self.watchdog.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def controller(self, device_name: str):
+        """The controller protecting one device."""
+        return self.hierarchy.controller(device_name)
+
+    def set_band_config(self, device_name: str, band_config) -> None:
+        """Override one controller's three-band thresholds.
+
+        The paper: "we can configure the capping and uncapping
+        thresholds on a per-controller basis enabling customizable
+        trade-offs between power-efficiency and performance at
+        different levels of the power delivery hierarchy."  Capping
+        state carries over so a live controller does not lose track of
+        caps it has in force.
+        """
+        from repro.core.three_band import ThreeBandController
+
+        controller = self.hierarchy.controller(device_name)
+        was_active = controller.band.capping_active
+        controller.band = ThreeBandController(band_config)
+        if was_active:
+            controller.band._capping_active = True
+
+    def leaf_controller(self, device_name: str):
+        """The leaf controller for one leaf device."""
+        return self.hierarchy.leaf_controllers[device_name]
+
+    def controllers_by_suite(self) -> dict[int, list[str]]:
+        """Controller names grouped by suite (room).
+
+        In production all controllers for a suite consolidate into one
+        binary (~100 threads); this grouping is how a deployment would
+        shard the hierarchy across those binaries.  Devices without a
+        suite tag land in group -1.
+        """
+        groups: dict[int, list[str]] = {}
+        for controller in self.hierarchy.all_controllers:
+            suite = controller.device.suite
+            groups.setdefault(-1 if suite is None else suite, []).append(
+                controller.name
+            )
+        return {suite: sorted(names) for suite, names in groups.items()}
+
+    def capped_server_count(self) -> int:
+        """Servers currently under a RAPL cap, fleet-wide."""
+        return len(self.fleet.capped_servers())
+
+    def total_cap_events(self) -> int:
+        """Capping activations across all controllers."""
+        return sum(c.cap_events for c in self.hierarchy.all_controllers)
+
+    def total_uncap_events(self) -> int:
+        """Uncapping activations across all controllers."""
+        return sum(c.uncap_events for c in self.hierarchy.all_controllers)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dynamo(devices={self.topology.device_count}, "
+            f"servers={len(self.fleet.servers)}, "
+            f"controllers={self.hierarchy.controller_count})"
+        )

@@ -1,0 +1,125 @@
+"""Primary/backup controller redundancy (Section III-E, fault tolerance).
+
+"In case a controller crashes, we use a redundant backup controller that
+resides in a different location and can take control as soon as the
+primary controller fails."
+
+:class:`FailoverController` wraps two controller instances behind the
+uniform controller interface.  Ticks go to the primary while it is
+healthy; on primary failure the backup takes over on the very next tick.
+The backup re-derives capping state from its own observations — its first
+cycles may re-issue caps the primary already sent, which is idempotent at
+the agents.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.three_band import BandAction
+from repro.power.device import PowerDevice
+
+
+class TickableController(Protocol):
+    """The uniform controller surface failover wraps."""
+
+    @property
+    def name(self) -> str:
+        """Controller name."""
+        ...
+
+    @property
+    def device(self) -> PowerDevice:
+        """Protected device."""
+        ...
+
+    @property
+    def last_aggregate_power_w(self) -> float | None:
+        """Latest aggregation."""
+        ...
+
+    def tick(self, now_s: float) -> BandAction:
+        """Run one control cycle."""
+        ...
+
+    def set_contractual_limit_w(self, limit_w: float) -> None:
+        """Impose a contractual limit."""
+        ...
+
+    def clear_contractual_limit(self) -> None:
+        """Release the contractual limit."""
+        ...
+
+
+class FailoverController:
+    """Primary/backup pair presenting a single controller."""
+
+    def __init__(
+        self,
+        primary: TickableController,
+        backup: TickableController,
+    ) -> None:
+        self.primary = primary
+        self.backup = backup
+        self._primary_healthy = True
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection / recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def primary_healthy(self) -> bool:
+        """Whether the primary instance is serving."""
+        return self._primary_healthy
+
+    def fail_primary(self) -> None:
+        """Crash the primary; the backup takes over immediately."""
+        if self._primary_healthy:
+            self._primary_healthy = False
+            self.failovers += 1
+
+    def restore_primary(self) -> None:
+        """Bring the primary back; it resumes control."""
+        self._primary_healthy = True
+
+    @property
+    def active(self) -> TickableController:
+        """The instance currently in control."""
+        return self.primary if self._primary_healthy else self.backup
+
+    # ------------------------------------------------------------------
+    # Uniform controller interface
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Controller name (from the active instance)."""
+        return self.active.name
+
+    @property
+    def device(self) -> PowerDevice:
+        """Protected device."""
+        return self.active.device
+
+    @property
+    def last_aggregate_power_w(self) -> float | None:
+        """Latest aggregation from the active instance."""
+        return self.active.last_aggregate_power_w
+
+    def tick(self, now_s: float) -> BandAction:
+        """Delegate the cycle to whichever instance is in control."""
+        return self.active.tick(now_s)
+
+    def set_contractual_limit_w(self, limit_w: float) -> None:
+        """Propagate contractual limits to both instances.
+
+        Both see parent limits so a failover does not lose them.
+        """
+        self.primary.set_contractual_limit_w(limit_w)
+        self.backup.set_contractual_limit_w(limit_w)
+
+    def clear_contractual_limit(self) -> None:
+        """Clear contractual limits on both instances."""
+        self.primary.clear_contractual_limit()
+        self.backup.clear_contractual_limit()

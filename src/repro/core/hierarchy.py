@@ -1,0 +1,112 @@
+"""Build the controller hierarchy mirroring the power topology.
+
+For every power device that needs protection there is a matching
+controller instance (Section III-A).  The Facebook deployment configures
+RPPs (or PDU breakers) as the leaf controllers and skips rack-level
+monitoring (footnote 2), so rack-attached servers roll up to their RPP's
+controller; the hierarchy builder honours that via ``leaf_level``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DynamoConfig
+from repro.core.leaf_controller import LeafPowerController
+from repro.core.priority import PriorityPolicy
+from repro.core.upper_controller import UpperLevelPowerController
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.topology import PowerTopology
+from repro.rpc.transport import RpcTransport
+from repro.telemetry.alerts import AlertSink
+
+
+@dataclass
+class ControllerHierarchy:
+    """All controller instances for one datacenter, indexed by device."""
+
+    leaf_controllers: dict[str, LeafPowerController] = field(default_factory=dict)
+    upper_controllers: dict[str, UpperLevelPowerController] = field(
+        default_factory=dict
+    )
+
+    def controller(self, device_name: str):
+        """Controller (leaf or upper) protecting ``device_name``."""
+        if device_name in self.leaf_controllers:
+            return self.leaf_controllers[device_name]
+        if device_name in self.upper_controllers:
+            return self.upper_controllers[device_name]
+        raise ConfigurationError(f"no controller for device {device_name!r}")
+
+    @property
+    def all_controllers(self) -> list:
+        """Every controller, leaves first."""
+        return list(self.leaf_controllers.values()) + list(
+            self.upper_controllers.values()
+        )
+
+    @property
+    def controller_count(self) -> int:
+        """Total controller instances."""
+        return len(self.leaf_controllers) + len(self.upper_controllers)
+
+
+def build_controller_hierarchy(
+    topology: PowerTopology,
+    transport: RpcTransport,
+    *,
+    config: DynamoConfig | None = None,
+    policy: PriorityPolicy | None = None,
+    alerts: AlertSink | None = None,
+) -> ControllerHierarchy:
+    """Instantiate one controller per device, wired parent-to-children.
+
+    Devices at ``config.leaf_level`` get :class:`LeafPowerController`
+    instances (their subtree's servers become the controller's purview);
+    devices above it get :class:`UpperLevelPowerController` instances.
+    Devices *below* the leaf level get no controller — the paper's
+    skipped racks.
+    """
+    config = config or DynamoConfig()
+    policy = policy or PriorityPolicy()
+    alerts = alerts or AlertSink()
+    try:
+        leaf_level = DeviceLevel(config.leaf_level)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown leaf level {config.leaf_level!r}"
+        ) from None
+
+    hierarchy = ControllerHierarchy()
+
+    def build(device: PowerDevice):
+        if device.level.depth > leaf_level.depth:
+            return None
+        if device.level is leaf_level or not device.children:
+            server_ids = sorted(device.iter_load_ids())
+            controller = LeafPowerController(
+                device,
+                server_ids,
+                transport,
+                config=config.controller,
+                bucket=config.bucket,
+                policy=policy,
+                alerts=alerts,
+            )
+            hierarchy.leaf_controllers[device.name] = controller
+            return controller
+        children = [build(child) for child in device.children]
+        children = [c for c in children if c is not None]
+        controller = UpperLevelPowerController(
+            device,
+            children,
+            config=config.controller,
+            alerts=alerts,
+        )
+        hierarchy.upper_controllers[device.name] = controller
+        return controller
+
+    for root in topology.roots:
+        build(root)
+    return hierarchy

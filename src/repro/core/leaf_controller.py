@@ -1,0 +1,321 @@
+"""The leaf power controller (Section III-C).
+
+One per leaf power device (an RPP or PDU breaker in the Facebook
+deployment).  Every 3 s it:
+
+1. **Pulls and aggregates** — broadcasts power-pull RPCs to all downstream
+   agents.  Failed pulls are estimated from neighbouring servers running
+   the same service (falling back to the last known reading, then to
+   service metadata).  If more than 20% of pulls fail, the aggregation is
+   invalid: the controller raises a human-intervention alert and takes no
+   action this cycle (no false positives).
+2. **Decides** — runs the three-band algorithm against the device's
+   effective limit: the minimum of the physical breaker limit and any
+   contractual limit imposed by its parent controller.
+3. **Caps performance-aware** — distributes the total-power-cut across
+   priority groups (lowest first) and within groups high-bucket-first,
+   then sends per-server cap requests.  Uncap sends clear-limit requests
+   to every server it capped.
+
+Non-server loads on the same breaker (top-of-rack switches) are accounted
+through the device's ``fixed_overhead_w`` — pulled directly when a reading
+exists, estimated otherwise, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import BucketConfig, ControllerConfig
+from repro.core.capping_plan import CappingPlan, build_capping_plan
+from repro.core.messages import CapRequest, CapResponse, PowerReading
+from repro.core.priority import PriorityPolicy
+from repro.core.three_band import BandAction, ThreeBandController
+from repro.core.thresholds import control_thresholds_w
+from repro.errors import RpcError
+from repro.power.device import PowerDevice
+from repro.rpc.transport import RpcTransport
+from repro.telemetry.alerts import AlertSink, Severity
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class NonServerComponent:
+    """A non-server load sharing the breaker (e.g. a ToR switch).
+
+    The controller pulls power directly from the component when a
+    ``source`` is available and falls back to ``estimate_w`` when not —
+    exactly the paper's rule for non-server components.  Components are
+    monitored, never capped.
+    """
+
+    name: str
+    source: Callable[[], float] | None = None
+    estimate_w: float = 0.0
+
+    def power_w(self) -> float:
+        """Current reading, or the static estimate."""
+        if self.source is not None:
+            return self.source()
+        return self.estimate_w
+
+
+class LeafPowerController:
+    """Monitors and protects one leaf power device."""
+
+    def __init__(
+        self,
+        device: PowerDevice,
+        server_ids: list[str],
+        transport: RpcTransport,
+        *,
+        config: ControllerConfig | None = None,
+        bucket: BucketConfig | None = None,
+        policy: PriorityPolicy | None = None,
+        alerts: AlertSink | None = None,
+        endpoint_prefix: str = "agent:",
+        band=None,
+    ) -> None:
+        self.device = device
+        self.server_ids = list(server_ids)
+        self._transport = transport
+        self.config = config or ControllerConfig()
+        self._bucket = bucket or BucketConfig()
+        self.policy = policy or PriorityPolicy()
+        self.alerts = alerts or AlertSink()
+        self._endpoint_prefix = endpoint_prefix
+        # The decision policy is pluggable: the paper's three-band
+        # algorithm by default, or e.g. the PI policy for studies.
+        self.band = band or ThreeBandController(self.config.three_band)
+        self._contractual_limit_w: float | None = None
+        self._last_aggregate_w: float | None = None
+        self._last_readings: dict[str, PowerReading] = {}
+        self._capped_servers: dict[str, float] = {}
+        self._components: list[NonServerComponent] = []
+        # Telemetry for experiments.
+        self.aggregate_series = TimeSeries(f"{device.name}.aggregate")
+        self.capped_count_series = TimeSeries(f"{device.name}.capped")
+        self.cap_events = 0
+        self.uncap_events = 0
+        self.invalid_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Parent-controller interface
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Controller name (the protected device's name)."""
+        return self.device.name
+
+    @property
+    def last_aggregate_power_w(self) -> float | None:
+        """Most recent valid power aggregation, or None before the first."""
+        return self._last_aggregate_w
+
+    @property
+    def contractual_limit_w(self) -> float | None:
+        """Limit imposed by the parent controller, if any."""
+        return self._contractual_limit_w
+
+    def set_contractual_limit_w(self, limit_w: float) -> None:
+        """Parent imposes a (tighter) limit on this subtree."""
+        self._contractual_limit_w = float(limit_w)
+
+    def clear_contractual_limit(self) -> None:
+        """Parent releases its contractual limit."""
+        self._contractual_limit_w = None
+
+    @property
+    def effective_limit_w(self) -> float:
+        """min(physical breaker limit, contractual limit)."""
+        if self._contractual_limit_w is None:
+            return self.device.rated_power_w
+        return min(self.device.rated_power_w, self._contractual_limit_w)
+
+    @property
+    def capped_server_ids(self) -> list[str]:
+        """Servers currently holding a cap from this controller."""
+        return list(self._capped_servers)
+
+    def add_component(self, component: NonServerComponent) -> None:
+        """Register a monitored non-server load on this breaker."""
+        self._components.append(component)
+
+    @property
+    def components(self) -> list[NonServerComponent]:
+        """Monitored non-server components."""
+        return list(self._components)
+
+    # ------------------------------------------------------------------
+    # Control cycle
+    # ------------------------------------------------------------------
+
+    def tick(self, now_s: float) -> BandAction:
+        """One 3 s control cycle; returns the action taken."""
+        readings = self._pull_and_estimate(now_s)
+        if readings is None:
+            self.invalid_cycles += 1
+            return BandAction.HOLD
+        aggregate = sum(r.power_w for r in readings) + self.device.fixed_overhead_w
+        aggregate += sum(c.power_w() for c in self._components)
+        self._last_aggregate_w = aggregate
+        self.aggregate_series.append(now_s, aggregate)
+        cap_at, target, uncap_at, limit = control_thresholds_w(
+            self.band.config, self.device.rated_power_w, self._contractual_limit_w
+        )
+        decision = self.band.decide_absolute(
+            aggregate, limit, cap_at, target, uncap_at
+        )
+        if decision.action is BandAction.CAP:
+            plan = build_capping_plan(
+                readings,
+                decision.total_power_cut_w,
+                self.policy,
+                bucket=self._bucket,
+            )
+            self._apply_plan(plan, now_s)
+            self.cap_events += 1
+        elif decision.action is BandAction.UNCAP:
+            self._uncap_all(now_s)
+            self.uncap_events += 1
+        self.capped_count_series.append(now_s, len(self._capped_servers))
+        return decision.action
+
+    # ------------------------------------------------------------------
+    # Power pulling with failure estimation
+    # ------------------------------------------------------------------
+
+    def _pull_and_estimate(self, now_s: float) -> list[PowerReading] | None:
+        endpoints = [self._endpoint_prefix + s for s in self.server_ids]
+        results, failures = self._transport.broadcast(
+            endpoints, "read_power", None
+        )
+        if self.server_ids and (
+            len(failures) / len(self.server_ids)
+            > self.config.max_reading_failure_fraction
+        ):
+            self.alerts.raise_alert(
+                now_s,
+                Severity.CRITICAL,
+                self.name,
+                f"power aggregation invalid: {len(failures)}/"
+                f"{len(self.server_ids)} pulls failed; human intervention "
+                "required",
+            )
+            return None
+        readings: list[PowerReading] = []
+        by_service_power: dict[str, list[float]] = defaultdict(list)
+        for endpoint, reading in results.items():
+            readings.append(reading)
+            self._last_readings[reading.server_id] = reading
+            by_service_power[reading.service].append(reading.power_w)
+        for endpoint in failures:
+            server_id = endpoint[len(self._endpoint_prefix):]
+            readings.append(
+                self._estimate_failed_reading(server_id, by_service_power, now_s)
+            )
+        return readings
+
+    def _estimate_failed_reading(
+        self,
+        server_id: str,
+        by_service_power: dict[str, list[float]],
+        now_s: float,
+    ) -> PowerReading:
+        last = self._last_readings.get(server_id)
+        service = last.service if last is not None else "unknown"
+        neighbours = by_service_power.get(service, [])
+        if neighbours:
+            # Estimate from neighbouring servers running similar
+            # workloads, the paper's primary fallback.
+            power = sum(neighbours) / len(neighbours)
+        elif last is not None:
+            power = last.power_w
+        else:
+            # No metadata at all: a conservative generic server draw.
+            power = 200.0
+        return PowerReading(
+            server_id=server_id,
+            power_w=power,
+            estimated=True,
+            service=service,
+            time_s=now_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Cap / uncap fan-out
+    # ------------------------------------------------------------------
+
+    def _apply_plan(self, plan: CappingPlan, now_s: float) -> None:
+        if plan.unallocated_w > 1e-6:
+            self.alerts.raise_alert(
+                now_s,
+                Severity.WARNING,
+                self.name,
+                f"{plan.unallocated_w:.0f} W of required cut could not be "
+                "allocated: all servers at SLA floors",
+            )
+        for cut in plan.affected_servers:
+            endpoint = self._endpoint_prefix + cut.server_id
+            request = CapRequest(server_id=cut.server_id, limit_w=cut.cap_w)
+            try:
+                response: CapResponse = self._transport.call(
+                    endpoint, "set_cap", request
+                )
+            except RpcError:
+                # The server will be re-capped next cycle if still needed;
+                # its power remains in the aggregate so safety converges.
+                continue
+            if response.success or response.message:
+                self._capped_servers[cut.server_id] = cut.cap_w
+
+    def _uncap_all(self, now_s: float) -> None:
+        still_capped: dict[str, float] = {}
+        for server_id in self._capped_servers:
+            endpoint = self._endpoint_prefix + server_id
+            request = CapRequest(server_id=server_id, limit_w=None)
+            try:
+                self._transport.call(endpoint, "set_cap", request)
+            except RpcError:
+                still_capped[server_id] = self._capped_servers[server_id]
+        self._capped_servers = still_capped
+
+    # ------------------------------------------------------------------
+    # Validation against breaker readings
+    # ------------------------------------------------------------------
+
+    def validate_against_breaker(
+        self, breaker_reading_w: float, *, tolerance_fraction: float = 0.10
+    ) -> bool:
+        """Compare the aggregate with a (coarse) breaker-side reading.
+
+        The paper uses breaker readings only to validate the server-side
+        aggregation (their sampling is minute-grained, far too slow for
+        control).  Returns True when the two agree within tolerance;
+        raises a WARNING alert otherwise.
+        """
+        if self._last_aggregate_w is None:
+            return True
+        if breaker_reading_w <= 0.0:
+            return True
+        drift = abs(self._last_aggregate_w - breaker_reading_w)
+        if drift / breaker_reading_w <= tolerance_fraction:
+            return True
+        self.alerts.raise_alert(
+            self.aggregate_series.latest()[0] if len(self.aggregate_series) else 0.0,
+            Severity.WARNING,
+            self.name,
+            f"aggregate {self._last_aggregate_w:.0f} W drifts "
+            f"{100 * drift / breaker_reading_w:.1f}% from breaker reading "
+            f"{breaker_reading_w:.0f} W",
+        )
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"LeafPowerController({self.name!r}, servers={len(self.server_ids)}, "
+            f"capped={len(self._capped_servers)})"
+        )

@@ -1,0 +1,123 @@
+"""Punish-offender-first coordination (Section III-D).
+
+When an upper-level controller must shed power, it inspects its children
+and punishes the *offenders* first: children whose current power exceeds
+their quota (planned peak).  The needed cut is distributed among offenders
+high-bucket-first on their usage, never forcing an offender below its own
+quota.  Only if the offenders' combined overage cannot absorb the whole
+cut does the remainder spill to all children (the oversubscribed case
+where everyone is within quota but the sums still exceed the parent's
+limit).
+
+The paper's worked example: P1 (limit 300 KW) with children C1 and C2
+(quota 150 KW each); C1 draws 190 KW and C2 130 KW, so P1 sees 320 KW.
+C1 is the sole offender and takes the whole 20 KW cut via a contractual
+limit of 170 KW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bucket import AllocationInput, allocate_high_bucket_first
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChildState:
+    """A child controller's state as seen by its parent."""
+
+    name: str
+    power_w: float
+    quota_w: float
+
+    @property
+    def overage_w(self) -> float:
+        """Power above quota (0 when within quota)."""
+        return max(0.0, self.power_w - self.quota_w)
+
+    @property
+    def is_offender(self) -> bool:
+        """Whether this child exceeds its planned peak."""
+        return self.power_w > self.quota_w
+
+
+@dataclass(frozen=True)
+class OffenderDecision:
+    """Per-child power cuts from one coordination round."""
+
+    cuts_w: dict[str, float]
+    unallocated_w: float
+
+    def contractual_limit_w(self, child: ChildState) -> float | None:
+        """The contractual limit to send, or None if the child is uncut."""
+        cut = self.cuts_w.get(child.name, 0.0)
+        if cut <= 1e-9:
+            return None
+        return child.power_w - cut
+
+
+def punish_offender_first(
+    children: list[ChildState],
+    needed_cut_w: float,
+    *,
+    bucket_width_fraction: float = 0.02,
+) -> OffenderDecision:
+    """Distribute ``needed_cut_w`` across children, offenders first.
+
+    The high-bucket-first bucket width scales with the fleet: 2% of the
+    largest child's power by default, so the allocator behaves the same
+    at 300 KW SBs and 1.25 MW MSBs.
+
+    Returns per-child cuts; ``unallocated_w`` is nonzero only if the cut
+    exceeds everything all children draw.
+    """
+    if needed_cut_w < 0:
+        raise ConfigurationError("needed cut cannot be negative")
+    cuts: dict[str, float] = {c.name: 0.0 for c in children}
+    if needed_cut_w == 0.0 or not children:
+        return OffenderDecision(cuts_w=cuts, unallocated_w=needed_cut_w)
+
+    bucket_width = max(
+        1.0, bucket_width_fraction * max(c.power_w for c in children)
+    )
+
+    # Stage 1: offenders, cut no further than their quota.
+    offenders = [c for c in children if c.is_offender]
+    remaining = needed_cut_w
+    if offenders:
+        result = allocate_high_bucket_first(
+            [
+                AllocationInput(
+                    server_id=c.name, power_w=c.power_w, min_cap_w=c.quota_w
+                )
+                for c in offenders
+            ],
+            remaining,
+            bucket_width_w=bucket_width,
+        )
+        for name, cut in result.cuts_w.items():
+            cuts[name] += cut
+        remaining = result.unallocated_w
+
+    # Stage 2: every child, down to zero if safety demands it.  This is
+    # the oversubscription spillover: all children within quota, yet the
+    # parent device is still over its limit.
+    if remaining > 1e-9:
+        result = allocate_high_bucket_first(
+            [
+                AllocationInput(
+                    server_id=c.name,
+                    power_w=c.power_w - cuts[c.name],
+                    min_cap_w=0.0,
+                )
+                for c in children
+            ],
+            remaining,
+            bucket_width_w=bucket_width,
+        )
+        for name, cut in result.cuts_w.items():
+            cuts[name] += cut
+        remaining = result.unallocated_w
+
+    return OffenderDecision(cuts_w=cuts, unallocated_w=max(0.0, remaining))

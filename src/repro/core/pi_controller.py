@@ -1,0 +1,114 @@
+"""A proportional-integral capping decision policy (future-work study).
+
+The paper deliberately shipped the simple three-band algorithm
+("Algorithm selection", Section III-E) and notes that more complex
+power capping algorithms are future work.  This module implements the
+obvious candidate — a PI controller on the power error — behind the
+same decision interface as :class:`~repro.core.three_band.ThreeBandController`,
+so either policy can drive a leaf or upper controller.  The ablation
+bench compares them on settling behaviour and overshoot.
+"""
+
+from __future__ import annotations
+
+from repro.config import ThreeBandConfig
+from repro.core.three_band import BandAction, BandDecision
+from repro.errors import ConfigurationError
+
+
+class PiPowerController:
+    """PI control on (aggregate - target), gated by the outer bands.
+
+    The capping threshold still gates when control engages (safety
+    semantics identical to three-band); once engaged, the *size* of the
+    power cut is the PI output rather than the fixed
+    ``aggregate - target`` step, letting the controller converge with
+    less overshoot under noisy aggregates.  Uncapping uses the same
+    bottom band.
+    """
+
+    def __init__(
+        self,
+        config: ThreeBandConfig | None = None,
+        *,
+        kp: float = 0.8,
+        ki: float = 0.3,
+        integral_limit_fraction: float = 0.10,
+    ) -> None:
+        if kp <= 0 or ki < 0:
+            raise ConfigurationError("kp must be positive and ki non-negative")
+        self.config = config or ThreeBandConfig()
+        self.kp = kp
+        self.ki = ki
+        self._integral_limit_fraction = integral_limit_fraction
+        self._integral_w = 0.0
+        self._capping_active = False
+
+    @property
+    def capping_active(self) -> bool:
+        """Whether caps from this controller are in force."""
+        return self._capping_active
+
+    def thresholds_w(self, limit_w: float) -> tuple[float, float, float]:
+        """Same band thresholds as the three-band controller."""
+        if limit_w <= 0:
+            raise ConfigurationError("device limit must be positive")
+        return (
+            limit_w * self.config.capping_threshold,
+            limit_w * self.config.capping_target,
+            limit_w * self.config.uncapping_threshold,
+        )
+
+    def decide(self, aggregated_power_w: float, limit_w: float) -> BandDecision:
+        """One control-cycle decision."""
+        cap_at, target, uncap_at = self.thresholds_w(limit_w)
+        return self.decide_absolute(
+            aggregated_power_w, limit_w, cap_at, target, uncap_at
+        )
+
+    def decide_absolute(
+        self,
+        aggregated_power_w: float,
+        limit_w: float,
+        cap_at: float,
+        target: float,
+        uncap_at: float,
+    ) -> BandDecision:
+        """Decision against explicitly supplied band thresholds."""
+        error_w = aggregated_power_w - target
+        if aggregated_power_w > cap_at or (
+            self._capping_active and error_w > 0.0
+        ):
+            self._capping_active = True
+            self._integral_w += error_w
+            bound = self._integral_limit_fraction * limit_w / max(self.ki, 1e-9)
+            self._integral_w = min(bound, max(-bound, self._integral_w))
+            cut = self.kp * error_w + self.ki * self._integral_w
+            cut = max(0.0, cut)
+            return BandDecision(
+                action=BandAction.CAP if cut > 0.0 else BandAction.HOLD,
+                total_power_cut_w=cut,
+                limit_w=limit_w,
+                aggregated_power_w=aggregated_power_w,
+            )
+        if self._capping_active and aggregated_power_w < uncap_at:
+            self.reset()
+            return BandDecision(
+                action=BandAction.UNCAP,
+                total_power_cut_w=0.0,
+                limit_w=limit_w,
+                aggregated_power_w=aggregated_power_w,
+            )
+        if not self._capping_active:
+            self._integral_w = 0.0
+        return BandDecision(
+            action=BandAction.HOLD,
+            total_power_cut_w=0.0,
+            limit_w=limit_w,
+            aggregated_power_w=aggregated_power_w,
+        )
+
+    def reset(self) -> None:
+        """Forget state (controller restart / uncap)."""
+        self._integral_w = 0.0
+        self._capping_active = False

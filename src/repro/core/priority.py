@@ -1,0 +1,90 @@
+"""Service priority groups and SLA power floors (Section III-C3).
+
+Services are categorized into predefined priority groups; when a leaf
+controller must shed power it drains the *lowest* priority group first,
+moving upward only if lower groups cannot absorb the whole cut.  Each
+group's SLA sets the lowest allowable per-server power cap, so even the
+lowest-priority servers are never pushed below a usable floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.registry import SERVICE_SPECS, ServiceSpec
+
+
+@dataclass(frozen=True)
+class PriorityAssignment:
+    """Resolved priority data for one server."""
+
+    server_id: str
+    service: str
+    priority_group: int
+    sla_min_cap_w: float
+
+
+class PriorityPolicy:
+    """Maps services to priority groups and SLA floors.
+
+    Defaults come from the shared service registry; deployments can
+    override or register extra services (the paper's operators tune
+    priorities per cluster).
+    """
+
+    def __init__(
+        self, specs: dict[str, ServiceSpec] | None = None
+    ) -> None:
+        self._specs: dict[str, ServiceSpec] = dict(
+            specs if specs is not None else SERVICE_SPECS
+        )
+
+    def register(self, spec: ServiceSpec) -> None:
+        """Add or replace a service spec."""
+        self._specs[spec.name] = spec
+
+    def spec(self, service: str) -> ServiceSpec:
+        """Spec for a service.
+
+        Unknown services get a conservative default: priority 1 with a
+        150 W floor — treating surprise services as cappable but not
+        freely so, and logging is the deployment's job.
+        """
+        if service in self._specs:
+            return self._specs[service]
+        return ServiceSpec(service, priority_group=1, sla_min_cap_w=150.0)
+
+    def priority_group(self, service: str) -> int:
+        """Priority group index (lower = capped first)."""
+        return self.spec(service).priority_group
+
+    def sla_min_cap_w(self, service: str) -> float:
+        """Lowest allowable power cap for servers of this service."""
+        return self.spec(service).sla_min_cap_w
+
+    def groups_ascending(self, services: list[str]) -> list[int]:
+        """Distinct priority groups present, lowest (cap-first) first."""
+        return sorted({self.priority_group(s) for s in services})
+
+    def assign(self, server_id: str, service: str) -> PriorityAssignment:
+        """Resolve one server's priority data."""
+        spec = self.spec(service)
+        return PriorityAssignment(
+            server_id=server_id,
+            service=service,
+            priority_group=spec.priority_group,
+            sla_min_cap_w=spec.sla_min_cap_w,
+        )
+
+    def validate(self) -> None:
+        """Sanity-check registered specs."""
+        for spec in self._specs.values():
+            if spec.sla_min_cap_w < 0:
+                raise ConfigurationError(
+                    f"service {spec.name!r} has negative SLA floor"
+                )
+            if spec.priority_group < 0:
+                raise ConfigurationError(
+                    f"service {spec.name!r} has negative priority group"
+                )

@@ -1,0 +1,145 @@
+"""Fully distributed controller communication (Section III-A).
+
+"In theory, the controllers can be fully distributed with each
+controller instance being an independent binary and communication
+between instances occurring via Thrift.  However, since most
+controllers are relatively lightweight, it is also possible to
+consolidate them..."
+
+The default deployment here is the consolidated one (direct references,
+the shared-memory analogue).  This module provides the distributed
+alternative:
+
+* :class:`ControllerEndpoint` exposes any controller over the RPC
+  fabric (``ctrl:<name>``) with ``get_aggregate`` /
+  ``set_contractual`` / ``clear_contractual`` methods;
+* :class:`RemoteChildController` is the parent-side proxy implementing
+  the child-controller protocol over RPC, tolerating failures the way
+  an upper controller expects (an unreachable child simply has no
+  aggregation this cycle).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RpcError
+from repro.power.device import PowerDevice
+from repro.rpc.service import RpcService
+from repro.rpc.transport import RpcTransport
+
+
+def controller_endpoint(controller_name: str) -> str:
+    """Transport endpoint name for a controller."""
+    return f"ctrl:{controller_name}"
+
+
+class ControllerEndpoint:
+    """Serves a controller's parent-facing interface over RPC."""
+
+    def __init__(self, controller, transport: RpcTransport) -> None:
+        self.controller = controller
+        self._service = RpcService(
+            transport, controller_endpoint(controller.name)
+        )
+        self._service.method("get_aggregate", self._get_aggregate)
+        self._service.method("get_quota", self._get_quota)
+        self._service.method("set_contractual", self._set_contractual)
+        self._service.method("clear_contractual", self._clear_contractual)
+
+    def _get_aggregate(self, _payload) -> float | None:
+        return self.controller.last_aggregate_power_w
+
+    def _get_quota(self, _payload) -> float:
+        return self.controller.device.power_quota_w
+
+    def _set_contractual(self, limit_w: float) -> bool:
+        self.controller.set_contractual_limit_w(limit_w)
+        return True
+
+    def _clear_contractual(self, _payload) -> bool:
+        self.controller.clear_contractual_limit()
+        return True
+
+    def shutdown(self) -> None:
+        """Deregister from the transport."""
+        self._service.shutdown()
+
+
+class RemoteChildController:
+    """Parent-side RPC proxy satisfying the ChildController protocol.
+
+    RPC failures degrade gracefully: a failed ``get_aggregate`` shows
+    the child as having no aggregation (the parent's missing-children
+    logic then applies), and failed contractual pushes are retried by
+    the parent's next cycle by construction (it re-sends limits while
+    capping is active).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        device: PowerDevice,
+        transport: RpcTransport,
+    ) -> None:
+        self._name = name
+        self._device = device
+        self._transport = transport
+        self.rpc_failures = 0
+
+    @property
+    def name(self) -> str:
+        """Controller name."""
+        return self._name
+
+    @property
+    def device(self) -> PowerDevice:
+        """The protected device (for quota lookup)."""
+        return self._device
+
+    @property
+    def last_aggregate_power_w(self) -> float | None:
+        """Pull the child's aggregation over RPC; None on failure."""
+        try:
+            return self._transport.call(
+                controller_endpoint(self._name), "get_aggregate"
+            )
+        except RpcError:
+            self.rpc_failures += 1
+            return None
+
+    def set_contractual_limit_w(self, limit_w: float) -> None:
+        """Push a contractual limit; failures counted, not raised."""
+        try:
+            self._transport.call(
+                controller_endpoint(self._name), "set_contractual", limit_w
+            )
+        except RpcError:
+            self.rpc_failures += 1
+
+    def clear_contractual_limit(self) -> None:
+        """Release the contractual limit; failures counted, not raised."""
+        try:
+            self._transport.call(
+                controller_endpoint(self._name), "clear_contractual"
+            )
+        except RpcError:
+            self.rpc_failures += 1
+
+
+def distribute_hierarchy(hierarchy, transport: RpcTransport) -> list[ControllerEndpoint]:
+    """Expose every controller in a hierarchy over RPC and rewire parents.
+
+    After this call, each upper controller reaches its children through
+    :class:`RemoteChildController` proxies instead of direct references
+    — the fully distributed deployment.  Returns the endpoints (hold on
+    to them; shutting one down simulates a controller binary dying).
+    """
+    endpoints = [
+        ControllerEndpoint(controller, transport)
+        for controller in hierarchy.all_controllers
+    ]
+    for upper in hierarchy.upper_controllers.values():
+        upper.children = [
+            RemoteChildController(child.name, child.device, transport)
+            for child in upper.children
+        ]
+    return endpoints

@@ -1,0 +1,143 @@
+"""Four-phase staged rollout of new agent/controller logic (Section VI).
+
+"We use a four-phase staged roll-out for new changes to the agent or
+control logic, so any serious issues will be captured in early phases
+before going wide."
+
+:class:`StagedRollout` models that process: a change is deployed to
+increasing fractions of the fleet, with a health gate between phases.
+If the gate fails, the rollout halts and already-updated agents are
+rolled back.  Dynamo itself keeps running throughout — the point of the
+process is that a bad change never reaches the whole fleet at once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.agent import DynamoAgent
+from repro.errors import ConfigurationError
+
+
+class RolloutState(enum.Enum):
+    """Lifecycle of a staged rollout."""
+
+    PENDING = "pending"
+    IN_PROGRESS = "in_progress"
+    COMPLETE = "complete"
+    ROLLED_BACK = "rolled_back"
+
+
+#: Fleet fraction deployed at the end of each phase.
+DEFAULT_PHASES = (0.01, 0.10, 0.50, 1.0)
+
+#: A health gate inspects the deployed agents and returns True when the
+#: phase looks healthy enough to proceed.
+HealthGate = Callable[[list[DynamoAgent]], bool]
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of one rollout phase."""
+
+    phase_index: int
+    fleet_fraction: float
+    agents_deployed: int
+    healthy: bool
+
+
+class StagedRollout:
+    """Deploys a change across agents in gated phases.
+
+    The *change* is a callable applied to each agent (e.g. swapping its
+    version tag, flipping a feature flag); the *rollback* undoes it.
+    Phases deploy to cumulative fleet fractions; after each phase the
+    health gate runs over every agent deployed so far.
+    """
+
+    def __init__(
+        self,
+        agents: list[DynamoAgent],
+        apply_change: Callable[[DynamoAgent], None],
+        rollback_change: Callable[[DynamoAgent], None],
+        health_gate: HealthGate,
+        *,
+        phases: tuple[float, ...] = DEFAULT_PHASES,
+    ) -> None:
+        if not agents:
+            raise ConfigurationError("rollout needs at least one agent")
+        if not phases or list(phases) != sorted(phases) or phases[-1] != 1.0:
+            raise ConfigurationError(
+                "phases must be ascending fractions ending at 1.0"
+            )
+        if any(not 0.0 < p <= 1.0 for p in phases):
+            raise ConfigurationError("phase fractions must be in (0, 1]")
+        self._agents = list(agents)
+        self._apply = apply_change
+        self._rollback = rollback_change
+        self._gate = health_gate
+        self._phases = phases
+        self._deployed: list[DynamoAgent] = []
+        self.state = RolloutState.PENDING
+        self.results: list[PhaseResult] = []
+
+    @property
+    def deployed_count(self) -> int:
+        """Agents currently running the new change."""
+        return len(self._deployed)
+
+    @property
+    def deployed_fraction(self) -> float:
+        """Fraction of the fleet currently on the new change."""
+        return len(self._deployed) / len(self._agents)
+
+    def run_phase(self) -> PhaseResult:
+        """Deploy the next phase and evaluate its health gate.
+
+        Returns the phase result; on gate failure the whole rollout is
+        rolled back and the state becomes ROLLED_BACK.
+
+        Raises:
+            ConfigurationError: if the rollout already finished.
+        """
+        if self.state in (RolloutState.COMPLETE, RolloutState.ROLLED_BACK):
+            raise ConfigurationError(f"rollout already {self.state.value}")
+        self.state = RolloutState.IN_PROGRESS
+        phase_index = len(self.results)
+        target_fraction = self._phases[phase_index]
+        target_count = max(1, round(target_fraction * len(self._agents)))
+        while len(self._deployed) < target_count:
+            agent = self._agents[len(self._deployed)]
+            self._apply(agent)
+            self._deployed.append(agent)
+        healthy = bool(self._gate(list(self._deployed)))
+        result = PhaseResult(
+            phase_index=phase_index,
+            fleet_fraction=target_fraction,
+            agents_deployed=len(self._deployed),
+            healthy=healthy,
+        )
+        self.results.append(result)
+        if not healthy:
+            self.abort()
+        elif phase_index == len(self._phases) - 1:
+            self.state = RolloutState.COMPLETE
+        return result
+
+    def run_all(self) -> RolloutState:
+        """Run phases until completion or rollback."""
+        while self.state not in (
+            RolloutState.COMPLETE,
+            RolloutState.ROLLED_BACK,
+        ):
+            self.run_phase()
+        return self.state
+
+    def abort(self) -> None:
+        """Roll the change back everywhere it was deployed."""
+        for agent in self._deployed:
+            self._rollback(agent)
+        self._deployed.clear()
+        self.state = RolloutState.ROLLED_BACK

@@ -1,0 +1,120 @@
+"""The three-band power capping/uncapping algorithm (Figure 10).
+
+Three thresholds partition the power axis under a device's limit:
+
+* **capping threshold** (top band, ~99% of the breaker limit): when
+  aggregated power exceeds it, cap down to the capping target.
+* **capping target** (middle band, ~95% of the limit, "conservatively
+  chosen to be 5% below the breaker limit for safety").
+* **uncapping threshold** (bottom band): uncapping triggers only when
+  power falls below it, eliminating cap/uncap oscillation.
+
+The paper chose this deliberately simple hysteresis controller over
+fancier alternatives because reliability at scale beats optimality
+(Section VI, "Keep the design simple").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import ThreeBandConfig
+from repro.errors import ConfigurationError
+
+
+class BandAction(enum.Enum):
+    """Decision of one control cycle."""
+
+    CAP = "cap"
+    UNCAP = "uncap"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class BandDecision:
+    """The action plus the power cut it implies (0 unless capping)."""
+
+    action: BandAction
+    total_power_cut_w: float
+    limit_w: float
+    aggregated_power_w: float
+
+
+class ThreeBandController:
+    """Stateful three-band decision logic for one power device.
+
+    The state is whether any capping from this controller is currently in
+    force: uncapping is only meaningful while capped, and the HOLD band
+    between uncapping threshold and capping threshold preserves whatever
+    state the controller is in (the hysteresis).
+    """
+
+    def __init__(self, config: ThreeBandConfig | None = None) -> None:
+        self.config = config or ThreeBandConfig()
+        self._capping_active = False
+
+    @property
+    def capping_active(self) -> bool:
+        """Whether this controller currently has caps in force."""
+        return self._capping_active
+
+    def thresholds_w(self, limit_w: float) -> tuple[float, float, float]:
+        """(capping threshold, capping target, uncapping threshold) in W."""
+        if limit_w <= 0:
+            raise ConfigurationError("device limit must be positive")
+        return (
+            limit_w * self.config.capping_threshold,
+            limit_w * self.config.capping_target,
+            limit_w * self.config.uncapping_threshold,
+        )
+
+    def decide(self, aggregated_power_w: float, limit_w: float) -> BandDecision:
+        """One control-cycle decision for the given aggregate and limit."""
+        cap_at, target, uncap_at = self.thresholds_w(limit_w)
+        return self.decide_absolute(
+            aggregated_power_w, limit_w, cap_at, target, uncap_at
+        )
+
+    def decide_absolute(
+        self,
+        aggregated_power_w: float,
+        limit_w: float,
+        cap_at: float,
+        target: float,
+        uncap_at: float,
+    ) -> BandDecision:
+        """Decision against explicitly supplied band thresholds.
+
+        Controllers under a *contractual* limit use this: the parent
+        already embedded its safety margin when computing the limit, so
+        the child targets the contractual value itself rather than
+        discounting it again (compounded 0.95 x 0.95 margins would land
+        the subtree below the parent's uncapping threshold and flap).
+        """
+        if aggregated_power_w > cap_at:
+            self._capping_active = True
+            return BandDecision(
+                action=BandAction.CAP,
+                total_power_cut_w=aggregated_power_w - target,
+                limit_w=limit_w,
+                aggregated_power_w=aggregated_power_w,
+            )
+        if self._capping_active and aggregated_power_w < uncap_at:
+            self._capping_active = False
+            return BandDecision(
+                action=BandAction.UNCAP,
+                total_power_cut_w=0.0,
+                limit_w=limit_w,
+                aggregated_power_w=aggregated_power_w,
+            )
+        return BandDecision(
+            action=BandAction.HOLD,
+            total_power_cut_w=0.0,
+            limit_w=limit_w,
+            aggregated_power_w=aggregated_power_w,
+        )
+
+    def reset(self) -> None:
+        """Forget capping state (controller restart)."""
+        self._capping_active = False

@@ -1,0 +1,58 @@
+"""Control thresholds under physical vs contractual limits.
+
+A controller protecting a device against its *physical* breaker limit
+uses the standard three bands (99% / 95% / 90% of the limit).  When a
+parent imposes a tighter *contractual* limit, the parent has already
+applied its own safety discount — the paper's Section III-D example
+expects the child to satisfy ``power <= contractual`` (170 KW), not 95%
+of it.  Discounting again compounds margins (0.95 x 0.95 = 0.9025) and
+parks the subtree right below the parent's uncapping threshold,
+producing cap/uncap flapping.
+
+:func:`control_thresholds_w` therefore switches threshold scales by
+which limit binds:
+
+* physical binding — configured fractions of the physical limit;
+* contractual binding — act at 99.5% of the contractual limit, target
+  98% of it, release at 92% of it.
+"""
+
+from __future__ import annotations
+
+from repro.config import ThreeBandConfig
+
+#: Threshold fractions applied to a binding contractual limit.
+#:
+#: Flap-freedom condition: a parent/child pair is oscillation-free when
+#: ``uncapping_threshold < CONTRACTUAL_TARGET * capping_target`` for the
+#: parent's config — the child then settles above the parent's release
+#: band.  The paper defaults satisfy it with margin
+#: (0.90 < 0.98 * 0.95 = 0.931).
+CONTRACTUAL_CAP_AT = 0.995
+CONTRACTUAL_TARGET = 0.98
+CONTRACTUAL_UNCAP = 0.92
+
+
+def control_thresholds_w(
+    config: ThreeBandConfig,
+    physical_limit_w: float,
+    contractual_limit_w: float | None,
+) -> tuple[float, float, float, float]:
+    """(cap_at, target, uncap_at, effective_limit) in watts."""
+    physical_cap_at = physical_limit_w * config.capping_threshold
+    if (
+        contractual_limit_w is None
+        or contractual_limit_w >= physical_cap_at
+    ):
+        return (
+            physical_cap_at,
+            physical_limit_w * config.capping_target,
+            physical_limit_w * config.uncapping_threshold,
+            physical_limit_w,
+        )
+    return (
+        contractual_limit_w * CONTRACTUAL_CAP_AT,
+        contractual_limit_w * CONTRACTUAL_TARGET,
+        contractual_limit_w * CONTRACTUAL_UNCAP,
+        min(physical_limit_w, contractual_limit_w),
+    )

@@ -1,0 +1,220 @@
+"""Upper-level power controllers (Section III-D).
+
+One per non-leaf power device (SB, MSB).  An upper-level controller pulls
+aggregated power from its *child controllers* — not from servers — on a
+cycle 3x longer than the leaf cycle (9 s vs 3 s) so the downstream
+capping actions have settled before it reacts (a textbook requirement for
+nested control loops).
+
+Capping decisions use the same three-band algorithm; the capping *action*
+is the punish-offender-first algorithm: children over their power quota
+receive contractual power limits, which each child folds into its own
+effective limit (``min(physical, contractual)``) and enforces on its next
+cycle — recursively, down to the leaf controllers and the servers.
+
+In the consolidated deployment all controllers for a suite run in one
+binary (one thread each) and communicate through shared memory; here the
+parent holds direct references to its children, which is the same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.config import ControllerConfig
+from repro.core.offender import ChildState, OffenderDecision, punish_offender_first
+from repro.core.three_band import BandAction, ThreeBandController
+from repro.core.thresholds import control_thresholds_w
+from repro.power.device import PowerDevice
+from repro.telemetry.alerts import AlertSink, Severity
+from repro.telemetry.timeseries import TimeSeries
+
+
+class ChildController(Protocol):
+    """What an upper-level controller needs from its children."""
+
+    @property
+    def name(self) -> str:
+        """Controller name."""
+        ...
+
+    @property
+    def device(self) -> PowerDevice:
+        """The power device the child protects."""
+        ...
+
+    @property
+    def last_aggregate_power_w(self) -> float | None:
+        """Most recent power aggregation."""
+        ...
+
+    def set_contractual_limit_w(self, limit_w: float) -> None:
+        """Impose a contractual limit."""
+        ...
+
+    def clear_contractual_limit(self) -> None:
+        """Release the contractual limit."""
+        ...
+
+
+class UpperLevelPowerController:
+    """Monitors and protects one non-leaf power device."""
+
+    def __init__(
+        self,
+        device: PowerDevice,
+        children: list[ChildController],
+        *,
+        config: ControllerConfig | None = None,
+        alerts: AlertSink | None = None,
+        band=None,
+    ) -> None:
+        self.device = device
+        self.children = list(children)
+        self.config = config or ControllerConfig()
+        self.alerts = alerts or AlertSink()
+        self.band = band or ThreeBandController(self.config.three_band)
+        self._contractual_limit_w: float | None = None
+        self._last_aggregate_w: float | None = None
+        self._limited_children: dict[str, float] = {}
+        self.aggregate_series = TimeSeries(f"{device.name}.aggregate")
+        self.cap_events = 0
+        self.uncap_events = 0
+        self.last_decision: OffenderDecision | None = None
+
+    # ------------------------------------------------------------------
+    # Parent-controller interface (uniform with the leaf controller)
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Controller name (the protected device's name)."""
+        return self.device.name
+
+    @property
+    def last_aggregate_power_w(self) -> float | None:
+        """Most recent power aggregation, or None before the first."""
+        return self._last_aggregate_w
+
+    @property
+    def contractual_limit_w(self) -> float | None:
+        """Limit imposed by this controller's own parent, if any."""
+        return self._contractual_limit_w
+
+    def set_contractual_limit_w(self, limit_w: float) -> None:
+        """Parent imposes a (tighter) limit on this subtree."""
+        self._contractual_limit_w = float(limit_w)
+
+    def clear_contractual_limit(self) -> None:
+        """Parent releases its contractual limit."""
+        self._contractual_limit_w = None
+
+    @property
+    def effective_limit_w(self) -> float:
+        """min(physical limit, contractual limit)."""
+        if self._contractual_limit_w is None:
+            return self.device.rated_power_w
+        return min(self.device.rated_power_w, self._contractual_limit_w)
+
+    # ------------------------------------------------------------------
+    # Control cycle
+    # ------------------------------------------------------------------
+
+    def tick(self, now_s: float) -> BandAction:
+        """One 9 s control cycle; returns the action taken."""
+        child_states: list[ChildState] = []
+        missing = 0
+        for child in self.children:
+            power = child.last_aggregate_power_w
+            if power is None:
+                missing += 1
+                continue
+            child_states.append(
+                ChildState(
+                    name=child.name,
+                    power_w=power,
+                    quota_w=child.device.power_quota_w,
+                )
+            )
+        if not child_states:
+            return BandAction.HOLD
+        if missing and missing / len(self.children) > self.config.max_reading_failure_fraction:
+            self.alerts.raise_alert(
+                now_s,
+                Severity.CRITICAL,
+                self.name,
+                f"{missing}/{len(self.children)} child controllers have no "
+                "aggregation; holding",
+            )
+            return BandAction.HOLD
+        aggregate = sum(c.power_w for c in child_states) + self.device.fixed_overhead_w
+        self._last_aggregate_w = aggregate
+        self.aggregate_series.append(now_s, aggregate)
+
+        cap_at, target, uncap_at, limit = control_thresholds_w(
+            self.band.config, self.device.rated_power_w, self._contractual_limit_w
+        )
+        decision = self.band.decide_absolute(
+            aggregate, limit, cap_at, target, uncap_at
+        )
+        if decision.action is BandAction.CAP:
+            self._cap_children(child_states, decision.total_power_cut_w, now_s)
+            self.cap_events += 1
+        elif decision.action is BandAction.UNCAP:
+            self._uncap_children()
+            self.uncap_events += 1
+        return decision.action
+
+    def _cap_children(
+        self, states: list[ChildState], needed_cut_w: float, now_s: float
+    ) -> None:
+        decision = punish_offender_first(states, needed_cut_w)
+        self.last_decision = decision
+        if decision.unallocated_w > 1e-6:
+            self.alerts.raise_alert(
+                now_s,
+                Severity.CRITICAL,
+                self.name,
+                f"{decision.unallocated_w:.0f} W of required cut exceeds all "
+                "child power; device at risk",
+            )
+        by_name = {child.name: child for child in self.children}
+        for state in states:
+            limit = decision.contractual_limit_w(state)
+            if limit is None:
+                continue
+            # Within a capping episode a contractual limit only ever
+            # tightens: a re-issued looser limit would release power the
+            # device has not yet earned back (relaxation happens at
+            # uncap) — "each controller chooses the minimum of its
+            # individual capping decision and that propagated from its
+            # parent".
+            existing = self._limited_children.get(state.name)
+            if existing is not None:
+                limit = min(limit, existing)
+            by_name[state.name].set_contractual_limit_w(limit)
+            self._limited_children[state.name] = limit
+
+    def _uncap_children(self) -> None:
+        by_name = {child.name: child for child in self.children}
+        for name in self._limited_children:
+            child = by_name.get(name)
+            if child is not None:
+                child.clear_contractual_limit()
+        self._limited_children.clear()
+
+    @property
+    def limited_children(self) -> list[str]:
+        """Children currently under a contractual limit from here."""
+        return sorted(self._limited_children)
+
+    def limited_child_limit_w(self, name: str) -> float | None:
+        """The contractual limit this controller issued to a child."""
+        return self._limited_children.get(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpperLevelPowerController({self.name!r}, "
+            f"children={len(self.children)}, "
+            f"limited={len(self._limited_children)})"
+        )

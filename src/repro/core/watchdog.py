@@ -1,0 +1,58 @@
+"""Agent watchdog (Section III-E).
+
+"A script periodically checks the health of an agent and restarts the
+agents in case the agent crashes."  The watchdog sweeps all registered
+agents on its interval and restarts any that report unhealthy, counting
+restarts for observability.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import DynamoAgent
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+
+
+class AgentWatchdog:
+    """Periodic health-check-and-restart sweep over a set of agents."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        agents: list[DynamoAgent],
+        *,
+        interval_s: float = 30.0,
+        priority: int = 30,
+    ) -> None:
+        self._agents = list(agents)
+        self.restarts = 0
+        self._process = PeriodicProcess(
+            engine,
+            interval_s,
+            self._sweep,
+            label="agent-watchdog",
+            priority=priority,
+        )
+
+    def add_agent(self, agent: DynamoAgent) -> None:
+        """Register another agent to watch."""
+        self._agents.append(agent)
+
+    def start(self, phase: float = 0.0) -> None:
+        """Begin sweeping."""
+        self._process.start(phase)
+
+    def stop(self) -> None:
+        """Stop sweeping."""
+        self._process.stop()
+
+    def _sweep(self, now_s: float) -> None:
+        for agent in self._agents:
+            if not agent.healthy:
+                agent.restart()
+                self.restarts += 1
+
+    @property
+    def agent_count(self) -> int:
+        """Number of agents under watch."""
+        return len(self._agents)

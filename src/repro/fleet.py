@@ -1,0 +1,194 @@
+"""Fleet construction and simulation driving.
+
+Glues the substrates together: builds servers (platform + workload) under
+a power topology, attaches them as device loads, and steps the whole
+physical world — servers and breakers — on a fixed interval, underneath
+whatever controllers are (or are not) running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import AgentConfig
+from repro.core.coordinator import PRIORITY_FLEET_STEP
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.topology import PowerTopology
+from repro.server.platform import HASWELL_2015, ServerPlatform
+from repro.server.server import Server
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+from repro.simulation.rng import RngStreams
+from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class ServiceAllocation:
+    """How many servers of one service to place, and on what hardware."""
+
+    service: str
+    count: int
+    platform: ServerPlatform = HASWELL_2015
+    turbo_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError("service count cannot be negative")
+
+
+@dataclass
+class Fleet:
+    """All servers of a deployment, indexed by id."""
+
+    servers: dict[str, Server] = field(default_factory=dict)
+
+    def by_service(self, service: str) -> list[Server]:
+        """Servers running one service."""
+        return [s for s in self.servers.values() if s.service == service]
+
+    def server(self, server_id: str) -> Server:
+        """Look up one server."""
+        try:
+            return self.servers[server_id]
+        except KeyError:
+            raise ConfigurationError(f"no server {server_id!r}") from None
+
+    @property
+    def server_ids(self) -> list[str]:
+        """All server identifiers."""
+        return list(self.servers)
+
+    def total_power_w(self) -> float:
+        """Instantaneous fleet power."""
+        return sum(s.power_w() for s in self.servers.values())
+
+    def capped_servers(self) -> list[Server]:
+        """Servers currently holding a RAPL limit."""
+        return [s for s in self.servers.values() if s.rapl.capped]
+
+
+def populate_fleet(
+    topology: PowerTopology,
+    allocations: list[ServiceAllocation],
+    rng_streams: RngStreams,
+    *,
+    attach_level: DeviceLevel | None = None,
+    agent_config: AgentConfig | None = None,
+) -> Fleet:
+    """Create servers and attach them round-robin under the topology.
+
+    Servers are attached to devices at ``attach_level`` (default: the
+    deepest level present — racks when the topology has them, otherwise
+    RPPs), cycling across those devices so every leaf sees a mix of
+    services, which is what the paper's rows look like (Figure 15's RPP
+    carries web, cache, and feed servers together).
+    """
+    attach_points = _attach_points(topology, attach_level)
+    fleet = Fleet()
+    agent_config = agent_config or AgentConfig()
+    slot = 0
+    for allocation in allocations:
+        for i in range(allocation.count):
+            server_id = f"{allocation.service}-{i:04d}"
+            if server_id in fleet.servers:
+                raise ConfigurationError(f"duplicate server id {server_id!r}")
+            server_rng = rng_streams.stream(f"server.{server_id}")
+            workload = make_workload(allocation.service, server_rng)
+            server = Server(
+                server_id,
+                allocation.platform,
+                workload,
+                agent_config=agent_config,
+                rng=rng_streams.stream(f"sensor.{server_id}"),
+                turbo_enabled=allocation.turbo_enabled,
+            )
+            device = attach_points[slot % len(attach_points)]
+            device.attach_load(server_id, server.power_w)
+            fleet.servers[server_id] = server
+            slot += 1
+    return fleet
+
+
+def _attach_points(
+    topology: PowerTopology, attach_level: DeviceLevel | None
+) -> list[PowerDevice]:
+    if attach_level is not None:
+        points = topology.devices_at_level(attach_level)
+        if not points:
+            raise ConfigurationError(
+                f"topology has no devices at level {attach_level.value!r}"
+            )
+        return points
+    racks = topology.devices_at_level(DeviceLevel.RACK)
+    if racks:
+        return racks
+    rpps = topology.devices_at_level(DeviceLevel.RPP)
+    if rpps:
+        return rpps
+    raise ConfigurationError("topology has no rack- or RPP-level devices")
+
+
+@dataclass(frozen=True)
+class BreakerTrip:
+    """One breaker trip observed by the driver."""
+
+    time_s: float
+    device_name: str
+    level: str
+
+
+class FleetDriver:
+    """Steps the physical world: server power dynamics and breakers.
+
+    Runs at a finer interval than the controllers (1 s by default) so
+    RAPL settling transients and breaker thermal integration are resolved
+    between control cycles.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: PowerTopology,
+        fleet: Fleet,
+        *,
+        step_interval_s: float = 1.0,
+    ) -> None:
+        if step_interval_s <= 0:
+            raise ConfigurationError("step interval must be positive")
+        self._topology = topology
+        self._fleet = fleet
+        self._dt = step_interval_s
+        self.trips: list[BreakerTrip] = []
+        self._process = PeriodicProcess(
+            engine,
+            step_interval_s,
+            self._step,
+            label="fleet-driver",
+            priority=PRIORITY_FLEET_STEP,
+        )
+
+    def start(self, phase: float = 0.0) -> None:
+        """Begin stepping the world."""
+        self._process.start(phase)
+
+    def stop(self) -> None:
+        """Stop stepping."""
+        self._process.stop()
+
+    def _step(self, now_s: float) -> None:
+        for server in self._fleet.servers.values():
+            server.step(now_s, self._dt)
+        for device in self._topology.observe_breakers(self._dt, now_s):
+            self.trips.append(
+                BreakerTrip(
+                    time_s=now_s,
+                    device_name=device.name,
+                    level=device.level.value,
+                )
+            )
+
+    @property
+    def tripped(self) -> bool:
+        """Whether any breaker has tripped so far."""
+        return bool(self.trips)

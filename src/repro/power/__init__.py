@@ -1,0 +1,28 @@
+"""Power delivery substrate: devices, breakers, and datacenter topology.
+
+Models the Open Compute Project power hierarchy the paper describes
+(Figure 2): Utility 30 MW -> MSB 2.5 MW -> SB 1.25 MW -> RPP 190 KW ->
+Rack 12.6 KW -> servers, with a circuit breaker at every level whose trip
+time follows the inverse-time curves of Figure 3.
+"""
+
+from repro.power.breaker import BreakerCurve, CircuitBreaker, STANDARD_CURVES
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.loss import PowerLossModel
+from repro.power.oversubscription import OversubscriptionPlan, plan_quotas
+from repro.power.topology import PowerTopology
+
+__all__ = [
+    "BreakerCurve",
+    "CircuitBreaker",
+    "DataCenterSpec",
+    "DeviceLevel",
+    "OversubscriptionPlan",
+    "PowerDevice",
+    "PowerLossModel",
+    "PowerTopology",
+    "STANDARD_CURVES",
+    "build_datacenter",
+    "plan_quotas",
+]

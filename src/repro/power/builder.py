@@ -1,0 +1,124 @@
+"""Factory for OCP-style datacenter power topologies (Figure 2).
+
+The default spec reproduces the paper's numbers: a 30 MW utility feed,
+MSBs rated 2.5 MW each, up to four 1.25 MW SBs per MSB, 190 KW RPPs at the
+end of each row, and 12.6 KW racks holding 9-42 servers.
+
+The builder produces only the *device* tree; servers are attached later by
+the fleet builder in :mod:`repro.server.fleet`, which needs workload and
+platform information the power package should not know about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.topology import PowerTopology
+from repro.units import kilowatts, megawatts
+
+
+@dataclass(frozen=True)
+class DataCenterSpec:
+    """Shape and ratings of a datacenter power topology.
+
+    Defaults follow the OCP specification cited in the paper.  ``scale``
+    multiplies the fan-out counts uniformly, letting tests run a tiny
+    topology with the same shape as the full 30 MW building.
+    """
+
+    name: str = "dc1"
+    msb_count: int = 4
+    suite_count: int = 4
+    sbs_per_msb: int = 4
+    rpps_per_sb: int = 6
+    racks_per_rpp: int = 15
+    msb_rating_w: float = megawatts(2.5)
+    sb_rating_w: float = megawatts(1.25)
+    rpp_rating_w: float = kilowatts(190)
+    rack_rating_w: float = kilowatts(12.6)
+    include_racks: bool = True
+
+    def __post_init__(self) -> None:
+        counts = (
+            self.msb_count,
+            self.suite_count,
+            self.sbs_per_msb,
+            self.rpps_per_sb,
+        )
+        if any(c <= 0 for c in counts):
+            raise ConfigurationError("all fan-out counts must be positive")
+        if self.include_racks and self.racks_per_rpp <= 0:
+            raise ConfigurationError("racks_per_rpp must be positive")
+        ratings = (
+            self.msb_rating_w,
+            self.sb_rating_w,
+            self.rpp_rating_w,
+            self.rack_rating_w,
+        )
+        if any(r <= 0 for r in ratings):
+            raise ConfigurationError("all ratings must be positive")
+
+    @property
+    def rack_count(self) -> int:
+        """Total racks in the building (0 when racks are modelled away)."""
+        if not self.include_racks:
+            return 0
+        return (
+            self.msb_count
+            * self.sbs_per_msb
+            * self.rpps_per_sb
+            * self.racks_per_rpp
+        )
+
+    @property
+    def rpp_count(self) -> int:
+        """Total RPPs in the building."""
+        return self.msb_count * self.sbs_per_msb * self.rpps_per_sb
+
+
+#: A deliberately small topology with the paper's shape, for tests and
+#: examples that don't need tens of thousands of servers.
+SMALL_SPEC = DataCenterSpec(
+    name="dc-small",
+    msb_count=1,
+    sbs_per_msb=2,
+    rpps_per_sb=2,
+    racks_per_rpp=3,
+)
+
+
+def build_datacenter(spec: DataCenterSpec | None = None) -> PowerTopology:
+    """Construct the power device tree described by ``spec``.
+
+    Device names encode their position: ``msb0``, ``msb0/sb1``
+    (named ``sb0.1``), ``rpp0.1.2``, ``rack0.1.2.3``.
+    """
+    spec = spec or DataCenterSpec()
+    roots: list[PowerDevice] = []
+    for m in range(spec.msb_count):
+        msb = PowerDevice(f"msb{m}", DeviceLevel.MSB, spec.msb_rating_w)
+        # MSBs are distributed round-robin across suites (rooms); every
+        # device inherits its MSB's suite below.
+        suite = m % spec.suite_count
+        for s in range(spec.sbs_per_msb):
+            sb = PowerDevice(f"sb{m}.{s}", DeviceLevel.SB, spec.sb_rating_w)
+            msb.add_child(sb)
+            for r in range(spec.rpps_per_sb):
+                rpp = PowerDevice(
+                    f"rpp{m}.{s}.{r}", DeviceLevel.RPP, spec.rpp_rating_w
+                )
+                sb.add_child(rpp)
+                if spec.include_racks:
+                    for k in range(spec.racks_per_rpp):
+                        rack = PowerDevice(
+                            f"rack{m}.{s}.{r}.{k}",
+                            DeviceLevel.RACK,
+                            spec.rack_rating_w,
+                        )
+                        rpp.add_child(rack)
+        for device in msb.iter_subtree():
+            device.suite = suite
+        roots.append(msb)
+    return PowerTopology(spec.name, roots)

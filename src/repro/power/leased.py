@@ -1,0 +1,85 @@
+"""Leased-datacenter topology: the traditional PDU hierarchy.
+
+Footnote 1 of the paper: Facebook also leases data centers whose power
+delivery matches the traditional model in the literature — Power
+Distribution Units (PDUs) and PDU breakers in place of Switch Boards and
+Reactive Power Panels.  Dynamo runs unchanged there: leaf controllers
+attach to PDU breakers instead of RPPs (Section IV configures "RPPs or
+PDU Breakers, depending on the data center type", as the leaf level).
+
+Structurally a PDU maps to the SB level and a PDU breaker to the RPP
+level, so the controller hierarchy builder needs no changes — only the
+names and typical ratings differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.topology import PowerTopology
+from repro.units import kilowatts, megawatts
+
+
+@dataclass(frozen=True)
+class LeasedDataCenterSpec:
+    """Shape of a leased (traditional) datacenter.
+
+    Ratings follow the commonly published PDU hierarchy: ~1 MW utility
+    feeds per room, 225 KW PDUs, 90 KW PDU breaker panels.
+    """
+
+    name: str = "leased-dc1"
+    feed_count: int = 2
+    pdus_per_feed: int = 4
+    breakers_per_pdu: int = 3
+    feed_rating_w: float = megawatts(1.0)
+    pdu_rating_w: float = kilowatts(225)
+    breaker_rating_w: float = kilowatts(90)
+
+    def __post_init__(self) -> None:
+        if min(self.feed_count, self.pdus_per_feed, self.breakers_per_pdu) <= 0:
+            raise ConfigurationError("all fan-out counts must be positive")
+        ratings = (
+            self.feed_rating_w,
+            self.pdu_rating_w,
+            self.breaker_rating_w,
+        )
+        if any(r <= 0 for r in ratings):
+            raise ConfigurationError("all ratings must be positive")
+
+    @property
+    def breaker_count(self) -> int:
+        """Total PDU breakers (leaf controllers) in the building."""
+        return self.feed_count * self.pdus_per_feed * self.breakers_per_pdu
+
+
+def build_leased_datacenter(
+    spec: LeasedDataCenterSpec | None = None,
+) -> PowerTopology:
+    """Construct a traditional PDU-based topology.
+
+    Device levels map onto the OCP enum so the controller hierarchy
+    builder works unmodified: feed -> MSB, PDU -> SB, PDU breaker ->
+    RPP.  Names carry the traditional terminology.
+    """
+    spec = spec or LeasedDataCenterSpec()
+    roots: list[PowerDevice] = []
+    for f in range(spec.feed_count):
+        feed = PowerDevice(f"feed{f}", DeviceLevel.MSB, spec.feed_rating_w)
+        for p in range(spec.pdus_per_feed):
+            pdu = PowerDevice(
+                f"pdu{f}.{p}", DeviceLevel.SB, spec.pdu_rating_w
+            )
+            feed.add_child(pdu)
+            for b in range(spec.breakers_per_pdu):
+                pdu.add_child(
+                    PowerDevice(
+                        f"pdubrk{f}.{p}.{b}",
+                        DeviceLevel.RPP,
+                        spec.breaker_rating_w,
+                    )
+                )
+        roots.append(feed)
+    return PowerTopology(spec.name, roots)

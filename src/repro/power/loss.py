@@ -1,0 +1,42 @@
+"""Power distribution loss model.
+
+Server power sensors report the server's own draw; the breaker upstream
+sees that draw plus AC-DC conversion and distribution losses.  The paper's
+agents report a breakdown including "AC-DC power loss"; Dynamo's
+aggregation must account for the gap when validating against breaker
+readings.  We model loss as a fixed efficiency plus a small constant
+overhead per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerLossModel:
+    """Distribution loss between servers and an upstream breaker.
+
+    ``upstream = downstream / efficiency + overhead_w``
+    """
+
+    efficiency: float = 0.96
+    overhead_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        if self.overhead_w < 0:
+            raise ConfigurationError("overhead must be non-negative")
+
+    def upstream_power_w(self, downstream_power_w: float) -> float:
+        """Power seen upstream given aggregate downstream draw."""
+        if downstream_power_w <= 0.0:
+            return max(0.0, self.overhead_w)
+        return downstream_power_w / self.efficiency + self.overhead_w
+
+    def downstream_power_w(self, upstream_power_w: float) -> float:
+        """Invert: downstream draw implied by an upstream reading."""
+        return max(0.0, (upstream_power_w - self.overhead_w) * self.efficiency)

@@ -1,0 +1,84 @@
+"""Network devices: monitored by Dynamo, not controlled.
+
+Section III-E: network devices consume a low single-digit percentage of
+datacenter power and do not (yet) support RAPL-like capping, so Dynamo
+*monitors* their power and budgets for them separately.  If future
+hardware supports capping, the same agent/controller path applies.
+
+:class:`NetworkSwitch` models a top-of-rack or fabric switch: a fixed
+chassis power plus per-active-port power plus a small traffic-dependent
+term.  Switches attach to power devices as ordinary loads and to leaf
+controllers as monitored (non-server) components.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class NetworkSwitch:
+    """A switch whose power is read (or estimated) but never capped."""
+
+    def __init__(
+        self,
+        switch_id: str,
+        *,
+        chassis_power_w: float = 120.0,
+        port_power_w: float = 1.5,
+        port_count: int = 48,
+        active_ports: int | None = None,
+        traffic_power_w: float = 30.0,
+        has_power_sensor: bool = False,
+    ) -> None:
+        if chassis_power_w < 0 or port_power_w < 0 or traffic_power_w < 0:
+            raise ConfigurationError("switch power terms cannot be negative")
+        if port_count <= 0:
+            raise ConfigurationError("switch needs at least one port")
+        self.switch_id = switch_id
+        self.chassis_power_w = chassis_power_w
+        self.port_power_w = port_power_w
+        self.port_count = port_count
+        self.active_ports = port_count if active_ports is None else active_ports
+        if not 0 <= self.active_ports <= port_count:
+            raise ConfigurationError("active ports out of range")
+        self.traffic_power_w = traffic_power_w
+        self.has_power_sensor = has_power_sensor
+        self._traffic_load = 0.5
+
+    def set_traffic_load(self, load: float) -> None:
+        """Set relative traffic load in [0, 1]."""
+        if not 0.0 <= load <= 1.0:
+            raise ConfigurationError("traffic load must be in [0, 1]")
+        self._traffic_load = load
+
+    def power_w(self) -> float:
+        """Instantaneous switch power draw."""
+        return (
+            self.chassis_power_w
+            + self.port_power_w * self.active_ports
+            + self.traffic_power_w * self._traffic_load
+        )
+
+    def nameplate_power_w(self) -> float:
+        """Worst-case power for budgeting (all ports, full traffic)."""
+        return (
+            self.chassis_power_w
+            + self.port_power_w * self.port_count
+            + self.traffic_power_w
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkSwitch({self.switch_id!r}, {self.power_w():.0f}W, "
+            f"{self.active_ports}/{self.port_count} ports)"
+        )
+
+
+def network_power_budget_w(switches: list[NetworkSwitch]) -> float:
+    """Total nameplate budget to reserve for a set of switches.
+
+    Dynamo budgets network power separately rather than capping it; the
+    reservation uses nameplate (worst-case) draw because there is no
+    control mechanism to fall back on.
+    """
+    return sum(s.nameplate_power_w() for s in switches)

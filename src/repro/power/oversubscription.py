@@ -1,0 +1,102 @@
+"""Power quota planning and oversubscription accounting.
+
+Power is oversubscribed at every level of the hierarchy: an MSB rated at
+2.5 MW feeds four SBs that can draw 5 MW at peak.  The *quota* of a device
+is its planned peak power — the budget capacity planning assigned to it.
+The punish-offender-first algorithm (Section III-D) compares a child's
+actual draw against its quota to decide who absorbs a power cut.
+
+:func:`plan_quotas` distributes each parent's rating across its children in
+proportion to the children's ratings, scaled by an oversubscription ratio:
+with ratio 1.0 the children's quotas sum exactly to the parent rating; with
+ratio 1.2 the planner deliberately admits 20% more planned peak than the
+parent can supply, betting on statistical multiplexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.power.device import PowerDevice
+from repro.power.topology import PowerTopology
+
+
+@dataclass
+class OversubscriptionPlan:
+    """Result of quota planning over a topology."""
+
+    ratio: float
+    quotas_w: dict[str, float] = field(default_factory=dict)
+
+    def quota(self, device_name: str) -> float:
+        """Quota assigned to a device, in watts."""
+        return self.quotas_w[device_name]
+
+
+def plan_quotas(
+    topology: PowerTopology,
+    *,
+    ratio: float = 1.0,
+    apply: bool = True,
+) -> OversubscriptionPlan:
+    """Assign power quotas down the hierarchy.
+
+    Each root keeps its physical rating as quota.  Each parent's quota is
+    split among children proportionally to child ratings and scaled by
+    ``ratio``; a child's quota is additionally clamped to its own physical
+    rating (a quota above the rating would be meaningless — the breaker
+    binds first).
+
+    Args:
+        topology: the power delivery tree.
+        ratio: oversubscription factor (>= 1.0 admits more planned peak
+            than the parent rating; < 1.0 is conservative under-planning).
+        apply: when True, write quotas onto ``device.power_quota_w``.
+
+    Returns:
+        The plan with one quota per device.
+    """
+    if ratio <= 0:
+        raise ConfigurationError("oversubscription ratio must be positive")
+    plan = OversubscriptionPlan(ratio=ratio)
+    for root in topology.roots:
+        plan.quotas_w[root.name] = root.rated_power_w
+        _plan_subtree(root, root.rated_power_w, ratio, plan)
+    if apply:
+        for name, quota in plan.quotas_w.items():
+            topology.device(name).power_quota_w = quota
+    return plan
+
+
+def _plan_subtree(
+    parent: PowerDevice,
+    parent_quota_w: float,
+    ratio: float,
+    plan: OversubscriptionPlan,
+) -> None:
+    if not parent.children:
+        return
+    total_child_rating = sum(c.rated_power_w for c in parent.children)
+    budget = parent_quota_w * ratio
+    for child in parent.children:
+        share = child.rated_power_w / total_child_rating
+        quota = min(budget * share, child.rated_power_w)
+        plan.quotas_w[child.name] = quota
+        _plan_subtree(child, quota, ratio, plan)
+
+
+def headroom_w(device: PowerDevice) -> float:
+    """Remaining power before the device hits its physical rating."""
+    return device.rated_power_w - device.power_w()
+
+
+def oversubscription_at(device: PowerDevice) -> float:
+    """Ratio of children's summed ratings to the device's own rating.
+
+    1.0 means no oversubscription; the paper's defaults give e.g. an MSB
+    ratio of (4 x 1.25 MW) / 2.5 MW = 2.0.
+    """
+    if not device.children:
+        return 1.0
+    return sum(c.rated_power_w for c in device.children) / device.rated_power_w

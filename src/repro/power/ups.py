@@ -1,0 +1,156 @@
+"""DCUPS: in-row uninterruptible power supplies (Figure 2).
+
+Each RPP feeds a set of DC UPS units; each DCUPS provides **90 seconds**
+of power backup to six racks — enough to ride through the gap between a
+utility outage and the standby generator picking up the MSB.
+
+The model tracks stored energy against the protected load: during a
+utility outage the UPS discharges (and its racks stay up until the
+battery empties); on normal power it recharges.  A
+:class:`UtilityOutageScenario` sequences outage -> UPS ride-through ->
+generator pickup, the event chain the datacenter design assumes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class UpsState(enum.Enum):
+    """Operating state of a DCUPS unit."""
+
+    ONLINE = "online"  # utility power present, battery charged/charging
+    DISCHARGING = "discharging"  # carrying the load on battery
+    DEPLETED = "depleted"  # battery empty, load dropped
+
+
+class Dcups:
+    """One DC UPS unit backing a group of racks.
+
+    Capacity is expressed as *ride-through seconds at rated load* —
+    the spec's 90 s.  Actual ride-through scales inversely with the
+    protected load: a half-loaded UPS lasts twice as long.
+    """
+
+    def __init__(
+        self,
+        ups_id: str,
+        *,
+        rated_load_w: float,
+        ride_through_s: float = 90.0,
+        recharge_rate_fraction_per_s: float = 1.0 / 1800.0,
+    ) -> None:
+        if rated_load_w <= 0:
+            raise ConfigurationError("rated load must be positive")
+        if ride_through_s <= 0:
+            raise ConfigurationError("ride-through must be positive")
+        self.ups_id = ups_id
+        self.rated_load_w = rated_load_w
+        self.capacity_j = rated_load_w * ride_through_s
+        self._stored_j = self.capacity_j
+        self._recharge_rate = recharge_rate_fraction_per_s
+        self._utility_present = True
+        self.state = UpsState.ONLINE
+
+    @property
+    def stored_fraction(self) -> float:
+        """Battery charge in [0, 1]."""
+        return self._stored_j / self.capacity_j
+
+    @property
+    def carrying_load(self) -> bool:
+        """Whether the racks behind this UPS currently have power."""
+        if self._utility_present:
+            return True
+        return self.state is UpsState.DISCHARGING
+
+    def utility_lost(self) -> None:
+        """Utility feed drops; the UPS picks up the load."""
+        self._utility_present = False
+        if self._stored_j > 0.0:
+            self.state = UpsState.DISCHARGING
+        else:
+            self.state = UpsState.DEPLETED
+
+    def utility_restored(self) -> None:
+        """Utility (or generator) power returns; recharge begins."""
+        self._utility_present = True
+        self.state = UpsState.ONLINE
+
+    def step(self, load_w: float, dt_s: float) -> bool:
+        """Advance by ``dt_s`` carrying ``load_w``; returns load-powered.
+
+        Discharges on battery when the utility is out, recharges when
+        it is present.
+        """
+        if load_w < 0 or dt_s < 0:
+            raise ConfigurationError("load and dt must be non-negative")
+        if self._utility_present:
+            self._stored_j = min(
+                self.capacity_j,
+                self._stored_j + self.capacity_j * self._recharge_rate * dt_s,
+            )
+            return True
+        drawn = load_w * dt_s
+        if drawn <= self._stored_j:
+            self._stored_j -= drawn
+            self.state = UpsState.DISCHARGING
+            return True
+        self._stored_j = 0.0
+        self.state = UpsState.DEPLETED
+        return False
+
+    def ride_through_remaining_s(self, load_w: float) -> float:
+        """Seconds of backup left at ``load_w``."""
+        if load_w <= 0:
+            return float("inf")
+        return self._stored_j / load_w
+
+    def __repr__(self) -> str:
+        return (
+            f"Dcups({self.ups_id!r}, {self.state.value}, "
+            f"charge={100 * self.stored_fraction:.0f}%)"
+        )
+
+
+class UtilityOutageScenario:
+    """Sequences a utility outage with generator pickup.
+
+    The paper's MSBs each have a standby generator; the DCUPS bridges
+    the start-up gap.  ``generator_start_s`` is how long after the
+    outage the generator carries the load (typically 10-60 s; the 90 s
+    UPS spec leaves margin).
+    """
+
+    def __init__(
+        self,
+        ups_units: list[Dcups],
+        *,
+        outage_at_s: float,
+        generator_start_s: float = 30.0,
+    ) -> None:
+        if generator_start_s < 0:
+            raise ConfigurationError("generator start time cannot be negative")
+        self.ups_units = list(ups_units)
+        self.outage_at_s = outage_at_s
+        self.generator_online_at_s = outage_at_s + generator_start_s
+        self._outage_applied = False
+        self._generator_applied = False
+
+    def advance(self, now_s: float) -> None:
+        """Apply the outage/pickup transitions due by ``now_s``."""
+        if not self._outage_applied and now_s >= self.outage_at_s:
+            for ups in self.ups_units:
+                ups.utility_lost()
+            self._outage_applied = True
+        if not self._generator_applied and now_s >= self.generator_online_at_s:
+            for ups in self.ups_units:
+                ups.utility_restored()
+            self._generator_applied = True
+
+    @property
+    def utility_out(self) -> bool:
+        """Whether the load is currently riding on UPS batteries."""
+        return self._outage_applied and not self._generator_applied

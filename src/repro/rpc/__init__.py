@@ -1,0 +1,19 @@
+"""Communication substrate: a simulated Thrift-like RPC fabric.
+
+The paper uses Thrift RPC between controllers and agents because it is
+efficient and proven at the scale of many thousands of servers.  Here the
+fabric is simulated: calls are synchronous (their latency is tracked but
+is negligible against the 3 s control cycle), and an injector can fail or
+time out calls per-endpoint to exercise Dynamo's estimation and
+alerting paths.
+"""
+
+from repro.rpc.service import RequestHandler, RpcService
+from repro.rpc.transport import FailureInjector, RpcTransport
+
+__all__ = [
+    "FailureInjector",
+    "RequestHandler",
+    "RpcService",
+    "RpcTransport",
+]

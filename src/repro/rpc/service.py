@@ -1,0 +1,40 @@
+"""Request-handler framing for RPC services.
+
+A tiny dispatch layer so components expose named methods over the
+transport without hand-writing ``if method == ...`` ladders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RpcError
+from repro.rpc.transport import RpcTransport
+
+RequestHandler = Callable[[Any], Any]
+
+
+class RpcService:
+    """A named endpoint with method-level dispatch."""
+
+    def __init__(self, transport: RpcTransport, endpoint: str) -> None:
+        self._transport = transport
+        self.endpoint = endpoint
+        self._methods: dict[str, RequestHandler] = {}
+        transport.register(endpoint, self._dispatch)
+
+    def method(self, name: str, handler: RequestHandler) -> None:
+        """Register a method handler."""
+        self._methods[name] = handler
+
+    def _dispatch(self, method: str, payload: Any) -> Any:
+        handler = self._methods.get(method)
+        if handler is None:
+            raise RpcError(
+                f"endpoint {self.endpoint!r} has no method {method!r}"
+            )
+        return handler(payload)
+
+    def shutdown(self) -> None:
+        """Deregister from the transport."""
+        self._transport.unregister(self.endpoint)

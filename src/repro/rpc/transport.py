@@ -1,0 +1,129 @@
+"""Simulated RPC transport with latency accounting and failure injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import RpcError, RpcTimeoutError
+
+
+@dataclass
+class FailureInjector:
+    """Controls which RPCs fail and how.
+
+    Attributes:
+        failure_probability: chance any call raises :class:`RpcError`.
+        timeout_probability: chance any call raises
+            :class:`RpcTimeoutError` instead of completing.
+        down_endpoints: endpoints that always fail (crashed agents,
+            partitioned hosts).
+    """
+
+    failure_probability: float = 0.0
+    timeout_probability: float = 0.0
+    down_endpoints: set[str] = field(default_factory=set)
+
+    def take_down(self, endpoint: str) -> None:
+        """Mark an endpoint unreachable."""
+        self.down_endpoints.add(endpoint)
+
+    def restore(self, endpoint: str) -> None:
+        """Mark an endpoint reachable again."""
+        self.down_endpoints.discard(endpoint)
+
+    def check(self, endpoint: str, rng: np.random.Generator) -> None:
+        """Raise if this call should fail."""
+        if endpoint in self.down_endpoints:
+            raise RpcError(f"endpoint {endpoint!r} is down")
+        if self.timeout_probability > 0.0 and rng.random() < self.timeout_probability:
+            raise RpcTimeoutError(f"call to {endpoint!r} timed out")
+        if self.failure_probability > 0.0 and rng.random() < self.failure_probability:
+            raise RpcError(f"call to {endpoint!r} failed")
+
+
+Handler = Callable[[str, Any], Any]
+
+
+class RpcTransport:
+    """Name-addressed request/response fabric.
+
+    Endpoints register a handler ``(method, payload) -> response``.
+    Callers invoke :meth:`call`.  Latency is drawn per call and summed
+    into counters for diagnostics, but simulation time is not advanced:
+    RPC latency (sub-millisecond in production) is far below the 3 s
+    control cycle, so modelling it as instantaneous preserves control
+    behaviour while keeping controllers synchronous and simple.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        *,
+        injector: FailureInjector | None = None,
+        mean_latency_s: float = 0.002,
+    ) -> None:
+        self._handlers: dict[str, Handler] = {}
+        self._rng = rng or np.random.default_rng(0)
+        self.injector = injector or FailureInjector()
+        self._mean_latency_s = mean_latency_s
+        self.calls_made = 0
+        self.calls_failed = 0
+        self.total_latency_s = 0.0
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Register (or replace) the handler for ``endpoint``."""
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: str) -> None:
+        """Remove an endpoint (server decommissioned)."""
+        self._handlers.pop(endpoint, None)
+
+    @property
+    def endpoints(self) -> list[str]:
+        """All registered endpoint names."""
+        return list(self._handlers)
+
+    def call(self, endpoint: str, method: str, payload: Any = None) -> Any:
+        """Invoke ``method`` on ``endpoint``; may raise RpcError.
+
+        Raises:
+            RpcError: endpoint unknown, down, or injected failure.
+            RpcTimeoutError: injected timeout.
+        """
+        self.calls_made += 1
+        self.total_latency_s += self._rng.exponential(self._mean_latency_s)
+        try:
+            self.injector.check(endpoint, self._rng)
+            handler = self._handlers.get(endpoint)
+            if handler is None:
+                raise RpcError(f"no endpoint registered as {endpoint!r}")
+            return handler(method, payload)
+        except RpcError:
+            self.calls_failed += 1
+            raise
+
+    def broadcast(
+        self, endpoints: list[str], method: str, payload: Any = None
+    ) -> tuple[dict[str, Any], dict[str, Exception]]:
+        """Call every endpoint; collect successes and failures separately.
+
+        This is the leaf controller's "broadcast power pull": one logical
+        fan-out whose partial failures the caller must handle.
+        """
+        results: dict[str, Any] = {}
+        failures: dict[str, Exception] = {}
+        for endpoint in endpoints:
+            try:
+                results[endpoint] = self.call(endpoint, method, payload)
+            except RpcError as exc:
+                failures[endpoint] = exc
+        return results, failures
+
+    def mean_latency_s(self) -> float:
+        """Average per-call latency drawn so far."""
+        if self.calls_made == 0:
+            return 0.0
+        return self.total_latency_s / self.calls_made

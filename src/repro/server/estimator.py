@@ -1,0 +1,134 @@
+"""Power estimation for servers without on-board sensors.
+
+For the small group of sensor-less servers, the paper builds a power model
+"similar to [Isci & Martonosi]" by measuring server power against CPU
+utilization with a Yokogawa meter, then estimates power on-the-fly from
+system statistics.  Leaf controllers reuse the same machinery to fill in
+readings for servers whose power pull failed, using neighbours running
+similar workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AgentError
+
+
+@dataclass(frozen=True)
+class LinearPowerFit:
+    """A fitted ``power = intercept + slope * utilization`` model."""
+
+    intercept_w: float
+    slope_w: float
+    residual_rms_w: float
+
+    def predict(self, utilization: float) -> float:
+        """Estimated power at ``utilization`` in [0, 1]."""
+        return max(0.0, self.intercept_w + self.slope_w * utilization)
+
+
+def fit_linear_power_model(
+    samples: list[tuple[float, float]]
+) -> LinearPowerFit:
+    """Least-squares fit of (utilization, power W) calibration samples.
+
+    Mirrors the offline Yokogawa calibration run: sweep request rate,
+    record (CPU utilization, measured power) pairs, fit.
+
+    Raises:
+        AgentError: with fewer than two distinct utilization points.
+    """
+    if len(samples) < 2:
+        raise AgentError("need at least two calibration samples")
+    utils = np.array([u for u, _ in samples], dtype=float)
+    powers = np.array([p for _, p in samples], dtype=float)
+    if np.ptp(utils) == 0.0:
+        raise AgentError("calibration samples must span multiple utilizations")
+    design = np.vstack([np.ones_like(utils), utils]).T
+    coeffs, _, _, _ = np.linalg.lstsq(design, powers, rcond=None)
+    predictions = design @ coeffs
+    rms = float(np.sqrt(np.mean((powers - predictions) ** 2)))
+    return LinearPowerFit(
+        intercept_w=float(coeffs[0]),
+        slope_w=float(coeffs[1]),
+        residual_rms_w=rms,
+    )
+
+
+class PowerEstimator:
+    """On-the-fly power estimation from system statistics.
+
+    Wraps a fitted linear model plus optional memory/network terms; the
+    utilization term dominates for the workloads studied.
+    """
+
+    def __init__(
+        self,
+        fit: LinearPowerFit,
+        *,
+        memory_coeff_w: float = 0.0,
+        network_coeff_w: float = 0.0,
+    ) -> None:
+        self._fit = fit
+        self._memory_coeff_w = memory_coeff_w
+        self._network_coeff_w = network_coeff_w
+
+    @property
+    def fit(self) -> LinearPowerFit:
+        """The underlying utilization fit."""
+        return self._fit
+
+    def estimate_w(
+        self,
+        cpu_utilization: float,
+        *,
+        memory_traffic: float = 0.0,
+        network_traffic: float = 0.0,
+    ) -> float:
+        """Estimated instantaneous power in watts."""
+        if not 0.0 <= cpu_utilization <= 1.0:
+            raise AgentError(
+                f"cpu utilization must be in [0, 1], got {cpu_utilization}"
+            )
+        estimate = self._fit.predict(cpu_utilization)
+        estimate += self._memory_coeff_w * memory_traffic
+        estimate += self._network_coeff_w * network_traffic
+        return max(0.0, estimate)
+
+    def recalibrate(self, scale: float) -> "PowerEstimator":
+        """Return a copy with outputs scaled by ``scale``.
+
+        Used by the 'validate against breaker readings' loop: when the
+        aggregated estimate drifts from the (coarse) breaker reading, the
+        controller dynamically tunes the estimators (Section VI).
+        """
+        if scale <= 0:
+            raise AgentError("recalibration scale must be positive")
+        scaled = LinearPowerFit(
+            intercept_w=self._fit.intercept_w * scale,
+            slope_w=self._fit.slope_w * scale,
+            residual_rms_w=self._fit.residual_rms_w * scale,
+        )
+        return PowerEstimator(
+            scaled,
+            memory_coeff_w=self._memory_coeff_w * scale,
+            network_coeff_w=self._network_coeff_w * scale,
+        )
+
+
+def calibrate_from_model(
+    power_fn, utilization_points: int = 11
+) -> PowerEstimator:
+    """Build an estimator by sweeping a power function (a bench rig).
+
+    ``power_fn`` maps utilization in [0, 1] to watts — in production the
+    Yokogawa meter; here usually ``PowerModel.power_w``.
+    """
+    samples = [
+        (i / (utilization_points - 1), power_fn(i / (utilization_points - 1)))
+        for i in range(utilization_points)
+    ]
+    return PowerEstimator(fit_linear_power_model(samples))

@@ -1,0 +1,147 @@
+"""Server hardware platform descriptions.
+
+The paper stresses that heterogeneity is a reality: Westmere, Sandybridge,
+Ivybridge, Haswell, and Broadwell servers coexist, each with its own way to
+read and cap power (direct MSR writes vs the IPMI node-manager API).
+Dynamo keeps its logic platform-independent by hiding these differences
+behind an abstraction — here, the :class:`ServerPlatform` record consumed
+by platform-agnostic code in the rest of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServerPlatform:
+    """Static hardware characteristics of one server generation.
+
+    Attributes:
+        name: platform identifier (e.g. ``haswell-2015``).
+        idle_power_w: power draw at 0% CPU utilization.
+        peak_power_w: power draw at 100% utilization, Turbo off.
+        curve_exponent: shape of the power curve between idle and peak
+            (1.0 = linear; >1 = convex as Figure 1's Haswell data shows).
+        turbo_power_gain: fractional extra power with Turbo Boost on
+            (the paper's Hadoop cluster measured about +20%).
+        turbo_perf_gain: fractional performance gain with Turbo on
+            (about +13% for Hadoop map-reduce tasks).
+        has_power_sensor: whether an on-board sensor provides readings
+            (nearly all 2011-or-newer Facebook servers).
+        rapl_backend: how the agent talks to RAPL — ``"msr"`` for direct
+            machine-status-register writes, ``"ipmi"`` for the node
+            manager API.
+        min_cap_w: lowest power cap RAPL can enforce on this platform.
+    """
+
+    name: str
+    idle_power_w: float
+    peak_power_w: float
+    curve_exponent: float = 1.0
+    turbo_power_gain: float = 0.20
+    turbo_perf_gain: float = 0.13
+    has_power_sensor: bool = True
+    rapl_backend: str = "msr"
+    min_cap_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.idle_power_w < 0:
+            raise ConfigurationError("idle power cannot be negative")
+        if self.peak_power_w <= self.idle_power_w:
+            raise ConfigurationError("peak power must exceed idle power")
+        if self.curve_exponent <= 0:
+            raise ConfigurationError("curve exponent must be positive")
+        if self.rapl_backend not in ("msr", "ipmi"):
+            raise ConfigurationError(
+                f"unknown RAPL backend {self.rapl_backend!r}"
+            )
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Peak minus idle power: the range capping can act on."""
+        return self.peak_power_w - self.idle_power_w
+
+    @property
+    def turbo_peak_power_w(self) -> float:
+        """Peak power with Turbo Boost engaged.
+
+        Turbo's extra power comes from the cores, so the gain applies to
+        the dynamic component; idle power is unchanged.
+        """
+        return self.idle_power_w + self.dynamic_range_w * (
+            1.0 + self.turbo_power_gain
+        )
+
+    def effective_min_cap_w(self) -> float:
+        """Lowest enforceable cap: RAPL cannot cap below idle power."""
+        return max(self.min_cap_w, self.idle_power_w)
+
+
+# Figure 1: the 2011 Westmere web server (24 x X5650 @2.67GHz, 12 GB RAM)
+# idles near 60 W and peaks near 175 W; the 2015 Haswell web server
+# (48 x E5-2678v3, 32 GB RAM) idles near 90 W and peaks near 340 W, with a
+# visibly convex curve.  The 2011 platform predates on-board sensors (its
+# power was measured with a Yokogawa meter), so it models power instead.
+WESTMERE_2011 = ServerPlatform(
+    name="westmere-2011",
+    idle_power_w=60.0,
+    peak_power_w=175.0,
+    curve_exponent=1.10,
+    has_power_sensor=False,
+    rapl_backend="msr",
+    min_cap_w=70.0,
+)
+
+HASWELL_2015 = ServerPlatform(
+    name="haswell-2015",
+    idle_power_w=90.0,
+    peak_power_w=340.0,
+    curve_exponent=1.25,
+    has_power_sensor=True,
+    rapl_backend="ipmi",
+    min_cap_w=100.0,
+)
+
+SANDYBRIDGE_2012 = ServerPlatform(
+    name="sandybridge-2012",
+    idle_power_w=70.0,
+    peak_power_w=220.0,
+    curve_exponent=1.15,
+    has_power_sensor=True,
+    rapl_backend="msr",
+    min_cap_w=80.0,
+)
+
+IVYBRIDGE_2013 = ServerPlatform(
+    name="ivybridge-2013",
+    idle_power_w=75.0,
+    peak_power_w=250.0,
+    curve_exponent=1.18,
+    has_power_sensor=True,
+    rapl_backend="msr",
+    min_cap_w=85.0,
+)
+
+BROADWELL_2016 = ServerPlatform(
+    name="broadwell-2016",
+    idle_power_w=85.0,
+    peak_power_w=320.0,
+    curve_exponent=1.22,
+    has_power_sensor=True,
+    rapl_backend="ipmi",
+    min_cap_w=95.0,
+)
+
+PLATFORMS: dict[str, ServerPlatform] = {
+    p.name: p
+    for p in (
+        WESTMERE_2011,
+        SANDYBRIDGE_2012,
+        IVYBRIDGE_2013,
+        HASWELL_2015,
+        BROADWELL_2016,
+    )
+}

@@ -1,0 +1,140 @@
+"""Power-vs-utilization model for one server platform (Figure 1).
+
+Power between idle and peak follows::
+
+    P(u) = idle + (peak - idle) * u ** curve_exponent
+
+with an optional Turbo Boost multiplier on the dynamic component at high
+utilization.  The model is invertible: given a power cap, it reports the
+maximum utilization (and hence throughput) the server can sustain, which
+drives the performance-slowdown behaviour of Figure 13.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.server.platform import ServerPlatform
+
+
+class PowerModel:
+    """Maps CPU utilization to power draw and back for one platform."""
+
+    #: Utilization above which Turbo Boost actually engages (below this
+    #: the cores do not sustain turbo frequencies long enough to matter).
+    TURBO_ENGAGE_UTIL = 0.40
+
+    def __init__(self, platform: ServerPlatform) -> None:
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    # Forward: utilization -> power
+    # ------------------------------------------------------------------
+
+    def power_w(self, utilization: float, *, turbo: bool = False) -> float:
+        """Instantaneous power at ``utilization`` in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        p = self.platform
+        dynamic = p.dynamic_range_w * utilization**p.curve_exponent
+        if turbo and utilization > self.TURBO_ENGAGE_UTIL:
+            # Turbo's extra power scales with how far above the engage
+            # point the server is running, reaching the full
+            # turbo_power_gain at 100% utilization.
+            engage_span = 1.0 - self.TURBO_ENGAGE_UTIL
+            engagement = (utilization - self.TURBO_ENGAGE_UTIL) / engage_span
+            dynamic *= 1.0 + p.turbo_power_gain * engagement
+        return p.idle_power_w + dynamic
+
+    def peak_power_w(self, *, turbo: bool = False) -> float:
+        """Worst-case power draw (utilization = 1.0)."""
+        return self.power_w(1.0, turbo=turbo)
+
+    # ------------------------------------------------------------------
+    # Inverse: power -> achievable utilization
+    # ------------------------------------------------------------------
+
+    def utilization_at_power(self, power_w: float, *, turbo: bool = False) -> float:
+        """Maximum sustainable utilization under a ``power_w`` budget.
+
+        Clamped to [0, 1]: a budget below idle power yields 0 (the server
+        cannot run below idle; RAPL simply bottoms out), a budget above
+        peak yields 1.
+        """
+        p = self.platform
+        if power_w <= p.idle_power_w:
+            return 0.0
+        if power_w >= self.peak_power_w(turbo=turbo):
+            return 1.0
+        # Invert by bisection: power_w() is strictly increasing in
+        # utilization, and turbo's piecewise engagement makes a closed
+        # form awkward.
+        lo, hi = 0.0, 1.0
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.power_w(mid, turbo=turbo) < power_w:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    # ------------------------------------------------------------------
+    # Performance under capping (Figure 13)
+    # ------------------------------------------------------------------
+
+    #: Dynamic power scales roughly as f * V^2 with V tracking f:
+    #: P_dyn ~ f^DVFS_EXPONENT.  2.4 matches published DVFS curves.
+    DVFS_EXPONENT = 2.4
+    #: Lowest frequency DVFS reaches relative to nominal; below the
+    #: power that corresponds to this point, RAPL falls back to duty
+    #: cycling, which costs performance linearly in power.
+    MIN_FREQUENCY_FRACTION = 0.5
+
+    def performance_factor(
+        self, demanded_utilization: float, cap_w: float | None, *, turbo: bool = False
+    ) -> float:
+        """Delivered fraction of demanded work under a power cap.
+
+        1.0 means the cap does not bind.  When it binds, RAPL reduces
+        frequency: dynamic power falls as ``f ** DVFS_EXPONENT``, so a
+        given power cut costs much less than proportional performance —
+        until frequency bottoms out and duty cycling takes over, which
+        costs performance one-for-one with power.  Server-side latency
+        slowdown is roughly ``1 / performance_factor``.  This two-regime
+        model reproduces Figure 13's shape: slow decline inside ~20%
+        power reduction, a knee, then steep decline beyond.
+        """
+        if demanded_utilization <= 0.0:
+            return 1.0
+        if cap_w is None:
+            return 1.0
+        demand_power = self.power_w(demanded_utilization, turbo=turbo)
+        if cap_w >= demand_power:
+            return 1.0
+        p = self.platform
+        demand_dynamic = demand_power - p.idle_power_w
+        cap_dynamic = max(0.0, cap_w - p.idle_power_w)
+        if demand_dynamic <= 0.0:
+            return 1.0
+        ratio = cap_dynamic / demand_dynamic
+        min_ratio = self.MIN_FREQUENCY_FRACTION**self.DVFS_EXPONENT
+        if ratio >= min_ratio:
+            # DVFS regime: frequency scales as the dynamic-power ratio
+            # to the inverse exponent.
+            factor = ratio ** (1.0 / self.DVFS_EXPONENT)
+        else:
+            # Duty-cycling regime below minimum frequency.
+            factor = self.MIN_FREQUENCY_FRACTION * (ratio / min_ratio)
+        return max(factor, 0.01)
+
+
+def sample_curve(
+    model: PowerModel, points: int = 21, *, turbo: bool = False
+) -> list[tuple[float, float]]:
+    """Sample (utilization%, power W) pairs for plotting Figure 1."""
+    samples: list[tuple[float, float]] = []
+    for i in range(points):
+        utilization = i / (points - 1)
+        samples.append((utilization * 100.0, model.power_w(utilization, turbo=turbo)))
+    return samples

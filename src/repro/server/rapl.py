@@ -1,0 +1,104 @@
+"""Simulated Intel RAPL (Running Average Power Limit) module.
+
+RAPL enforces a total-system power budget on a single server.  The paper's
+agents set or unset the limit either by writing a machine status register
+directly or through the IPMI node-manager API, depending on platform; the
+measured behaviour (Figure 9) is that a cap or uncap command takes about
+two seconds to take effect and stabilize.  That settling time is a
+first-class design input: it forces controllers to sample no faster than
+every ~3 s.
+
+We model enforcement as a first-order lag: the *enforced* power tracks the
+target ``min(demand, limit)`` with time constant ``settling_time / 3`` so
+the output reaches ~95% of a step within the settling time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import RaplConfig
+from repro.errors import CappingError
+
+
+class RaplModule:
+    """Per-server power limit with first-order settling dynamics."""
+
+    def __init__(
+        self,
+        config: RaplConfig | None = None,
+        *,
+        min_cap_w: float = 0.0,
+        initial_power_w: float = 0.0,
+    ) -> None:
+        self.config = config or RaplConfig()
+        self._min_cap_w = max(min_cap_w, self.config.min_limit_w)
+        self._limit_w: float | None = None
+        self._enforced_power_w = float(initial_power_w)
+        # First-order time constant: ~95% settled at 3 * tau.
+        self._tau_s = self.config.settling_time_s / 3.0
+
+    # ------------------------------------------------------------------
+    # Limit management
+    # ------------------------------------------------------------------
+
+    @property
+    def limit_w(self) -> float | None:
+        """The active power limit, or None when uncapped."""
+        return self._limit_w
+
+    @property
+    def capped(self) -> bool:
+        """Whether a power limit is currently set."""
+        return self._limit_w is not None
+
+    def set_limit(self, limit_w: float) -> None:
+        """Set the power limit (the agent's *cap* operation).
+
+        Raises:
+            CappingError: if the requested limit is below what the
+                platform can enforce.
+        """
+        if limit_w < self._min_cap_w:
+            raise CappingError(
+                f"requested limit {limit_w:.1f} W below platform minimum "
+                f"{self._min_cap_w:.1f} W"
+            )
+        self._limit_w = float(limit_w)
+
+    def clear_limit(self) -> None:
+        """Remove the power limit (the agent's *uncap* operation)."""
+        self._limit_w = None
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def target_power_w(self, demand_w: float) -> float:
+        """Steady-state power for a given demand under the current limit."""
+        if self._limit_w is None:
+            return demand_w
+        return min(demand_w, self._limit_w)
+
+    def step(self, demand_w: float, dt_s: float) -> float:
+        """Advance enforcement by ``dt_s`` seconds; return enforced power.
+
+        The enforced power exponentially approaches the target.  With the
+        default 2 s settling time, a step change reaches ~95% within 2 s,
+        matching Figure 9's measured cap/uncap transients.
+        """
+        target = self.target_power_w(demand_w)
+        if dt_s <= 0:
+            return self._enforced_power_w
+        alpha = 1.0 - math.exp(-dt_s / self._tau_s)
+        self._enforced_power_w += (target - self._enforced_power_w) * alpha
+        return self._enforced_power_w
+
+    @property
+    def enforced_power_w(self) -> float:
+        """Most recently computed enforced power."""
+        return self._enforced_power_w
+
+    def settled(self, demand_w: float, tolerance_w: float = 2.0) -> bool:
+        """Whether enforcement is within ``tolerance_w`` of its target."""
+        return abs(self._enforced_power_w - self.target_power_w(demand_w)) <= tolerance_w

@@ -1,0 +1,76 @@
+"""On-board power sensors.
+
+Nearly all 2011-or-newer Facebook servers carry an on-board power sensor
+the agent queries for accurate readings plus a component breakdown (CPU
+socket power, AC-DC loss, ...).  We model the sensor as the true enforced
+power plus small multiplicative noise, with a simple component split.
+Servers without sensors (the 2011 Westmere generation in Figure 1) return
+no reading and force the agent onto its estimation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AgentError
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Component breakdown an on-board sensor reports alongside total."""
+
+    total_w: float
+    cpu_w: float
+    memory_w: float
+    other_w: float
+    ac_dc_loss_w: float
+
+    @property
+    def components_sum_w(self) -> float:
+        """Sum of all components (should equal total within rounding)."""
+        return self.cpu_w + self.memory_w + self.other_w + self.ac_dc_loss_w
+
+
+class PowerSensor:
+    """A noisy but unbiased on-board power sensor."""
+
+    #: Typical component shares of server power at load.
+    CPU_SHARE = 0.55
+    MEMORY_SHARE = 0.20
+    AC_DC_LOSS_SHARE = 0.07
+
+    def __init__(
+        self,
+        noise_fraction: float = 0.005,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if noise_fraction < 0:
+            raise AgentError("sensor noise fraction cannot be negative")
+        self._noise_fraction = noise_fraction
+        self._rng = rng or np.random.default_rng(0)
+
+    def read(self, true_power_w: float) -> float:
+        """One noisy sample of the instantaneous power."""
+        if true_power_w < 0:
+            raise AgentError("true power cannot be negative")
+        if self._noise_fraction == 0.0:
+            return true_power_w
+        noise = self._rng.normal(0.0, self._noise_fraction)
+        return max(0.0, true_power_w * (1.0 + noise))
+
+    def read_breakdown(self, true_power_w: float) -> PowerBreakdown:
+        """A noisy sample with the component breakdown."""
+        total = self.read(true_power_w)
+        cpu = total * self.CPU_SHARE
+        memory = total * self.MEMORY_SHARE
+        loss = total * self.AC_DC_LOSS_SHARE
+        other = total - cpu - memory - loss
+        return PowerBreakdown(
+            total_w=total,
+            cpu_w=cpu,
+            memory_w=memory,
+            other_w=other,
+            ac_dc_loss_w=loss,
+        )

@@ -1,0 +1,202 @@
+"""The server: workload + power model + RAPL + sensor, stepped over time.
+
+A :class:`Server` is the unit everything else composes around.  Each
+simulation step it:
+
+1. asks its workload for the demanded CPU utilization,
+2. converts demand to a power draw through the platform's power model
+   (including Turbo Boost if engaged),
+3. lets the RAPL module clamp that draw toward ``min(demand, limit)``
+   with its ~2 s settling lag,
+4. accounts delivered vs demanded work so experiments can measure the
+   performance cost of capping (Figure 13).
+
+The server exposes ``power_w()`` as a zero-argument callable so it can be
+attached directly to a :class:`~repro.power.device.PowerDevice` load slot.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.config import AgentConfig
+from repro.server.estimator import PowerEstimator, calibrate_from_model
+from repro.server.platform import ServerPlatform
+from repro.server.power_model import PowerModel
+from repro.server.rapl import RaplModule
+from repro.server.sensor import PowerSensor
+from repro.server.turbo import TurboBoost
+
+
+class Workload(Protocol):
+    """What a server needs from its workload."""
+
+    service: str
+
+    def utilization(self, now_s: float) -> float:
+        """Demanded CPU utilization in [0, 1] at simulation time ``now_s``."""
+        ...
+
+
+class ConstantWorkload:
+    """Trivial workload pinned at a fixed utilization (tests, calibration)."""
+
+    def __init__(self, utilization: float, service: str = "synthetic") -> None:
+        self._utilization = float(utilization)
+        self.service = service
+
+    def utilization(self, now_s: float) -> float:
+        """The fixed demand, independent of time."""
+        return self._utilization
+
+    def set_utilization(self, utilization: float) -> None:
+        """Change the fixed demand level."""
+        self._utilization = float(utilization)
+
+
+class Server:
+    """One server in the fleet."""
+
+    def __init__(
+        self,
+        server_id: str,
+        platform: ServerPlatform,
+        workload: Workload,
+        *,
+        agent_config: AgentConfig | None = None,
+        rng: np.random.Generator | None = None,
+        turbo_enabled: bool = False,
+    ) -> None:
+        self.server_id = server_id
+        self.platform = platform
+        self.workload = workload
+        self.power_model = PowerModel(platform)
+        self.turbo = TurboBoost(platform, enabled=turbo_enabled)
+        config = agent_config or AgentConfig()
+        self.rapl = RaplModule(
+            config.rapl,
+            min_cap_w=platform.effective_min_cap_w(),
+            initial_power_w=platform.idle_power_w,
+        )
+        self.sensor: PowerSensor | None = None
+        if platform.has_power_sensor:
+            self.sensor = PowerSensor(config.sensor_noise_fraction, rng)
+        #: Estimator used when no sensor exists (calibrated offline).
+        self.estimator: PowerEstimator = calibrate_from_model(
+            self.power_model.power_w
+        )
+        self._current_power_w = platform.idle_power_w
+        self._current_utilization = 0.0
+        self._demanded_work = 0.0
+        self._delivered_work = 0.0
+        self._energy_j = 0.0
+        self._online = True
+        self._last_step_s: float | None = None
+
+    # ------------------------------------------------------------------
+    # Simulation stepping
+    # ------------------------------------------------------------------
+
+    def step(self, now_s: float, dt_s: float) -> float:
+        """Advance the server by ``dt_s`` seconds ending at ``now_s``.
+
+        Returns the enforced power draw at the end of the step.
+        """
+        if not self._online:
+            self._current_power_w = 0.0
+            self._current_utilization = 0.0
+            return 0.0
+        demand_util = min(1.0, max(0.0, self.workload.utilization(now_s)))
+        turbo_on = self.turbo.enabled
+        demand_power = self.power_model.power_w(demand_util, turbo=turbo_on)
+        enforced = self.rapl.step(demand_power, dt_s)
+        self._current_power_w = enforced
+        self._current_utilization = demand_util
+        factor = self.power_model.performance_factor(
+            demand_util, self.rapl.limit_w, turbo=turbo_on
+        )
+        self._demanded_work += demand_util * dt_s
+        self._delivered_work += (
+            demand_util * factor * self.turbo.performance_multiplier * dt_s
+        )
+        self._energy_j += enforced * dt_s
+        self._last_step_s = now_s
+        return enforced
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    def power_w(self) -> float:
+        """Instantaneous enforced power draw (load-source callable)."""
+        return self._current_power_w
+
+    @property
+    def utilization(self) -> float:
+        """Most recent demanded CPU utilization."""
+        return self._current_utilization
+
+    @property
+    def service(self) -> str:
+        """Service this server belongs to."""
+        return self.workload.service
+
+    @property
+    def online(self) -> bool:
+        """Whether the server is powered and running."""
+        return self._online
+
+    def set_online(self, online: bool) -> None:
+        """Power the server on or off (outages, decommissions)."""
+        self._online = bool(online)
+        if not online:
+            self._current_power_w = 0.0
+            self._current_utilization = 0.0
+
+    # ------------------------------------------------------------------
+    # Performance accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def demanded_work(self) -> float:
+        """Integral of demanded utilization over time (core-seconds)."""
+        return self._demanded_work
+
+    @property
+    def delivered_work(self) -> float:
+        """Integral of delivered work over time, including Turbo gains."""
+        return self._delivered_work
+
+    def performance_ratio(self) -> float:
+        """Delivered / demanded work since construction (1.0 = no loss)."""
+        if self._demanded_work == 0.0:
+            return 1.0
+        return self._delivered_work / self._demanded_work
+
+    @property
+    def energy_j(self) -> float:
+        """Energy consumed since construction, in joules."""
+        return self._energy_j
+
+    def energy_efficiency(self) -> float:
+        """Delivered work per megajoule (0 when no energy consumed)."""
+        if self._energy_j == 0.0:
+            return 0.0
+        return self._delivered_work / (self._energy_j / 1e6)
+
+    def reset_work_counters(self) -> None:
+        """Zero the work and energy integrals."""
+        self._demanded_work = 0.0
+        self._delivered_work = 0.0
+        self._energy_j = 0.0
+
+    def __repr__(self) -> str:
+        cap = (
+            f"cap={self.rapl.limit_w:.0f}W" if self.rapl.capped else "uncapped"
+        )
+        return (
+            f"Server({self.server_id!r}, {self.platform.name}, "
+            f"{self.service}, {self._current_power_w:.0f}W, {cap})"
+        )

@@ -1,0 +1,37 @@
+"""Virtual simulation clock.
+
+A :class:`Clock` is a monotonically advancing float of seconds.  Only the
+simulation engine advances it; every other component holds a read-only
+reference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonic virtual time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {time:.6f} < {self._now:.6f}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"Clock(t={self._now:.3f}s)"

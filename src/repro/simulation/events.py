@@ -1,0 +1,28 @@
+"""Event records for the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, priority, sequence)``.  ``priority`` breaks
+    ties between events scheduled for the same instant (lower runs first);
+    ``sequence`` preserves FIFO order among equal-priority events so runs
+    are fully deterministic.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when dequeued."""
+        self.cancelled = True

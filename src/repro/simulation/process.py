@@ -1,0 +1,93 @@
+"""Periodic processes layered on the discrete-event engine.
+
+Controllers, workload updaters, samplers, and watchdogs are all periodic:
+they run a ``tick`` on a fixed interval.  :class:`PeriodicProcess` handles
+the self-rescheduling bookkeeping so those components only implement the
+tick body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+
+
+class PeriodicProcess:
+    """Invokes a callback on a fixed period until stopped.
+
+    The callback receives the current simulation time.  A process may be
+    started with an initial ``phase`` offset so that co-periodic processes
+    (e.g. many leaf controllers at 3 s) do not all fire at the same instant
+    unless the experiment wants them to.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval_s: float,
+        tick: Callable[[float], None],
+        *,
+        label: str = "",
+        priority: int = 0,
+    ) -> None:
+        if interval_s <= 0:
+            raise SimulationError(f"interval must be positive, got {interval_s}")
+        self._engine = engine
+        self._interval = float(interval_s)
+        self._tick = tick
+        self._label = label or tick.__qualname__
+        self._priority = priority
+        self._pending: Event | None = None
+        self._stopped = True
+        self.tick_count = 0
+
+    @property
+    def interval_s(self) -> float:
+        """The process period in seconds."""
+        return self._interval
+
+    @property
+    def running(self) -> bool:
+        """Whether the process is currently scheduled."""
+        return not self._stopped
+
+    def start(self, phase: float = 0.0) -> None:
+        """Begin ticking, with the first tick ``phase`` seconds from now."""
+        if not self._stopped:
+            raise SimulationError(f"process {self._label!r} already started")
+        if phase < 0:
+            raise SimulationError("phase must be non-negative")
+        self._stopped = False
+        self._pending = self._engine.schedule_after(
+            phase, self._run_once, priority=self._priority, label=self._label
+        )
+
+    def stop(self) -> None:
+        """Stop ticking; a pending tick is cancelled."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def set_interval(self, interval_s: float) -> None:
+        """Change the period; takes effect at the next reschedule."""
+        if interval_s <= 0:
+            raise SimulationError(f"interval must be positive, got {interval_s}")
+        self._interval = float(interval_s)
+
+    def _run_once(self) -> None:
+        if self._stopped:
+            return
+        self._pending = None
+        self._tick(self._engine.clock.now)
+        self.tick_count += 1
+        if not self._stopped:
+            self._pending = self._engine.schedule_after(
+                self._interval,
+                self._run_once,
+                priority=self._priority,
+                label=self._label,
+            )

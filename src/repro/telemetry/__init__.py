@@ -1,0 +1,32 @@
+"""Monitoring substrate: time series, samplers, and variation analysis.
+
+The paper's characterization (Section II-B) rests on fine-grained power
+samples: 3 s readings for every server in a 30 K-server suite over six
+months.  This package provides the storage (:class:`TimeSeries`), the
+collection (:class:`PowerSampler`), and the analysis — the windowed
+max-minus-min *power variation* metric of Figure 4 and the CDF machinery
+behind Figures 5 and 6 — plus the alerting sink controllers raise
+human-intervention alarms into.
+"""
+
+from repro.telemetry.alerts import Alert, AlertSink
+from repro.telemetry.cdf import empirical_cdf, percentile
+from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.variation import (
+    max_variation_in_window,
+    variation_series,
+    variation_summary,
+)
+
+__all__ = [
+    "Alert",
+    "AlertSink",
+    "PowerSampler",
+    "TimeSeries",
+    "empirical_cdf",
+    "max_variation_in_window",
+    "percentile",
+    "variation_series",
+    "variation_summary",
+]

@@ -1,0 +1,70 @@
+"""Alerting sink for conditions requiring human intervention.
+
+Dynamo alerts rather than acts when it cannot trust its inputs — e.g.
+when more than 20% of a leaf controller's power pulls fail — and warns on
+monitoring conditions like sustained overdraw.  The sink is a simple
+in-memory log with severity levels; tests and experiments assert on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """Alert severity levels."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert."""
+
+    time_s: float
+    severity: Severity
+    source: str
+    message: str
+
+
+class AlertSink:
+    """Collects alerts raised anywhere in a deployment."""
+
+    def __init__(self) -> None:
+        self._alerts: list[Alert] = []
+
+    def raise_alert(
+        self,
+        time_s: float,
+        severity: Severity,
+        source: str,
+        message: str,
+    ) -> Alert:
+        """Record and return a new alert."""
+        alert = Alert(time_s=time_s, severity=severity, source=source, message=message)
+        self._alerts.append(alert)
+        return alert
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """All alerts, in raise order."""
+        return list(self._alerts)
+
+    def by_severity(self, severity: Severity) -> list[Alert]:
+        """Alerts matching one severity."""
+        return [a for a in self._alerts if a.severity is severity]
+
+    def from_source(self, source: str) -> list[Alert]:
+        """Alerts raised by one source."""
+        return [a for a in self._alerts if a.source == source]
+
+    def count(self) -> int:
+        """Total alerts raised."""
+        return len(self._alerts)
+
+    def clear(self) -> None:
+        """Drop all recorded alerts."""
+        self._alerts.clear()

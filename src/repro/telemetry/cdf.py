@@ -1,0 +1,47 @@
+"""Empirical CDF and percentile helpers for the characterization study."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, cumulative probabilities) for plotting.
+
+    The i-th probability is (i + 1) / n, so the largest value maps to 1.0.
+
+    Raises:
+        ConfigurationError: for an empty input.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot build a CDF from no samples")
+    ordered = np.sort(arr)
+    probs = np.arange(1, ordered.size + 1) / ordered.size
+    return ordered, probs
+
+
+def percentile(values, q: float) -> float:
+    """The q-th percentile (0-100) of ``values``.
+
+    Raises:
+        ConfigurationError: for an empty input or q outside [0, 100].
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def p50(values) -> float:
+    """Median (the paper's p50)."""
+    return percentile(values, 50.0)
+
+
+def p99(values) -> float:
+    """99th percentile (the paper's p99)."""
+    return percentile(values, 99.0)

@@ -1,0 +1,151 @@
+"""Append-only time series storage for power telemetry."""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class TimeSeries:
+    """Timestamped float samples, appended in time order.
+
+    Backed by plain Python lists (append-heavy workload) with
+    numpy-returning accessors for analysis.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time_s: float, value: float) -> None:
+        """Add a sample; time must be >= the last sample's time."""
+        if self._times and time_s < self._times[-1]:
+            raise ConfigurationError(
+                f"samples must be appended in time order "
+                f"({time_s} < {self._times[-1]})"
+            )
+        self._times.append(float(time_s))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps as an array."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array."""
+        return np.asarray(self._values)
+
+    def latest(self) -> tuple[float, float]:
+        """The most recent (time, value) sample.
+
+        Raises:
+            ConfigurationError: if the series is empty.
+        """
+        if not self._times:
+            raise ConfigurationError(f"time series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def window(self, start_s: float, end_s: float) -> "TimeSeries":
+        """Samples with ``start_s <= t <= end_s`` as a new series."""
+        lo = bisect.bisect_left(self._times, start_s)
+        hi = bisect.bisect_right(self._times, end_s)
+        out = TimeSeries(self.name)
+        out._times = self._times[lo:hi]
+        out._values = self._values[lo:hi]
+        return out
+
+    def value_at(self, time_s: float) -> float:
+        """The value of the latest sample at or before ``time_s``.
+
+        Raises:
+            ConfigurationError: if no sample exists that early.
+        """
+        idx = bisect.bisect_right(self._times, time_s) - 1
+        if idx < 0:
+            raise ConfigurationError(
+                f"no sample at or before t={time_s} in {self.name!r}"
+            )
+        return self._values[idx]
+
+    def mean(self) -> float:
+        """Arithmetic mean of all values (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return float(np.mean(self._values))
+
+    def max(self) -> float:
+        """Maximum value.
+
+        Raises:
+            ConfigurationError: if the series is empty.
+        """
+        if not self._values:
+            raise ConfigurationError(f"time series {self.name!r} is empty")
+        return float(np.max(self._values))
+
+    def min(self) -> float:
+        """Minimum value.
+
+        Raises:
+            ConfigurationError: if the series is empty.
+        """
+        if not self._values:
+            raise ConfigurationError(f"time series {self.name!r} is empty")
+        return float(np.min(self._values))
+
+    def downsample(self, interval_s: float) -> "TimeSeries":
+        """Keep the last sample in each ``interval_s`` bucket.
+
+        Models coarse-grained sources like breaker readings that only
+        update every minute.
+        """
+        if interval_s <= 0:
+            raise ConfigurationError("downsample interval must be positive")
+        out = TimeSeries(self.name)
+        last_bucket: int | None = None
+        pending: tuple[float, float] | None = None
+        for t, v in zip(self._times, self._values):
+            bucket = int(t // interval_s)
+            if bucket != last_bucket and pending is not None:
+                out._times.append(pending[0])
+                out._values.append(pending[1])
+            last_bucket = bucket
+            pending = (t, v)
+        if pending is not None:
+            out._times.append(pending[0])
+            out._values.append(pending[1])
+        return out
+
+    def to_csv(self, path) -> None:
+        """Write ``time_s,value`` rows (with header) to ``path``."""
+        with open(path, "w") as f:
+            f.write("time_s,value\n")
+            for t, v in zip(self._times, self._values):
+                f.write(f"{t!r},{v!r}\n")
+
+    @classmethod
+    def from_csv(cls, path, name: str = "") -> "TimeSeries":
+        """Read a series previously written by :meth:`to_csv`."""
+        series = cls(name)
+        with open(path) as f:
+            header = f.readline()
+            if header.strip() != "time_s,value":
+                raise ConfigurationError(
+                    f"{path} does not look like a TimeSeries CSV"
+                )
+            for line in f:
+                t_str, v_str = line.strip().split(",")
+                series.append(float(t_str), float(v_str))
+        return series
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, n={len(self)})"

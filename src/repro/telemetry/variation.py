@@ -1,0 +1,116 @@
+"""The power-variation metric of Figure 4 and its summaries.
+
+For a time window ``W``, the *power variation* is the difference between
+the maximum and minimum power observed inside the window, normalized to a
+reference power (the paper normalizes to "the average power during peak
+hours").  Sliding the window across a trace yields a distribution of
+variations; Figures 5 and 6 report its CDF and the p50/p99 values.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.telemetry.cdf import percentile
+from repro.telemetry.timeseries import TimeSeries
+
+
+def max_variation_in_window(values: np.ndarray) -> float:
+    """Max minus min of one window of samples (Figure 4's v)."""
+    if values.size == 0:
+        raise ConfigurationError("window contains no samples")
+    return float(np.max(values) - np.min(values))
+
+
+def variation_series(
+    series: TimeSeries,
+    window_s: float,
+    *,
+    stride_s: float | None = None,
+) -> np.ndarray:
+    """Sliding-window max-min variations across a whole trace.
+
+    Samples are assumed near-uniformly spaced (the 3 s pull cycle).  The
+    window slides by ``stride_s`` (default: one sample) and each position
+    contributes one variation value.  Uses monotonic deques for O(n)
+    overall cost, which matters for six-month-equivalent traces.
+
+    Returns absolute (watt) variations; normalize with
+    :func:`variation_summary` or by dividing by a reference power.
+    """
+    if window_s <= 0:
+        raise ConfigurationError("window must be positive")
+    times = series.times
+    values = series.values
+    n = times.size
+    if n < 2:
+        return np.empty(0)
+    # Estimate sample spacing from the median gap (robust to jitter).
+    gaps = np.diff(times)
+    spacing = float(np.median(gaps))
+    if spacing <= 0:
+        raise ConfigurationError("series must have increasing timestamps")
+    width = max(2, int(round(window_s / spacing)) + 1)
+    if width > n:
+        return np.empty(0)
+    stride = 1
+    if stride_s is not None:
+        stride = max(1, int(round(stride_s / spacing)))
+    max_deque: collections.deque[int] = collections.deque()
+    min_deque: collections.deque[int] = collections.deque()
+    out: list[float] = []
+    for i in range(n):
+        while max_deque and values[max_deque[-1]] <= values[i]:
+            max_deque.pop()
+        max_deque.append(i)
+        while min_deque and values[min_deque[-1]] >= values[i]:
+            min_deque.pop()
+        min_deque.append(i)
+        start = i - width + 1
+        if start < 0:
+            continue
+        while max_deque[0] < start:
+            max_deque.popleft()
+        while min_deque[0] < start:
+            min_deque.popleft()
+        if (i - (width - 1)) % stride == 0:
+            out.append(float(values[max_deque[0]] - values[min_deque[0]]))
+    return np.asarray(out)
+
+
+def variation_summary(
+    series: TimeSeries,
+    window_s: float,
+    *,
+    reference_power_w: float | None = None,
+    stride_s: float | None = None,
+) -> dict[str, float]:
+    """p50/p99 (and mean) of normalized variation for one window size.
+
+    ``reference_power_w`` defaults to the trace's mean power, standing in
+    for the paper's "average power during peak hours".
+
+    Returns a dict with keys ``p50``, ``p99``, ``mean`` — all expressed
+    as *percent* of the reference power, matching the paper's axes.
+    """
+    variations = variation_series(series, window_s, stride_s=stride_s)
+    if variations.size == 0:
+        raise ConfigurationError(
+            f"trace too short for a {window_s}s window"
+        )
+    reference = reference_power_w if reference_power_w is not None else series.mean()
+    if reference <= 0:
+        raise ConfigurationError("reference power must be positive")
+    normalized = variations / reference * 100.0
+    return {
+        "p50": percentile(normalized, 50.0),
+        "p99": percentile(normalized, 99.0),
+        "mean": float(np.mean(normalized)),
+    }
+
+
+#: The window sizes Figure 5 sweeps, in seconds.
+FIGURE5_WINDOWS_S = (3.0, 30.0, 60.0, 150.0, 300.0, 600.0)

@@ -1,0 +1,104 @@
+"""Unit helpers and physical constants used throughout the library.
+
+All internal power values are stored in **watts** and all internal times in
+**seconds**.  These helpers exist so call sites can express paper-level
+quantities (``megawatts(2.5)``, ``minutes(17)``) without sprinkling magic
+multipliers around the codebase.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Power conversions (canonical unit: watt)
+# ---------------------------------------------------------------------------
+
+WATTS_PER_KILOWATT = 1_000.0
+WATTS_PER_MEGAWATT = 1_000_000.0
+
+
+def kilowatts(value: float) -> float:
+    """Convert kilowatts to watts."""
+    return value * WATTS_PER_KILOWATT
+
+
+def megawatts(value: float) -> float:
+    """Convert megawatts to watts."""
+    return value * WATTS_PER_MEGAWATT
+
+
+def to_kilowatts(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / WATTS_PER_KILOWATT
+
+
+def to_megawatts(watts: float) -> float:
+    """Convert watts to megawatts."""
+    return watts / WATTS_PER_MEGAWATT
+
+
+# ---------------------------------------------------------------------------
+# Time conversions (canonical unit: second)
+# ---------------------------------------------------------------------------
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def to_minutes(seconds: float) -> float:
+    """Convert seconds to minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+def to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def format_power(watts: float) -> str:
+    """Render a power value with a human-friendly magnitude suffix.
+
+    >>> format_power(2_500_000)
+    '2.50 MW'
+    >>> format_power(190_000)
+    '190.00 KW'
+    >>> format_power(215.0)
+    '215.0 W'
+    """
+    if abs(watts) >= WATTS_PER_MEGAWATT:
+        return f"{watts / WATTS_PER_MEGAWATT:.2f} MW"
+    if abs(watts) >= WATTS_PER_KILOWATT:
+        return f"{watts / WATTS_PER_KILOWATT:.2f} KW"
+    return f"{watts:.1f} W"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a human-friendly magnitude suffix.
+
+    >>> format_duration(90)
+    '1.5 min'
+    >>> format_duration(7200)
+    '2.0 h'
+    >>> format_duration(12)
+    '12.0 s'
+    """
+    if abs(seconds) >= SECONDS_PER_HOUR:
+        return f"{seconds / SECONDS_PER_HOUR:.1f} h"
+    if abs(seconds) >= SECONDS_PER_MINUTE:
+        return f"{seconds / SECONDS_PER_MINUTE:.1f} min"
+    return f"{seconds:.1f} s"

@@ -1,0 +1,178 @@
+"""Traffic events: load tests, surges, and site-outage recovery traces.
+
+These are :class:`~repro.workloads.base.WorkloadModifier` implementations
+that replay the stimulus shapes behind the paper's production case
+studies:
+
+* Figure 11 — a production load test shifts extra traffic to a front-end
+  cluster, ramping power into the capping threshold of its PDU breaker.
+* Figure 12 — an unplanned site outage drops load sharply, oscillates
+  through failed recovery attempts, then surges to ~1.3x the normal peak
+  as traffic floods back and servers restart simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoadTestEvent:
+    """Extra traffic ramped in and out over a window (Figure 11).
+
+    Utilization gains ``magnitude`` (additively) between ``start_s`` and
+    ``end_s`` with linear ramps of ``ramp_s`` at each edge.
+    """
+
+    start_s: float
+    end_s: float
+    magnitude: float
+    ramp_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("load test must end after it starts")
+        if self.ramp_s < 0:
+            raise ConfigurationError("ramp must be non-negative")
+
+    def apply(self, now_s: float, utilization: float) -> float:
+        """Add the ramped extra demand."""
+        return utilization + self.magnitude * self._envelope(now_s)
+
+    def _envelope(self, now_s: float) -> float:
+        if now_s <= self.start_s or now_s >= self.end_s:
+            return 0.0
+        if self.ramp_s > 0.0 and now_s < self.start_s + self.ramp_s:
+            return (now_s - self.start_s) / self.ramp_s
+        if self.ramp_s > 0.0 and now_s > self.end_s - self.ramp_s:
+            return (self.end_s - now_s) / self.ramp_s
+        return 1.0
+
+
+@dataclass(frozen=True)
+class TrafficSurgeEvent:
+    """A multiplicative traffic surge (e.g. a special event or disaster).
+
+    Between ``start_s`` and ``end_s`` demand is multiplied by
+    ``multiplier`` (>1 surges, <1 sheds load), with linear ramps.
+    """
+
+    start_s: float
+    end_s: float
+    multiplier: float
+    ramp_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("surge must end after it starts")
+        if self.multiplier < 0:
+            raise ConfigurationError("multiplier cannot be negative")
+
+    def apply(self, now_s: float, utilization: float) -> float:
+        """Scale demand by the ramped multiplier."""
+        envelope = self._envelope(now_s)
+        factor = 1.0 + (self.multiplier - 1.0) * envelope
+        return utilization * factor
+
+    def _envelope(self, now_s: float) -> float:
+        if now_s <= self.start_s or now_s >= self.end_s:
+            return 0.0
+        if self.ramp_s > 0.0 and now_s < self.start_s + self.ramp_s:
+            return (now_s - self.start_s) / self.ramp_s
+        if self.ramp_s > 0.0 and now_s > self.end_s - self.ramp_s:
+            return (self.end_s - now_s) / self.ramp_s
+        return 1.0
+
+
+class SiteOutageRecoveryEvent:
+    """The Figure 12 trace: outage drop, failed recoveries, recovery surge.
+
+    Phases (all times relative to ``outage_start_s``):
+
+    1. **Drop** — load falls to ``outage_floor`` over ``drop_duration_s``.
+    2. **Oscillation** — two partial recovery attempts bounce load between
+       the floor and roughly half of normal.
+    3. **Surge** — successful recovery floods traffic back, overshooting
+       to ``surge_multiplier`` (the paper's SB hit ~1.3x its normal daily
+       peak) before decaying to normal over ``surge_decay_s``.
+    """
+
+    def __init__(
+        self,
+        outage_start_s: float,
+        *,
+        drop_duration_s: float = 600.0,
+        outage_floor: float = 0.30,
+        oscillation_duration_s: float = 1800.0,
+        surge_multiplier: float = 1.35,
+        surge_duration_s: float = 1800.0,
+        surge_decay_s: float = 2400.0,
+    ) -> None:
+        if surge_multiplier <= 1.0:
+            raise ConfigurationError("recovery surge must exceed normal load")
+        if not 0.0 <= outage_floor < 1.0:
+            raise ConfigurationError("outage floor must be in [0, 1)")
+        self.outage_start_s = outage_start_s
+        self.drop_duration_s = drop_duration_s
+        self.outage_floor = outage_floor
+        self.oscillation_duration_s = oscillation_duration_s
+        self.surge_multiplier = surge_multiplier
+        self.surge_duration_s = surge_duration_s
+        self.surge_decay_s = surge_decay_s
+
+    # Phase boundary helpers -------------------------------------------------
+
+    @property
+    def oscillation_start_s(self) -> float:
+        """When the failed recovery attempts begin."""
+        return self.outage_start_s + self.drop_duration_s
+
+    @property
+    def surge_start_s(self) -> float:
+        """When the successful recovery surge begins."""
+        return self.oscillation_start_s + self.oscillation_duration_s
+
+    @property
+    def surge_end_s(self) -> float:
+        """When the surge plateau ends and decay begins."""
+        return self.surge_start_s + self.surge_duration_s
+
+    @property
+    def end_s(self) -> float:
+        """When load has returned to normal."""
+        return self.surge_end_s + self.surge_decay_s
+
+    def multiplier(self, now_s: float) -> float:
+        """Demand multiplier relative to normal at ``now_s``."""
+        t = now_s - self.outage_start_s
+        if t <= 0:
+            return 1.0
+        if t < self.drop_duration_s:
+            frac = t / self.drop_duration_s
+            return 1.0 + (self.outage_floor - 1.0) * frac
+        t -= self.drop_duration_s
+        if t < self.oscillation_duration_s:
+            # Two triangular partial-recovery bounces between the floor
+            # and ~55% of normal.
+            period = self.oscillation_duration_s / 2.0
+            phase = (t % period) / period
+            bounce = 1.0 - abs(2.0 * phase - 1.0)  # 0 -> 1 -> 0
+            return self.outage_floor + (0.55 - self.outage_floor) * bounce
+        t -= self.oscillation_duration_s
+        if t < self.surge_duration_s:
+            ramp = min(1.0, t / 300.0)
+            return (
+                self.outage_floor
+                + (self.surge_multiplier - self.outage_floor) * ramp
+            )
+        t -= self.surge_duration_s
+        if t < self.surge_decay_s:
+            frac = t / self.surge_decay_s
+            return self.surge_multiplier + (1.0 - self.surge_multiplier) * frac
+        return 1.0
+
+    def apply(self, now_s: float, utilization: float) -> float:
+        """WorkloadModifier interface: scale demand by the trace."""
+        return utilization * self.multiplier(now_s)

@@ -1,0 +1,95 @@
+"""Cluster load balancer that shifts traffic away from capped servers.
+
+The paper notes that during the Figure 11/12 capping events, request load
+balancing "responded by sending less traffic to those servers to improve
+their response time during capping".  :class:`LoadBalancer` reproduces
+that feedback: a cluster-level demand signal is divided among servers in
+proportion to their current capacity, so a capped server receives less
+work and uncapped peers absorb the remainder (up to their own limits).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.server.server import Server
+
+
+class AssignedShareWorkload:
+    """A workload whose utilization is set externally by a load balancer."""
+
+    def __init__(self, service: str, initial_utilization: float = 0.0) -> None:
+        self.service = service
+        self._utilization = float(initial_utilization)
+
+    def utilization(self, now_s: float) -> float:
+        """Most recently assigned demand."""
+        return self._utilization
+
+    def assign(self, utilization: float) -> None:
+        """Set the demand (called by the load balancer)."""
+        self._utilization = min(1.0, max(0.0, utilization))
+
+
+class LoadBalancer:
+    """Splits cluster demand across servers, weighted by capacity.
+
+    ``cluster_demand`` is a function of time returning the total demanded
+    utilization expressed as an *average per-server* fraction (0.6 means
+    the cluster wants 60% of aggregate capacity).  Each rebalance, every
+    server's weight is its achievable utilization under its current power
+    cap; demand is distributed proportionally, and demand that cannot be
+    placed is recorded as shed (lost work / increased latency upstream).
+    """
+
+    def __init__(
+        self,
+        servers: list[Server],
+        cluster_demand: Callable[[float], float],
+    ) -> None:
+        if not servers:
+            raise ConfigurationError("load balancer needs at least one server")
+        for server in servers:
+            if not isinstance(server.workload, AssignedShareWorkload):
+                raise ConfigurationError(
+                    f"server {server.server_id!r} must use AssignedShareWorkload"
+                )
+        self._servers = servers
+        self._cluster_demand = cluster_demand
+        self.shed_demand = 0.0
+
+    def rebalance(self, now_s: float) -> None:
+        """Recompute each server's share of the cluster demand."""
+        total_demand = self._cluster_demand(now_s) * len(self._servers)
+        capacities: list[float] = []
+        for server in self._servers:
+            if not server.online:
+                capacities.append(0.0)
+                continue
+            cap = server.rapl.limit_w
+            if cap is None:
+                capacities.append(1.0)
+            else:
+                capacities.append(
+                    server.power_model.utilization_at_power(
+                        cap, turbo=server.turbo.enabled
+                    )
+                )
+        total_capacity = sum(capacities)
+        if total_capacity <= 0.0:
+            for server in self._servers:
+                workload: AssignedShareWorkload = server.workload  # type: ignore[assignment]
+                workload.assign(0.0)
+            self.shed_demand = total_demand
+            return
+        placed = min(total_demand, total_capacity)
+        self.shed_demand = total_demand - placed
+        for server, capacity in zip(self._servers, capacities):
+            workload: AssignedShareWorkload = server.workload  # type: ignore[assignment]
+            workload.assign(placed * capacity / total_capacity)
+
+    @property
+    def servers(self) -> list[Server]:
+        """The balanced server pool."""
+        return list(self._servers)

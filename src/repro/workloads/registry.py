@@ -1,0 +1,100 @@
+"""Service registry: priority groups, SLA floors, and workload factory.
+
+Section III-C3: Facebook services are categorized into a predefined set of
+priority groups, where higher priority means capping hurts more.  Cache
+servers sit above web and news feed servers because a few capped cache
+machines affect many users.  Each priority group carries an SLA expressed
+as the lowest allowable power cap.
+
+Priority numbering here: **larger number = higher priority = capped
+later**.  The leaf controller caps priority group 0 first, then 1, and so
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import StochasticWorkload
+from repro.workloads.cache import CacheWorkload
+from repro.workloads.database import DatabaseWorkload
+from repro.workloads.hadoop import HadoopWorkload
+from repro.workloads.newsfeed import NewsfeedWorkload
+from repro.workloads.storage import StorageWorkload
+from repro.workloads.web import WebWorkload
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Operational description of one service."""
+
+    name: str
+    priority_group: int
+    sla_min_cap_w: float
+    description: str = ""
+
+
+# Priority groups (capped lowest-group-first):
+#   0 — batch and maintenance work (hadoop, storage): cap freely.
+#   1 — user-facing stateless tiers (web, newsfeed): cap when needed;
+#       load balancers route around capped machines.
+#   2 — databases: capping risks replication lag.
+#   3 — cache: a small number of capped cache servers affects a large
+#       number of users (paper's example of a high-priority group).
+SERVICE_SPECS: dict[str, ServiceSpec] = {
+    "hadoop": ServiceSpec(
+        "hadoop", 0, sla_min_cap_w=120.0, description="map-reduce batch"
+    ),
+    "f4storage": ServiceSpec(
+        "f4storage", 0, sla_min_cap_w=110.0, description="warm BLOB storage"
+    ),
+    "web": ServiceSpec(
+        "web", 1, sla_min_cap_w=150.0, description="front-end web tier"
+    ),
+    "newsfeed": ServiceSpec(
+        "newsfeed", 1, sla_min_cap_w=150.0, description="feed aggregation"
+    ),
+    "database": ServiceSpec(
+        "database", 2, sla_min_cap_w=170.0, description="MySQL shards"
+    ),
+    "cache": ServiceSpec(
+        "cache", 3, sla_min_cap_w=190.0, description="TAO caching tier"
+    ),
+}
+
+
+def service_spec(name: str) -> ServiceSpec:
+    """Look up a service spec by name."""
+    try:
+        return SERVICE_SPECS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown service {name!r}") from None
+
+
+_WORKLOAD_CLASSES: dict[str, type[StochasticWorkload]] = {
+    "web": WebWorkload,
+    "cache": CacheWorkload,
+    "hadoop": HadoopWorkload,
+    "database": DatabaseWorkload,
+    "newsfeed": NewsfeedWorkload,
+    "f4storage": StorageWorkload,
+}
+
+
+def make_workload(service: str, rng: np.random.Generator) -> StochasticWorkload:
+    """Instantiate the workload model for ``service``."""
+    try:
+        cls = _WORKLOAD_CLASSES[service]
+    except KeyError:
+        raise ConfigurationError(f"unknown service {service!r}") from None
+    return cls(rng)
+
+
+def all_service_names() -> list[str]:
+    """Names of every modelled service, in priority order (lowest first)."""
+    return sorted(
+        SERVICE_SPECS, key=lambda n: (SERVICE_SPECS[n].priority_group, n)
+    )

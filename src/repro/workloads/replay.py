@@ -1,0 +1,96 @@
+"""Trace replay: drive servers from recorded utilization traces.
+
+The paper's characterization is built on recorded fleet telemetry; a
+user adopting this library will often have their own utilization traces
+(from collectd, Prometheus, etc.).  :class:`TraceWorkload` replays a
+recorded (time, utilization) series — with optional linear interpolation
+and looping — through the standard workload interface, so real traces
+drop into any scenario, controller test, or characterization run.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+from repro.workloads.base import WorkloadModifier
+
+
+class TraceWorkload:
+    """Replays a utilization trace as a workload.
+
+    Args:
+        trace: (time, utilization) samples; utilizations in [0, 1].
+        service: service label for priority lookups.
+        interpolate: linear interpolation between samples (True) or
+            step-hold of the previous sample (False).
+        loop: wrap simulation time around the trace length so short
+            traces drive long simulations.
+    """
+
+    def __init__(
+        self,
+        trace: TimeSeries,
+        *,
+        service: str = "replay",
+        interpolate: bool = True,
+        loop: bool = False,
+    ) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError("trace must contain samples")
+        values = trace.values
+        if values.min() < 0.0 or values.max() > 1.0:
+            raise ConfigurationError("trace utilizations must be in [0, 1]")
+        self.service = service
+        self._times = trace.times
+        self._values = values
+        self._interpolate = interpolate
+        self._loop = loop
+        self._span = float(self._times[-1] - self._times[0])
+        self._modifiers: list[WorkloadModifier] = []
+
+    def add_modifier(self, modifier: WorkloadModifier) -> None:
+        """Attach a traffic event on top of the replayed trace."""
+        self._modifiers.append(modifier)
+
+    def utilization(self, now_s: float) -> float:
+        """Replayed utilization at ``now_s``."""
+        t = self._map_time(now_s)
+        value = self._value_at(t)
+        for modifier in self._modifiers:
+            value = modifier.apply(now_s, value)
+        return min(1.0, max(0.0, value))
+
+    def _map_time(self, now_s: float) -> float:
+        start = float(self._times[0])
+        if self._loop and self._span > 0.0:
+            return start + (now_s - start) % self._span
+        return now_s
+
+    def _value_at(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t <= times[0]:
+            return float(values[0])
+        if t >= times[-1]:
+            return float(values[-1])
+        hi = bisect.bisect_right(times, t)
+        lo = hi - 1
+        if not self._interpolate or times[hi] == times[lo]:
+            return float(values[lo])
+        frac = (t - times[lo]) / (times[hi] - times[lo])
+        return float(values[lo] + (values[hi] - values[lo]) * frac)
+
+
+def record_workload(
+    workload, duration_s: float, *, interval_s: float = 3.0
+) -> TimeSeries:
+    """Sample any workload into a trace (for later replay or export)."""
+    if interval_s <= 0 or duration_s <= 0:
+        raise ConfigurationError("duration and interval must be positive")
+    trace = TimeSeries(getattr(workload, "service", "trace"))
+    t = 0.0
+    while t <= duration_s:
+        trace.append(t, workload.utilization(t))
+        t += interval_s
+    return trace

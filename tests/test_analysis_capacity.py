@@ -1,0 +1,107 @@
+"""Tests for capacity analysis: stranded power and packing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import (
+    PackingPlanner,
+    StrandedPowerEntry,
+    stranded_power_report,
+    total_stranded_w,
+)
+from repro.errors import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+
+from tests.conftest import tiny_topology
+
+
+def make_series(name, values):
+    series = TimeSeries(name)
+    for i, v in enumerate(values):
+        series.append(float(i), v)
+    return series
+
+
+class TestStrandedPower:
+    def test_report_entries(self):
+        topo = tiny_topology()
+        series = {
+            "rpp0": make_series("rpp0", [10_000.0, 12_000.0, 11_000.0]),
+            "sb0": make_series("sb0", [20_000.0, 22_000.0]),
+        }
+        report = stranded_power_report(topo, series)
+        by_name = {e.device_name: e for e in report}
+        assert by_name["rpp0"].peak_power_w == 12_000.0
+        # rpp0 rated 30 KW: 18 KW stranded.
+        assert by_name["rpp0"].stranded_w == pytest.approx(18_000.0)
+        assert by_name["rpp0"].utilization == pytest.approx(0.4)
+
+    def test_devices_without_series_skipped(self):
+        topo = tiny_topology()
+        report = stranded_power_report(
+            topo, {"rpp0": make_series("rpp0", [1.0])}
+        )
+        assert [e.device_name for e in report] == ["rpp0"]
+
+    def test_total_by_level(self):
+        topo = tiny_topology()
+        series = {
+            "rpp0": make_series("rpp0", [10_000.0]),
+            "rpp1": make_series("rpp1", [20_000.0]),
+        }
+        report = stranded_power_report(topo, series)
+        assert total_stranded_w(report, "rpp") == pytest.approx(
+            20_000.0 + 10_000.0
+        )
+
+    def test_overdraw_strands_nothing(self):
+        topo = tiny_topology()
+        series = {"rpp0": make_series("rpp0", [40_000.0])}
+        report = stranded_power_report(topo, series)
+        assert report[0].stranded_w == 0.0
+
+
+class TestPackingPlanner:
+    def make(self):
+        rng = np.random.default_rng(0)
+        observed = np.clip(rng.normal(240.0, 25.0, 5000), 150.0, 330.0)
+        return PackingPlanner(
+            30_000.0, nameplate_w=390.0, observed_powers_w=observed
+        )
+
+    def test_nameplate_is_most_conservative(self):
+        planner = self.make()
+        assert (
+            planner.servers_nameplate()
+            <= planner.servers_measured_peak()
+            <= planner.servers_percentile(99.0)
+        )
+
+    def test_gain_positive(self):
+        planner = self.make()
+        assert planner.gain_fraction(99.0) > 0.08
+
+    def test_lower_percentile_packs_more(self):
+        planner = self.make()
+        assert planner.servers_percentile(90.0) >= planner.servers_percentile(
+            99.9
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            PackingPlanner(0.0, nameplate_w=300.0, observed_powers_w=[200.0])
+        with pytest.raises(ConfigurationError):
+            PackingPlanner(1000.0, nameplate_w=0.0, observed_powers_w=[200.0])
+        with pytest.raises(ConfigurationError):
+            PackingPlanner(1000.0, nameplate_w=300.0, observed_powers_w=[])
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ConfigurationError):
+            self.make().servers_percentile(0.0)
+
+    def test_gain_requires_nonzero_base(self):
+        planner = PackingPlanner(
+            100.0, nameplate_w=390.0, observed_powers_w=[200.0]
+        )
+        with pytest.raises(ConfigurationError):
+            planner.gain_fraction()

@@ -1,0 +1,120 @@
+"""Tests for monitoring reports and per-controller band overrides."""
+
+import pytest
+
+from repro.analysis.monitoring import build_report
+from repro.config import ThreeBandConfig
+from repro.core.dynamo import Dynamo
+from repro.fleet import FleetDriver, ServiceAllocation, populate_fleet
+from repro.power.oversubscription import plan_quotas
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+from tests.conftest import tiny_topology
+
+
+def deployment(n_web=8, seed=9):
+    engine = SimulationEngine()
+    topology = tiny_topology()
+    plan_quotas(topology)
+    rng = RngStreams(seed)
+    fleet = populate_fleet(topology, [ServiceAllocation("web", n_web)], rng)
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("d"))
+    driver = FleetDriver(engine, topology, fleet)
+    driver.start()
+    dynamo.start()
+    return engine, dynamo
+
+
+class TestMonitoringReport:
+    def test_covers_all_devices(self):
+        engine, dynamo = deployment()
+        engine.run_until(60.0)
+        report = build_report(dynamo)
+        assert len(report.devices) == dynamo.topology.device_count
+
+    def test_utilization_by_level(self):
+        engine, dynamo = deployment()
+        engine.run_until(60.0)
+        report = build_report(dynamo)
+        levels = report.utilization_by_level()
+        assert set(levels) == {"msb", "sb", "rpp"}
+        for value in levels.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_hottest_devices_sorted(self):
+        engine, dynamo = deployment()
+        engine.run_until(60.0)
+        report = build_report(dynamo)
+        hot = report.hottest_devices(3)
+        utils = [d.utilization for d in hot]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_top_consumers(self):
+        engine, dynamo = deployment()
+        engine.run_until(60.0)
+        report = build_report(dynamo, top_n=3)
+        assert len(report.top_consumers) == 3
+        powers = [p for _, _, p in report.top_consumers]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_render_contains_key_facts(self):
+        engine, dynamo = deployment()
+        engine.run_until(60.0)
+        text = build_report(dynamo).render()
+        assert "Hottest devices" in text
+        assert "servers capped: 0/8" in text
+        assert "mean utilization" in text
+
+    def test_counts_capping_activity(self):
+        engine, dynamo = deployment()
+        engine.run_until(30.0)
+        leaf = dynamo.leaf_controller("rpp0")
+        # Force capping via a tight contractual limit.
+        aggregate = leaf.last_aggregate_power_w
+        leaf.set_contractual_limit_w(aggregate * 0.9)
+        engine.run_until(60.0)
+        report = build_report(dynamo)
+        assert report.cap_events >= 1
+        assert report.capped_servers >= 1
+
+
+class TestBandOverride:
+    def test_override_changes_thresholds(self):
+        engine, dynamo = deployment()
+        custom = ThreeBandConfig(
+            capping_threshold=0.97,
+            capping_target=0.90,
+            uncapping_threshold=0.80,
+        )
+        dynamo.set_band_config("rpp0", custom)
+        controller = dynamo.leaf_controller("rpp0")
+        cap_at, target, uncap = controller.band.thresholds_w(100_000.0)
+        assert cap_at == pytest.approx(97_000.0)
+        assert target == pytest.approx(90_000.0)
+        assert uncap == pytest.approx(80_000.0)
+
+    def test_override_preserves_capping_state(self):
+        engine, dynamo = deployment()
+        engine.run_until(30.0)
+        leaf = dynamo.leaf_controller("rpp0")
+        leaf.set_contractual_limit_w(leaf.last_aggregate_power_w * 0.9)
+        engine.run_until(45.0)
+        assert leaf.band.capping_active
+        dynamo.set_band_config("rpp0", ThreeBandConfig())
+        assert leaf.band.capping_active
+
+    def test_override_per_level(self):
+        # Different trade-offs at different levels, as the paper allows.
+        engine, dynamo = deployment()
+        dynamo.set_band_config(
+            "sb0",
+            ThreeBandConfig(
+                capping_threshold=0.98,
+                capping_target=0.93,
+                uncapping_threshold=0.85,
+            ),
+        )
+        sb = dynamo.controller("sb0")
+        rpp = dynamo.leaf_controller("rpp0")
+        assert sb.band.config != rpp.band.config

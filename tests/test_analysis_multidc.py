@@ -1,0 +1,119 @@
+"""Tests for multi-datacenter regions and cascade prevention."""
+
+import pytest
+
+from repro.analysis.multidc import (
+    RegionalTrafficManager,
+    RegionalTrafficModifier,
+    build_region,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTrafficManager:
+    def test_even_multipliers_when_all_up(self):
+        manager = RegionalTrafficManager()
+        for name in ("a", "b", "c"):
+            manager.register(name)
+        assert manager.multiplier("a") == pytest.approx(1.0)
+
+    def test_failure_redistributes(self):
+        manager = RegionalTrafficManager()
+        for name in ("a", "b", "c"):
+            manager.register(name)
+        manager.mark_down("a")
+        assert manager.multiplier("a") == 0.0
+        assert manager.multiplier("b") == pytest.approx(1.5)
+
+    def test_weighted_redistribution(self):
+        manager = RegionalTrafficManager()
+        manager.register("big", weight=2.0)
+        manager.register("small", weight=1.0)
+        manager.mark_down("small")
+        assert manager.multiplier("big") == pytest.approx(1.5)
+
+    def test_recovery(self):
+        manager = RegionalTrafficManager()
+        manager.register("a")
+        manager.register("b")
+        manager.mark_down("a")
+        manager.mark_up("a")
+        assert manager.multiplier("a") == pytest.approx(1.0)
+
+    def test_all_down(self):
+        manager = RegionalTrafficManager()
+        manager.register("a")
+        manager.mark_down("a")
+        assert manager.multiplier("a") == 0.0
+
+    def test_unknown_site_rejected(self):
+        manager = RegionalTrafficManager()
+        with pytest.raises(ConfigurationError):
+            manager.mark_down("ghost")
+
+    def test_modifier_scales(self):
+        manager = RegionalTrafficManager()
+        manager.register("a")
+        manager.register("b")
+        modifier = RegionalTrafficModifier(manager, "a")
+        assert modifier.apply(0.0, 0.5) == pytest.approx(0.5)
+        manager.mark_down("b")
+        assert modifier.apply(0.0, 0.5) == pytest.approx(1.0)
+
+
+class TestRegion:
+    def test_build_structure(self):
+        region = build_region(site_count=3, servers_per_site=8)
+        assert len(region.sites) == 3
+        assert region.site("dc1").name == "dc1"
+        with pytest.raises(ConfigurationError):
+            region.site("ghost")
+        with pytest.raises(ConfigurationError):
+            build_region(site_count=1)
+
+    def test_device_names_prefixed(self):
+        region = build_region(site_count=2, servers_per_site=8)
+        assert "dc0.sb0" in region.site("dc0").topology
+        assert "dc1.sb0" in region.site("dc1").topology
+
+    def test_normal_operation_no_trips(self):
+        region = build_region(site_count=2, servers_per_site=8)
+        region.start()
+        region.engine.run_until(300.0)
+        assert region.tripped_sites() == []
+
+    def test_site_failure_drains_traffic(self):
+        region = build_region(site_count=3, servers_per_site=8)
+        region.start()
+        region.engine.run_until(120.0)
+        region.fail_site("dc0")
+        region.engine.run_until(240.0)
+        assert region.site("dc0").fleet.total_power_w() == 0.0
+        assert region.manager.is_down("dc0")
+
+    def test_cascade_without_dynamo(self):
+        region = build_region(
+            site_count=3, servers_per_site=12, with_dynamo=False
+        )
+        region.start()
+        region.engine.run_until(300.0)
+        region.fail_site("dc0")
+        region.engine.run_until(1200.0)
+        # The survivors absorb 1.5x traffic and trip: the cascade.
+        assert set(region.tripped_sites()) == {"dc1", "dc2"}
+
+    def test_dynamo_prevents_cascade(self):
+        region = build_region(
+            site_count=3, servers_per_site=12, with_dynamo=True
+        )
+        region.start()
+        region.engine.run_until(300.0)
+        region.fail_site("dc0")
+        region.engine.run_until(1200.0)
+        assert region.tripped_sites() == []
+        survivors_caps = sum(
+            s.dynamo.total_cap_events()
+            for s in region.sites
+            if s.dynamo is not None and s.name != "dc0"
+        )
+        assert survivors_caps > 0

@@ -1,0 +1,117 @@
+"""Tests for analysis utilities: tables, experiment helpers, worlds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import (
+    overshoot_fraction,
+    run_for,
+    settling_time,
+    time_above,
+)
+from repro.analysis.report import Table, format_table
+from repro.analysis.worlds import FlatWorkload, build_surge_world
+from repro.errors import ConfigurationError
+from repro.simulation.engine import SimulationEngine
+from repro.telemetry.timeseries import TimeSeries
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["a", "bb"])
+        table.add_row(1, 2.5)
+        table.add_row("xyz", 10)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "2.50" in text  # floats formatted
+
+    def test_rejects_wrong_arity(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_format_table_equals_render(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert format_table(table) == table.render()
+
+
+class TestExperimentHelpers:
+    def make_series(self, values, spacing=1.0):
+        series = TimeSeries("x")
+        for i, v in enumerate(values):
+            series.append(i * spacing, float(v))
+        return series
+
+    def test_run_for(self):
+        engine = SimulationEngine()
+        run_for(engine, 42.0)
+        assert engine.clock.now == 42.0
+
+    def test_time_above(self):
+        series = self.make_series([1, 5, 5, 1, 5])
+        assert time_above(series, 3.0) == pytest.approx(3.0)
+
+    def test_time_above_short_series(self):
+        assert time_above(self.make_series([5]), 3.0) == 0.0
+
+    def test_settling_time(self):
+        series = self.make_series([10, 10, 8, 6, 4, 4])
+        assert settling_time(series, 1.0, 5.0) == pytest.approx(3.0)
+
+    def test_settling_time_never(self):
+        series = self.make_series([10, 10, 10])
+        assert settling_time(series, 0.0, 5.0) is None
+
+    def test_overshoot(self):
+        series = self.make_series([50, 120, 80])
+        assert overshoot_fraction(series, 100.0) == pytest.approx(1.2)
+        assert overshoot_fraction(TimeSeries("e"), 100.0) == 0.0
+
+
+class TestWorlds:
+    def test_flat_workload(self):
+        workload = FlatWorkload(0.4, np.random.default_rng(0))
+        assert workload.utilization(0.0) == 0.4
+        assert workload.utilization(1e6) == 0.4
+        assert workload.service == "web"
+
+    def test_flat_workload_with_noise(self):
+        workload = FlatWorkload(
+            0.4, np.random.default_rng(0), noise_sigma=0.05
+        )
+        values = {workload.utilization(float(t)) for t in range(0, 600, 3)}
+        assert len(values) > 1
+
+    def test_surge_world_shape(self):
+        engine, topology, fleet, rng = build_surge_world(n_servers=8)
+        assert len(fleet.servers) == 8
+        assert topology.device("sb0").rated_power_w > 0
+        assert len(topology.device("sb0").children) == 2
+        # Quotas planned.
+        rpp = topology.device("rpp0")
+        assert rpp.power_quota_w <= rpp.rated_power_w
+
+    def test_surge_world_headroom(self):
+        # Steady-state power sits below the SB rating (the 15% margin)
+        # and below each RPP rating (the 25% margin).
+        engine, topology, fleet, _ = build_surge_world(n_servers=8)
+        from repro.fleet import FleetDriver
+
+        FleetDriver(engine, topology, fleet).start()
+        engine.run_until(60.0)
+        sb = topology.device("sb0")
+        assert sb.power_w() < sb.rated_power_w
+        for rpp in sb.children:
+            assert rpp.power_w() < rpp.rated_power_w
+
+    def test_surge_world_deterministic(self):
+        w1 = build_surge_world(n_servers=4, seed=5)
+        w2 = build_surge_world(n_servers=4, seed=5)
+        for sid in w1[2].servers:
+            assert (
+                w1[2].servers[sid].workload.utilization(10.0)
+                == w2[2].servers[sid].workload.utilization(10.0)
+            )

@@ -1,0 +1,111 @@
+"""Tests for the baseline power-management strategies."""
+
+import pytest
+
+from repro.baselines.oracle import OracleCapping
+from repro.baselines.static_frequency import (
+    StaticFrequencyCap,
+    static_cap_for_budget,
+)
+from repro.errors import ConfigurationError
+from repro.fleet import Fleet, FleetDriver, ServiceAllocation, populate_fleet
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+from tests.conftest import make_server, settle_server, tiny_topology
+
+
+class TestStaticCap:
+    def test_cap_formula(self):
+        assert static_cap_for_budget(10_000.0, 40, safety_margin_fraction=0.0) == 250.0
+
+    def test_safety_margin(self):
+        assert static_cap_for_budget(10_000.0, 40) == pytest.approx(245.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            static_cap_for_budget(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            static_cap_for_budget(100.0, 0)
+        with pytest.raises(ConfigurationError):
+            static_cap_for_budget(100.0, 10, safety_margin_fraction=1.0)
+
+    def test_apply_caps_every_server(self):
+        servers = [make_server(f"s{i}", utilization=0.9) for i in range(4)]
+        static = StaticFrequencyCap(servers, budget_w=1000.0)
+        static.apply()
+        for server in servers:
+            assert server.rapl.capped
+
+    def test_worst_case_peak_within_budget(self):
+        servers = [make_server(f"s{i}", utilization=0.9) for i in range(4)]
+        budget = 4 * 280.0
+        static = StaticFrequencyCap(servers, budget_w=budget)
+        static.apply()
+        assert static.worst_case_peak_w() <= budget
+
+    def test_static_cap_costs_performance_dynamo_would_not(self):
+        # The Section IV-D story: static caps bind all the time, even
+        # when aggregate power would have been fine.
+        servers = [make_server(f"s{i}", utilization=0.85) for i in range(4)]
+        budget = 4 * 250.0  # tight: static cap ~245 W binds at util .85
+        static = StaticFrequencyCap(servers, budget_w=budget)
+        static.apply()
+        for server in servers:
+            settle_server(server, 60.0)
+        assert min(s.performance_ratio() for s in servers) < 0.98
+
+    def test_remove_restores(self):
+        servers = [make_server("s0")]
+        static = StaticFrequencyCap(servers, budget_w=250.0)
+        static.apply()
+        static.remove()
+        assert not servers[0].rapl.capped
+
+    def test_requires_servers(self):
+        with pytest.raises(ConfigurationError):
+            StaticFrequencyCap([], budget_w=100.0)
+
+    def test_platform_minimum_respected(self):
+        servers = [make_server("s0")]
+        static = StaticFrequencyCap(servers, budget_w=10.0)
+        static.apply()
+        assert (
+            servers[0].rapl.limit_w
+            == servers[0].platform.effective_min_cap_w()
+        )
+
+
+class TestOracle:
+    def test_oracle_holds_device_at_target(self, rng_streams):
+        engine = SimulationEngine()
+        topology = tiny_topology()
+        rpp = topology.device("rpp0")
+        fleet = populate_fleet(
+            topology, [ServiceAllocation("cache", 8)], rng_streams
+        )
+        driver = FleetDriver(engine, topology, fleet)
+        driver.start()
+        engine.run_until(30.0)
+        # Shrink rpp0 below its settled draw so the oracle must act.
+        rpp.rated_power_w = rpp.power_w() * 0.9
+        rpp.breaker.rated_power_w = rpp.rated_power_w
+        oracle = OracleCapping(engine, topology, fleet)
+        oracle.start()
+        engine.run_until(150.0)
+        assert oracle.cap_events > 0
+        assert rpp.power_w() <= rpp.rated_power_w
+        assert not driver.trips
+
+    def test_oracle_idle_when_under_limit(self, rng_streams):
+        engine = SimulationEngine()
+        topology = tiny_topology()
+        fleet = populate_fleet(
+            topology, [ServiceAllocation("cache", 4)], rng_streams
+        )
+        oracle = OracleCapping(engine, topology, fleet)
+        FleetDriver(engine, topology, fleet).start()
+        oracle.start()
+        engine.run_until(60.0)
+        assert oracle.cap_events == 0
+        assert not any(s.rapl.capped for s in fleet.servers.values())

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_requires_scenario(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run"])
+
+    def test_unknown_scenario_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "nonsense"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "quickstart"])
+        args2 = build_parser().parse_args(
+            ["run", "hadoop", "--servers", "40", "--duration-h", "0.5"]
+        )
+        assert args.servers == 150
+        assert args2.servers == 40
+        assert args2.duration_h == 0.5
+
+
+class TestExecution:
+    def test_quickstart_runs_clean(self, capsys):
+        code = main(["run", "quickstart", "--duration-h", "0.1"])
+        assert code == 0
+        assert "0 trips" in capsys.readouterr().out
+
+    def test_hadoop_short_run(self, capsys):
+        code = main(
+            ["run", "hadoop", "--servers", "24", "--duration-h", "0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SB mean" in out
+
+    def test_cascade_with_dynamo_survives(self, capsys):
+        code = main(["run", "cascade", "--seed", "2"])
+        assert code == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_cascade_without_dynamo_trips(self, capsys):
+        code = main(["run", "cascade", "--no-dynamo", "--seed", "2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "dc" in out

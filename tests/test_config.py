@@ -1,0 +1,103 @@
+"""Tests for configuration dataclasses and their validation."""
+
+import pytest
+
+from repro.config import (
+    AgentConfig,
+    BucketConfig,
+    ControllerConfig,
+    DynamoConfig,
+    RaplConfig,
+    ThreeBandConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThreeBandConfig:
+    def test_paper_defaults(self):
+        cfg = ThreeBandConfig()
+        assert cfg.capping_threshold == pytest.approx(0.99)
+        assert cfg.capping_target == pytest.approx(0.95)
+
+    def test_bands_ordered(self):
+        cfg = ThreeBandConfig()
+        assert cfg.uncapping_threshold < cfg.capping_target < cfg.capping_threshold
+
+    def test_rejects_inverted_cap_bands(self):
+        with pytest.raises(ConfigurationError):
+            ThreeBandConfig(capping_threshold=0.90, capping_target=0.95)
+
+    def test_rejects_uncap_above_target(self):
+        with pytest.raises(ConfigurationError):
+            ThreeBandConfig(uncapping_threshold=0.97)
+
+    def test_rejects_threshold_above_one(self):
+        with pytest.raises(ConfigurationError):
+            ThreeBandConfig(capping_threshold=1.05)
+
+
+class TestControllerConfig:
+    def test_paper_intervals(self):
+        cfg = ControllerConfig()
+        assert cfg.leaf_pull_interval_s == 3.0
+        assert cfg.upper_pull_interval_s == 9.0
+
+    def test_upper_is_multiple_of_leaf(self):
+        cfg = ControllerConfig()
+        assert cfg.upper_pull_interval_s == 3 * cfg.leaf_pull_interval_s
+
+    def test_rejects_sub_settling_leaf_interval(self):
+        # Figure 9: RAPL takes ~2 s to settle, so sampling at <= 2 s is
+        # rejected outright.
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(leaf_pull_interval_s=1.5)
+
+    def test_rejects_upper_faster_than_leaf(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(leaf_pull_interval_s=5.0, upper_pull_interval_s=4.0)
+
+    def test_rejects_bad_failure_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(max_reading_failure_fraction=1.5)
+
+    def test_default_failure_fraction_is_20_percent(self):
+        assert ControllerConfig().max_reading_failure_fraction == pytest.approx(0.20)
+
+
+class TestBucketConfig:
+    def test_paper_default_width(self):
+        assert BucketConfig().bucket_width_w == 20.0
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            BucketConfig(bucket_width_w=0.0)
+
+
+class TestRaplConfig:
+    def test_default_settling_matches_figure9(self):
+        assert RaplConfig().settling_time_s == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_settling(self):
+        with pytest.raises(ConfigurationError):
+            RaplConfig(settling_time_s=-1.0)
+
+    def test_rejects_negative_min_limit(self):
+        with pytest.raises(ConfigurationError):
+            RaplConfig(min_limit_w=-5.0)
+
+
+class TestDynamoConfig:
+    def test_default_leaf_level_is_rpp(self):
+        # Footnote 2: Facebook skips rack-level controllers.
+        assert DynamoConfig().leaf_level == "rpp"
+
+    def test_nested_defaults_present(self):
+        cfg = DynamoConfig()
+        assert isinstance(cfg.controller, ControllerConfig)
+        assert isinstance(cfg.bucket, BucketConfig)
+        assert isinstance(cfg.agent, AgentConfig)
+
+    def test_frozen(self):
+        cfg = DynamoConfig()
+        with pytest.raises(AttributeError):
+            cfg.leaf_level = "rack"  # type: ignore[misc]

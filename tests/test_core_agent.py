@@ -1,0 +1,127 @@
+"""Tests for the Dynamo agent (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import DynamoAgent, agent_endpoint
+from repro.core.messages import CapRequest
+from repro.errors import RpcError
+from repro.rpc.transport import RpcTransport
+from repro.server.platform import WESTMERE_2011
+from repro.simulation.clock import Clock
+
+from tests.conftest import make_server, settle_server
+
+
+@pytest.fixture
+def transport():
+    return RpcTransport(np.random.default_rng(0))
+
+
+def make_agent(transport, server=None, clock=None):
+    server = server or make_server(utilization=0.6)
+    settle_server(server)
+    return DynamoAgent(server, transport, clock=clock), server
+
+
+class TestPowerRead:
+    def test_sensor_read(self, transport):
+        agent, server = make_agent(transport)
+        reading = transport.call(agent_endpoint("srv-0"), "read_power")
+        assert reading.power_w == pytest.approx(server.power_w(), rel=0.05)
+        assert not reading.estimated
+        assert reading.breakdown is not None
+        assert reading.service == "web"
+
+    def test_sensorless_read_is_estimated(self, transport):
+        server = make_server("old", utilization=0.6, platform=WESTMERE_2011)
+        settle_server(server)
+        agent = DynamoAgent(server, transport)
+        reading = transport.call(agent_endpoint("old"), "read_power")
+        assert reading.estimated
+        assert reading.breakdown is None
+        # Estimation should still be within ~10% of truth.
+        assert reading.power_w == pytest.approx(server.power_w(), rel=0.10)
+
+    def test_reading_timestamped_from_clock(self, transport):
+        clock = Clock(123.0)
+        agent, _ = make_agent(transport, clock=clock)
+        reading = transport.call(agent_endpoint("srv-0"), "read_power")
+        assert reading.time_s == 123.0
+
+    def test_read_counter(self, transport):
+        agent, _ = make_agent(transport)
+        transport.call(agent_endpoint("srv-0"), "read_power")
+        transport.call(agent_endpoint("srv-0"), "read_power")
+        assert agent.reads_served == 2
+
+
+class TestCapping:
+    def test_set_cap_applies_rapl_limit(self, transport):
+        agent, server = make_agent(transport)
+        response = transport.call(
+            agent_endpoint("srv-0"),
+            "set_cap",
+            CapRequest(server_id="srv-0", limit_w=200.0),
+        )
+        assert response.success
+        assert server.rapl.limit_w == 200.0
+        assert agent.caps_applied == 1
+
+    def test_uncap_clears_limit(self, transport):
+        agent, server = make_agent(transport)
+        transport.call(
+            agent_endpoint("srv-0"),
+            "set_cap",
+            CapRequest(server_id="srv-0", limit_w=200.0),
+        )
+        transport.call(
+            agent_endpoint("srv-0"),
+            "set_cap",
+            CapRequest(server_id="srv-0", limit_w=None),
+        )
+        assert not server.rapl.capped
+        assert agent.uncaps_applied == 1
+
+    def test_unenforceable_cap_clamped_to_platform_minimum(self, transport):
+        agent, server = make_agent(transport)
+        response = transport.call(
+            agent_endpoint("srv-0"),
+            "set_cap",
+            CapRequest(server_id="srv-0", limit_w=10.0),
+        )
+        assert not response.success
+        assert "minimum" in response.message
+        assert server.rapl.limit_w == server.platform.effective_min_cap_w()
+
+
+class TestHealth:
+    def test_crashed_agent_fails_rpc(self, transport):
+        agent, _ = make_agent(transport)
+        agent.crash()
+        with pytest.raises(RpcError):
+            transport.call(agent_endpoint("srv-0"), "read_power")
+
+    def test_restart_recovers(self, transport):
+        agent, _ = make_agent(transport)
+        agent.crash()
+        agent.restart()
+        reading = transport.call(agent_endpoint("srv-0"), "read_power")
+        assert reading.power_w > 0.0
+
+    def test_crashed_agent_rejects_caps(self, transport):
+        agent, server = make_agent(transport)
+        agent.crash()
+        with pytest.raises(RpcError):
+            transport.call(
+                agent_endpoint("srv-0"),
+                "set_cap",
+                CapRequest(server_id="srv-0", limit_w=200.0),
+            )
+        assert not server.rapl.capped
+
+    def test_shutdown_deregisters(self, transport):
+        agent, _ = make_agent(transport)
+        agent.shutdown()
+        with pytest.raises(RpcError):
+            transport.call(agent_endpoint("srv-0"), "read_power")

@@ -1,0 +1,116 @@
+"""Tests for the high-bucket-first allocator (Section III-C3)."""
+
+import pytest
+
+from repro.core.bucket import (
+    AllocationInput,
+    allocate_high_bucket_first,
+)
+from repro.errors import ConfigurationError
+
+
+def inputs(*powers, min_cap=100.0):
+    return [
+        AllocationInput(server_id=f"s{i}", power_w=p, min_cap_w=min_cap)
+        for i, p in enumerate(powers)
+    ]
+
+
+class TestBasics:
+    def test_zero_cut_no_cuts(self):
+        result = allocate_high_bucket_first(inputs(250.0, 230.0), 0.0)
+        assert result.total_cut_w == 0.0
+        assert result.unallocated_w == 0.0
+
+    def test_no_servers(self):
+        result = allocate_high_bucket_first([], 100.0)
+        assert result.unallocated_w == 100.0
+
+    def test_cut_conservation(self):
+        result = allocate_high_bucket_first(inputs(250.0, 230.0, 210.0), 40.0)
+        assert result.total_cut_w + result.unallocated_w == pytest.approx(40.0)
+
+    def test_rejects_negative_cut(self):
+        with pytest.raises(ConfigurationError):
+            allocate_high_bucket_first(inputs(250.0), -1.0)
+
+    def test_rejects_bad_bucket_width(self):
+        with pytest.raises(ConfigurationError):
+            allocate_high_bucket_first(inputs(250.0), 10.0, bucket_width_w=0.0)
+
+
+class TestHighBucketFirst:
+    def test_highest_consumer_cut_first(self):
+        # Small cut: only the 290 W server (highest bucket) pays.
+        result = allocate_high_bucket_first(
+            inputs(290.0, 250.0, 210.0), 5.0, bucket_width_w=20.0
+        )
+        assert result.cuts_w["s0"] == pytest.approx(5.0)
+        assert result.cuts_w["s1"] == 0.0
+        assert result.cuts_w["s2"] == 0.0
+
+    def test_expands_to_next_bucket_when_needed(self):
+        # 290 W server can only give 10 W before reaching the 280 W
+        # bucket edge; the rest comes once the 270 W server joins.
+        result = allocate_high_bucket_first(
+            inputs(290.0, 270.0, 210.0), 25.0, bucket_width_w=20.0
+        )
+        assert result.cuts_w["s0"] > result.cuts_w["s1"] > 0.0
+        assert result.cuts_w["s2"] == 0.0
+        assert result.total_cut_w == pytest.approx(25.0)
+
+    def test_even_cut_within_bucket(self):
+        # Two servers in the same bucket share the cut evenly.
+        result = allocate_high_bucket_first(
+            inputs(295.0, 295.0, 210.0), 10.0, bucket_width_w=20.0
+        )
+        assert result.cuts_w["s0"] == pytest.approx(result.cuts_w["s1"])
+        assert result.cuts_w["s2"] == 0.0
+
+    def test_caps_never_below_min_cap(self):
+        result = allocate_high_bucket_first(
+            inputs(250.0, 240.0, min_cap=200.0), 200.0, bucket_width_w=20.0
+        )
+        for inp in inputs(250.0, 240.0, min_cap=200.0):
+            cap = inp.power_w - result.cuts_w[inp.server_id]
+            assert cap >= 200.0 - 1e-6
+
+    def test_unallocated_when_floors_bind(self):
+        result = allocate_high_bucket_first(
+            inputs(250.0, 240.0, min_cap=200.0), 200.0, bucket_width_w=20.0
+        )
+        assert result.unallocated_w == pytest.approx(200.0 - 90.0)
+
+    def test_paper_figure16_pattern(self):
+        # Figure 16: with bucket boundary near 210 W, servers above it
+        # all get cut; servers below are untouched.
+        powers = [305.0, 285.0, 265.0, 245.0, 225.0, 190.0, 170.0]
+        servers = inputs(*powers, min_cap=150.0)
+        result = allocate_high_bucket_first(servers, 150.0, bucket_width_w=20.0)
+        for s in servers:
+            if s.power_w >= 225.0:
+                assert result.cuts_w[s.server_id] > 0.0
+            if s.power_w < 200.0:
+                assert result.cuts_w[s.server_id] == 0.0
+
+    def test_monotone_in_power(self):
+        # A server consuming more never receives a smaller cut.
+        result = allocate_high_bucket_first(
+            inputs(300.0, 280.0, 260.0, 240.0), 80.0, bucket_width_w=20.0
+        )
+        cuts = [result.cuts_w[f"s{i}"] for i in range(4)]
+        assert cuts == sorted(cuts, reverse=True)
+
+    def test_full_drain_to_floors(self):
+        servers = inputs(300.0, 250.0, min_cap=100.0)
+        result = allocate_high_bucket_first(servers, 10_000.0)
+        assert result.total_cut_w == pytest.approx(350.0)
+        assert result.unallocated_w == pytest.approx(10_000.0 - 350.0)
+
+    def test_bucket_width_sensitivity(self):
+        # With a huge bucket everything is one bucket: pure even cut.
+        result = allocate_high_bucket_first(
+            inputs(290.0, 210.0), 40.0, bucket_width_w=1000.0
+        )
+        assert result.cuts_w["s0"] == pytest.approx(20.0)
+        assert result.cuts_w["s1"] == pytest.approx(20.0)

@@ -1,0 +1,147 @@
+"""Tests for dry-run mode and the end-to-end capping test harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import DynamoAgent
+from repro.core.dryrun import (
+    CappingTestHarness,
+    DryRunLeafController,
+    DryRunRecorder,
+)
+from repro.core.leaf_controller import LeafPowerController
+from repro.core.three_band import BandAction
+from repro.errors import ControllerError
+from repro.fleet import Fleet, FleetDriver
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.rpc.transport import RpcTransport
+from repro.server.server import ConstantWorkload, Server
+from repro.server.platform import HASWELL_2015
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+
+from tests.conftest import settle_server
+
+
+def build_rig(n=6, utilization=0.9, dry_run=True):
+    transport = RpcTransport(np.random.default_rng(0))
+    servers = []
+    for i in range(n):
+        server = Server(
+            f"s{i}", HASWELL_2015, ConstantWorkload(utilization, "web")
+        )
+        settle_server(server)
+        servers.append(server)
+        DynamoAgent(server, transport)
+    total = sum(s.power_w() for s in servers)
+    device = PowerDevice("rpp0", DeviceLevel.RPP, total * 1.5)
+    for server in servers:
+        device.attach_load(server.server_id, server.power_w)
+    cls = DryRunLeafController if dry_run else LeafPowerController
+    controller = cls(device, [s.server_id for s in servers], transport)
+    return controller, servers, total
+
+
+class TestDryRun:
+    def test_decision_logged_not_applied(self):
+        controller, servers, total = build_rig()
+        controller.set_contractual_limit_w(total * 0.97)
+        action = controller.tick(0.0)
+        assert action is BandAction.CAP
+        # Logged...
+        assert controller.recorder.would_have_capped()
+        assert controller.recorder.total_would_be_cut_w() > 0.0
+        # ...but nothing throttled.
+        assert not any(s.rapl.capped for s in servers)
+        assert controller.capped_server_ids == []
+
+    def test_entry_details(self):
+        controller, _, total = build_rig()
+        controller.set_contractual_limit_w(total * 0.97)
+        controller.tick(5.0)
+        entry = controller.recorder.entries[0]
+        assert entry.time_s == 5.0
+        assert entry.controller == "rpp0"
+        assert entry.affected_servers > 0
+        assert "target cut" in entry.detail
+
+    def test_uncap_logged(self):
+        controller, servers, total = build_rig()
+        controller.set_contractual_limit_w(total * 0.97)
+        controller.tick(0.0)
+        # Drop demand well below the uncap threshold.
+        for server in servers:
+            server.workload.set_utilization(0.2)
+            settle_server(server, 20.0)
+        controller.tick(10.0)
+        assert controller.recorder.actions() == ["cap", "uncap"]
+
+    def test_monitoring_still_real(self):
+        controller, servers, total = build_rig()
+        controller.tick(0.0)
+        assert controller.last_aggregate_power_w == pytest.approx(
+            total, rel=0.02
+        )
+
+    def test_recorder_shared(self):
+        recorder = DryRunRecorder()
+        transport = RpcTransport(np.random.default_rng(0))
+        device = PowerDevice("rppX", DeviceLevel.RPP, 1000.0)
+        controller = DryRunLeafController(
+            device, [], transport, recorder=recorder
+        )
+        assert controller.recorder is recorder
+
+
+class TestHarness:
+    def build_world(self):
+        engine = SimulationEngine()
+        transport = RpcTransport(np.random.default_rng(0))
+        fleet = Fleet()
+        device = PowerDevice("rpp0", DeviceLevel.RPP, 50_000.0)
+        for i in range(8):
+            server = Server(
+                f"s{i}", HASWELL_2015, ConstantWorkload(0.8, "web")
+            )
+            device.attach_load(server.server_id, server.power_w)
+            fleet.servers[server.server_id] = server
+            DynamoAgent(server, transport, clock=engine.clock)
+        from repro.power.topology import PowerTopology
+        msb = PowerDevice("msb0", DeviceLevel.MSB, 1e7)
+        sb = PowerDevice("sb0", DeviceLevel.SB, 1e6)
+        msb.add_child(sb)
+        # device attaches under sb
+        sb.add_child(device)
+        topology = PowerTopology("harness", [msb])
+        controller = LeafPowerController(
+            device, list(fleet.servers), transport
+        )
+        FleetDriver(engine, topology, fleet).start()
+        PeriodicProcess(
+            engine, 3.0, controller.tick, label="leaf", priority=10
+        ).start(phase=3.0)
+        return engine, controller
+
+    def test_exercise_passes_on_healthy_pipeline(self):
+        engine, controller = self.build_world()
+        engine.run_until(30.0)
+        harness = CappingTestHarness(engine, controller)
+        report = harness.run()
+        assert report.capped
+        assert report.settled_below_target
+        assert report.uncapped
+        assert report.residual_caps == 0
+        assert report.passed
+        assert report.cap_latency_s is not None
+        assert report.cap_latency_s <= 10.0
+
+    def test_requires_prior_aggregation(self):
+        engine, controller = self.build_world()
+        harness = CappingTestHarness(engine, controller)
+        with pytest.raises(ControllerError):
+            harness.run()
+
+    def test_rejects_bad_squeeze(self):
+        engine, controller = self.build_world()
+        with pytest.raises(ControllerError):
+            CappingTestHarness(engine, controller, squeeze_fraction=1.5)

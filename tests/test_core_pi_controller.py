@@ -1,0 +1,121 @@
+"""Tests for the PI capping decision policy."""
+
+import pytest
+
+from repro.config import ThreeBandConfig
+from repro.core.pi_controller import PiPowerController
+from repro.core.three_band import BandAction
+from repro.errors import ConfigurationError
+
+LIMIT = 100_000.0
+
+
+def make(**kwargs) -> PiPowerController:
+    return PiPowerController(ThreeBandConfig(), **kwargs)
+
+
+class TestDecisions:
+    def test_holds_below_threshold(self):
+        pi = make()
+        assert pi.decide(90_000.0, LIMIT).action is BandAction.HOLD
+        assert not pi.capping_active
+
+    def test_caps_above_threshold(self):
+        pi = make()
+        decision = pi.decide(100_000.0, LIMIT)
+        assert decision.action is BandAction.CAP
+        assert decision.total_power_cut_w > 0.0
+        assert pi.capping_active
+
+    def test_proportional_term(self):
+        pi = make(kp=1.0, ki=0.0)
+        decision = pi.decide(100_000.0, LIMIT)
+        # error = 100k - 95k target = 5k; cut = kp * error.
+        assert decision.total_power_cut_w == pytest.approx(5_000.0)
+
+    def test_integral_accumulates(self):
+        pi = make(kp=0.5, ki=0.5)
+        first = pi.decide(100_000.0, LIMIT).total_power_cut_w
+        second = pi.decide(100_000.0, LIMIT).total_power_cut_w
+        assert second > first
+
+    def test_integral_bounded(self):
+        pi = make(kp=0.5, ki=0.5, integral_limit_fraction=0.05)
+        cuts = [pi.decide(100_000.0, LIMIT).total_power_cut_w for _ in range(50)]
+        # Anti-windup: the cut converges instead of growing forever.
+        assert cuts[-1] == pytest.approx(cuts[-2], rel=0.01)
+
+    def test_continues_trimming_while_above_target(self):
+        # Unlike the three-band step, PI keeps adjusting while the power
+        # sits between the target and the threshold.
+        pi = make()
+        pi.decide(100_000.0, LIMIT)
+        decision = pi.decide(97_000.0, LIMIT)
+        assert decision.action is BandAction.CAP
+
+    def test_uncap_below_bottom_band(self):
+        pi = make()
+        pi.decide(100_000.0, LIMIT)
+        decision = pi.decide(89_000.0, LIMIT)
+        assert decision.action is BandAction.UNCAP
+        assert not pi.capping_active
+
+    def test_uncap_resets_integral(self):
+        pi = make(kp=0.5, ki=0.5)
+        for _ in range(5):
+            pi.decide(100_000.0, LIMIT)
+        pi.decide(85_000.0, LIMIT)  # uncap
+        fresh = pi.decide(100_000.0, LIMIT).total_power_cut_w
+        pi2 = make(kp=0.5, ki=0.5)
+        assert fresh == pytest.approx(pi2.decide(100_000.0, LIMIT).total_power_cut_w)
+
+    def test_thresholds_match_three_band(self):
+        pi = make()
+        assert pi.thresholds_w(LIMIT) == (99_000.0, 95_000.0, 90_000.0)
+
+    def test_rejects_bad_gains(self):
+        with pytest.raises(ConfigurationError):
+            make(kp=0.0)
+        with pytest.raises(ConfigurationError):
+            make(ki=-1.0)
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigurationError):
+            make().thresholds_w(-5.0)
+
+
+class TestAsLeafPolicy:
+    def test_drop_in_replacement(self):
+        """A leaf controller runs with the PI policy unmodified."""
+        import numpy as np
+
+        from repro.core.agent import DynamoAgent
+        from repro.core.leaf_controller import LeafPowerController
+        from repro.power.device import DeviceLevel, PowerDevice
+        from repro.rpc.transport import RpcTransport
+        from repro.server.platform import HASWELL_2015
+        from repro.server.server import ConstantWorkload, Server
+
+        from tests.conftest import settle_server
+
+        transport = RpcTransport(np.random.default_rng(0))
+        servers = []
+        for i in range(6):
+            server = Server(f"s{i}", HASWELL_2015, ConstantWorkload(0.9, "web"))
+            settle_server(server)
+            servers.append(server)
+            DynamoAgent(server, transport)
+        total = sum(s.power_w() for s in servers)
+        device = PowerDevice("rpp0", DeviceLevel.RPP, total * 1.5)
+        for server in servers:
+            device.attach_load(server.server_id, server.power_w)
+        controller = LeafPowerController(
+            device,
+            [s.server_id for s in servers],
+            transport,
+            band=PiPowerController(),
+        )
+        controller.set_contractual_limit_w(total * 0.97)
+        action = controller.tick(0.0)
+        assert action is BandAction.CAP
+        assert any(s.rapl.capped for s in servers)

@@ -1,0 +1,149 @@
+"""Tests for the fully distributed controller deployment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.worlds import build_surge_world
+from repro.core.dynamo import Dynamo
+from repro.core.remote import (
+    ControllerEndpoint,
+    RemoteChildController,
+    controller_endpoint,
+    distribute_hierarchy,
+)
+from repro.core.three_band import BandAction
+from repro.core.upper_controller import UpperLevelPowerController
+from repro.fleet import FleetDriver
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.rpc.transport import RpcTransport
+from repro.workloads.events import TrafficSurgeEvent
+
+
+class StubController:
+    """Minimal controller for endpoint tests."""
+
+    def __init__(self, name="stub", aggregate=1234.0):
+        self.device = PowerDevice(f"{name}-dev", DeviceLevel.RPP, 10_000.0)
+        self.device.power_quota_w = 8_000.0
+        self._name = name
+        self.aggregate = aggregate
+        self.contractual = None
+
+    @property
+    def name(self):
+        return self._name
+
+    @property
+    def last_aggregate_power_w(self):
+        return self.aggregate
+
+    def set_contractual_limit_w(self, limit_w):
+        self.contractual = limit_w
+
+    def clear_contractual_limit(self):
+        self.contractual = None
+
+
+class TestEndpointAndProxy:
+    def setup_method(self):
+        self.transport = RpcTransport(np.random.default_rng(0))
+        self.controller = StubController()
+        self.endpoint = ControllerEndpoint(self.controller, self.transport)
+        self.proxy = RemoteChildController(
+            "stub", self.controller.device, self.transport
+        )
+
+    def test_aggregate_roundtrip(self):
+        assert self.proxy.last_aggregate_power_w == 1234.0
+
+    def test_contractual_roundtrip(self):
+        self.proxy.set_contractual_limit_w(5_000.0)
+        assert self.controller.contractual == 5_000.0
+        self.proxy.clear_contractual_limit()
+        assert self.controller.contractual is None
+
+    def test_unreachable_child_reads_none(self):
+        self.transport.injector.take_down(controller_endpoint("stub"))
+        assert self.proxy.last_aggregate_power_w is None
+        assert self.proxy.rpc_failures == 1
+
+    def test_failed_push_counted_not_raised(self):
+        self.transport.injector.take_down(controller_endpoint("stub"))
+        self.proxy.set_contractual_limit_w(5_000.0)
+        self.proxy.clear_contractual_limit()
+        assert self.proxy.rpc_failures == 2
+        assert self.controller.contractual is None
+
+    def test_endpoint_shutdown(self):
+        self.endpoint.shutdown()
+        assert self.proxy.last_aggregate_power_w is None
+
+
+class TestDistributedUpper:
+    def test_upper_controller_over_rpc(self):
+        transport = RpcTransport(np.random.default_rng(0))
+        child = StubController("c1", aggregate=190_000.0)
+        child.device.rated_power_w = 200_000.0
+        child.device.power_quota_w = 150_000.0
+        ControllerEndpoint(child, transport)
+        c2 = StubController("c2", aggregate=130_000.0)
+        c2.device.rated_power_w = 200_000.0
+        c2.device.power_quota_w = 150_000.0
+        ControllerEndpoint(c2, transport)
+        device = PowerDevice("sb0", DeviceLevel.SB, 300_000.0)
+        upper = UpperLevelPowerController(
+            device,
+            [
+                RemoteChildController("c1", child.device, transport),
+                RemoteChildController("c2", c2.device, transport),
+            ],
+        )
+        action = upper.tick(0.0)
+        # The Section III-D example, now over the RPC fabric.
+        assert action is BandAction.CAP
+        assert child.contractual == pytest.approx(155_000.0)
+        assert c2.contractual is None
+
+
+class TestDistributedDeployment:
+    def test_full_surge_protection_over_rpc(self):
+        surge = TrafficSurgeEvent(
+            start_s=120.0, end_s=1500.0, multiplier=1.6, ramp_s=60.0
+        )
+        engine, topology, fleet, rng = build_surge_world(
+            surge=surge, seed=71
+        )
+        dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("d"))
+        endpoints = distribute_hierarchy(dynamo.hierarchy, dynamo.transport)
+        assert len(endpoints) == dynamo.hierarchy.controller_count
+        driver = FleetDriver(engine, topology, fleet)
+        driver.start()
+        dynamo.start()
+        engine.run_until(1200.0)
+        # The distributed deployment protects exactly like the
+        # consolidated one.
+        assert not driver.trips
+        assert dynamo.total_cap_events() > 0
+
+    def test_dead_controller_binary_degrades_gracefully(self):
+        engine, topology, fleet, rng = build_surge_world(seed=72)
+        dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("d"))
+        endpoints = distribute_hierarchy(dynamo.hierarchy, dynamo.transport)
+        driver = FleetDriver(engine, topology, fleet)
+        driver.start()
+        dynamo.start()
+        engine.run_until(30.0)
+        # Kill one leaf controller's endpoint: its parent now sees a
+        # missing child and raises alerts instead of acting blindly.
+        leaf_endpoint = next(
+            e
+            for e in endpoints
+            if e.controller.name in dynamo.hierarchy.leaf_controllers
+        )
+        leaf_endpoint.shutdown()
+        engine.run_until(120.0)
+        sb = dynamo.controller("sb0")
+        # With 1 of 2 children missing (50% > 20%), the SB holds and
+        # alerts rather than deciding on half the picture.
+        assert dynamo.alerts.count() > 0
+        assert not driver.trips

@@ -1,0 +1,133 @@
+"""Tests for the four-phase staged rollout (Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import DynamoAgent
+from repro.core.rollout import (
+    DEFAULT_PHASES,
+    RolloutState,
+    StagedRollout,
+)
+from repro.errors import ConfigurationError
+from repro.rpc.transport import RpcTransport
+
+from tests.conftest import make_server
+
+
+def build_agents(n=100):
+    transport = RpcTransport(np.random.default_rng(0))
+    return [DynamoAgent(make_server(f"s{i}"), transport) for i in range(n)]
+
+
+def tag(agent):
+    agent.version = "v2"
+
+
+def untag(agent):
+    agent.version = "v1"
+
+
+def healthy_gate(agents):
+    return all(a.healthy for a in agents)
+
+
+class TestPhases:
+    def test_default_phases(self):
+        assert DEFAULT_PHASES == (0.01, 0.10, 0.50, 1.0)
+
+    def test_phase_fractions_deploy_cumulatively(self):
+        agents = build_agents(100)
+        rollout = StagedRollout(agents, tag, untag, healthy_gate)
+        result = rollout.run_phase()
+        assert result.agents_deployed == 1
+        result = rollout.run_phase()
+        assert result.agents_deployed == 10
+        result = rollout.run_phase()
+        assert result.agents_deployed == 50
+        result = rollout.run_phase()
+        assert result.agents_deployed == 100
+        assert rollout.state is RolloutState.COMPLETE
+
+    def test_change_applied_to_deployed_only(self):
+        agents = build_agents(100)
+        rollout = StagedRollout(agents, tag, untag, healthy_gate)
+        rollout.run_phase()
+        rollout.run_phase()
+        tagged = [a for a in agents if getattr(a, "version", "") == "v2"]
+        assert len(tagged) == 10
+
+    def test_run_all_completes(self):
+        agents = build_agents(20)
+        rollout = StagedRollout(agents, tag, untag, healthy_gate)
+        assert rollout.run_all() is RolloutState.COMPLETE
+        assert rollout.deployed_fraction == 1.0
+        assert len(rollout.results) == 4
+
+    def test_cannot_run_after_completion(self):
+        agents = build_agents(4)
+        rollout = StagedRollout(agents, tag, untag, healthy_gate)
+        rollout.run_all()
+        with pytest.raises(ConfigurationError):
+            rollout.run_phase()
+
+
+class TestGateFailure:
+    def test_bad_change_caught_early_and_rolled_back(self):
+        # The change crashes agents; the gate sees it at phase 1 (1% of
+        # the fleet) and the rollout never goes wide.
+        agents = build_agents(100)
+
+        def bad_change(agent):
+            agent.crash()
+
+        def fix(agent):
+            agent.restart()
+
+        rollout = StagedRollout(agents, bad_change, fix, healthy_gate)
+        state = rollout.run_all()
+        assert state is RolloutState.ROLLED_BACK
+        assert len(rollout.results) == 1
+        assert rollout.results[0].agents_deployed == 1
+        # Rollback restored every touched agent.
+        assert all(a.healthy for a in agents)
+        assert rollout.deployed_count == 0
+
+    def test_mid_rollout_failure(self):
+        # Healthy until 10 agents are deployed, then the gate trips.
+        agents = build_agents(100)
+
+        def gate(deployed):
+            return len(deployed) < 50
+
+        rollout = StagedRollout(agents, tag, untag, gate)
+        state = rollout.run_all()
+        assert state is RolloutState.ROLLED_BACK
+        assert [r.healthy for r in rollout.results] == [True, True, False]
+        assert all(getattr(a, "version", "v1") == "v1" for a in agents)
+
+
+class TestValidation:
+    def test_requires_agents(self):
+        with pytest.raises(ConfigurationError):
+            StagedRollout([], tag, untag, healthy_gate)
+
+    def test_phases_must_end_at_one(self):
+        agents = build_agents(4)
+        with pytest.raises(ConfigurationError):
+            StagedRollout(agents, tag, untag, healthy_gate, phases=(0.1, 0.5))
+
+    def test_phases_must_ascend(self):
+        agents = build_agents(4)
+        with pytest.raises(ConfigurationError):
+            StagedRollout(
+                agents, tag, untag, healthy_gate, phases=(0.5, 0.1, 1.0)
+            )
+
+    def test_custom_phases(self):
+        agents = build_agents(10)
+        rollout = StagedRollout(
+            agents, tag, untag, healthy_gate, phases=(0.5, 1.0)
+        )
+        assert rollout.run_all() is RolloutState.COMPLETE
+        assert len(rollout.results) == 2

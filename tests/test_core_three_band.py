@@ -1,0 +1,101 @@
+"""Tests for the three-band capping/uncapping algorithm (Figure 10)."""
+
+import pytest
+
+from repro.config import ThreeBandConfig
+from repro.core.three_band import BandAction, ThreeBandController
+from repro.errors import ConfigurationError
+
+LIMIT = 100_000.0
+
+
+def make() -> ThreeBandController:
+    return ThreeBandController(ThreeBandConfig())
+
+
+class TestThresholds:
+    def test_paper_thresholds(self):
+        cap_at, target, uncap_at = make().thresholds_w(LIMIT)
+        assert cap_at == pytest.approx(99_000.0)
+        assert target == pytest.approx(95_000.0)
+        assert uncap_at == pytest.approx(90_000.0)
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigurationError):
+            make().thresholds_w(0.0)
+
+
+class TestDecisions:
+    def test_below_threshold_holds(self):
+        band = make()
+        decision = band.decide(50_000.0, LIMIT)
+        assert decision.action is BandAction.HOLD
+        assert not band.capping_active
+
+    def test_above_threshold_caps(self):
+        band = make()
+        decision = band.decide(100_500.0, LIMIT)
+        assert decision.action is BandAction.CAP
+        assert band.capping_active
+
+    def test_cut_targets_middle_band(self):
+        decision = make().decide(100_000.0, LIMIT)
+        assert decision.total_power_cut_w == pytest.approx(5_000.0)
+
+    def test_uncap_only_after_capping(self):
+        band = make()
+        # Not capped: low power holds, never "uncaps".
+        assert band.decide(10_000.0, LIMIT).action is BandAction.HOLD
+
+    def test_uncap_below_bottom_band(self):
+        band = make()
+        band.decide(100_000.0, LIMIT)  # cap
+        decision = band.decide(89_000.0, LIMIT)
+        assert decision.action is BandAction.UNCAP
+        assert not band.capping_active
+
+    def test_hysteresis_holds_between_bands(self):
+        # The whole point of the third band: power between the uncap
+        # threshold and the cap threshold keeps current state.
+        band = make()
+        band.decide(100_000.0, LIMIT)  # cap
+        assert band.decide(93_000.0, LIMIT).action is BandAction.HOLD
+        assert band.capping_active
+
+    def test_no_oscillation_around_target(self):
+        # Power hovering around the capping target must not flap.
+        band = make()
+        band.decide(100_000.0, LIMIT)
+        actions = [
+            band.decide(p, LIMIT).action
+            for p in (95_500.0, 94_500.0, 95_200.0, 94_800.0)
+        ]
+        assert all(a is BandAction.HOLD for a in actions)
+
+    def test_repeated_overload_keeps_capping(self):
+        band = make()
+        assert band.decide(100_000.0, LIMIT).action is BandAction.CAP
+        assert band.decide(99_500.0, LIMIT).action is BandAction.CAP
+
+    def test_reset(self):
+        band = make()
+        band.decide(100_000.0, LIMIT)
+        band.reset()
+        assert not band.capping_active
+
+    def test_decision_records_inputs(self):
+        decision = make().decide(100_000.0, LIMIT)
+        assert decision.aggregated_power_w == 100_000.0
+        assert decision.limit_w == LIMIT
+
+    def test_custom_bands(self):
+        band = ThreeBandController(
+            ThreeBandConfig(
+                capping_threshold=0.98,
+                capping_target=0.90,
+                uncapping_threshold=0.80,
+            )
+        )
+        decision = band.decide(99_000.0, LIMIT)
+        assert decision.action is BandAction.CAP
+        assert decision.total_power_cut_w == pytest.approx(9_000.0)

@@ -1,0 +1,81 @@
+"""Tests for physical vs contractual control thresholds."""
+
+import pytest
+
+from repro.config import ThreeBandConfig
+from repro.core.thresholds import (
+    CONTRACTUAL_CAP_AT,
+    CONTRACTUAL_TARGET,
+    CONTRACTUAL_UNCAP,
+    control_thresholds_w,
+)
+
+CONFIG = ThreeBandConfig()
+PHYSICAL = 100_000.0
+
+
+class TestPhysicalBinding:
+    def test_no_contractual_uses_physical_bands(self):
+        cap_at, target, uncap, limit = control_thresholds_w(
+            CONFIG, PHYSICAL, None
+        )
+        assert cap_at == pytest.approx(99_000.0)
+        assert target == pytest.approx(95_000.0)
+        assert uncap == pytest.approx(90_000.0)
+        assert limit == PHYSICAL
+
+    def test_loose_contractual_ignored(self):
+        cap_at, target, uncap, limit = control_thresholds_w(
+            CONFIG, PHYSICAL, 200_000.0
+        )
+        assert cap_at == pytest.approx(99_000.0)
+        assert limit == PHYSICAL
+
+
+class TestContractualBinding:
+    def test_tight_contractual_switches_scale(self):
+        contractual = 80_000.0
+        cap_at, target, uncap, limit = control_thresholds_w(
+            CONFIG, PHYSICAL, contractual
+        )
+        assert cap_at == pytest.approx(contractual * CONTRACTUAL_CAP_AT)
+        assert target == pytest.approx(contractual * CONTRACTUAL_TARGET)
+        assert uncap == pytest.approx(contractual * CONTRACTUAL_UNCAP)
+        assert limit == contractual
+
+    def test_no_margin_compounding(self):
+        # The defining property: a subtree honoring a contractual limit
+        # that was computed as 95% of the parent's limit must settle
+        # ABOVE the parent's 90% uncapping threshold, or the hierarchy
+        # flaps.  parent target 0.95 x child target 0.98 = 0.931 > 0.90.
+        parent_limit = PHYSICAL
+        contractual = parent_limit * CONFIG.capping_target  # parent's cut
+        _, child_target, _, _ = control_thresholds_w(
+            CONFIG, parent_limit, contractual
+        )
+        assert child_target > parent_limit * CONFIG.uncapping_threshold
+
+    def test_child_lands_at_contractual_not_below(self):
+        # Paper III-D: "we expect C1 in the next control cycle to
+        # satisfy power usage <= 170 KW" — the child targets ~the
+        # contractual value, not a double-discounted 161.5 KW.
+        contractual = 170_000.0
+        _, target, _, _ = control_thresholds_w(CONFIG, 200_000.0, contractual)
+        assert target >= contractual * 0.97
+        assert target <= contractual
+
+    def test_bands_ordered(self):
+        for contractual in (50_000.0, 80_000.0, 98_000.0):
+            cap_at, target, uncap, _ = control_thresholds_w(
+                CONFIG, PHYSICAL, contractual
+            )
+            assert uncap < target < cap_at
+
+    def test_boundary_at_physical_cap_threshold(self):
+        # A contractual limit exactly at the physical capping threshold
+        # does not bind (the physical bands are tighter).
+        cap_at, _, _, limit = control_thresholds_w(
+            CONFIG, PHYSICAL, 99_000.0
+        )
+        assert cap_at == pytest.approx(99_000.0)
+        assert limit == PHYSICAL

@@ -1,0 +1,143 @@
+"""Tests for upper-level controllers and hierarchy coordination."""
+
+import pytest
+
+from repro.core.three_band import BandAction
+from repro.core.upper_controller import UpperLevelPowerController
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.telemetry.alerts import Severity
+
+
+class FakeChild:
+    """A stub child controller with a settable aggregate."""
+
+    def __init__(self, name, rating_w, quota_w, power_w=None):
+        self.device = PowerDevice(name + "-dev", DeviceLevel.RPP, rating_w)
+        self.device.power_quota_w = quota_w
+        self._name = name
+        self.power_w = power_w
+        self.contractual: float | None = None
+        self.cleared = 0
+
+    @property
+    def name(self):
+        return self._name
+
+    @property
+    def last_aggregate_power_w(self):
+        return self.power_w
+
+    def set_contractual_limit_w(self, limit_w):
+        self.contractual = limit_w
+
+    def clear_contractual_limit(self):
+        self.contractual = None
+        self.cleared += 1
+
+
+def make_upper(children, rating_w=300_000.0):
+    device = PowerDevice("sb0", DeviceLevel.SB, rating_w)
+    return UpperLevelPowerController(device, children)
+
+
+class TestAggregation:
+    def test_sums_child_aggregates(self):
+        children = [
+            FakeChild("c1", 200_000.0, 150_000.0, power_w=100_000.0),
+            FakeChild("c2", 200_000.0, 150_000.0, power_w=120_000.0),
+        ]
+        upper = make_upper(children)
+        upper.tick(0.0)
+        assert upper.last_aggregate_power_w == pytest.approx(220_000.0)
+
+    def test_no_children_readings_holds(self):
+        children = [FakeChild("c1", 200_000.0, 150_000.0, power_w=None)]
+        upper = make_upper(children)
+        assert upper.tick(0.0) is BandAction.HOLD
+        assert upper.last_aggregate_power_w is None
+
+    def test_too_many_missing_children_alerts(self):
+        children = [
+            FakeChild("c1", 200_000.0, 150_000.0, power_w=100_000.0),
+            FakeChild("c2", 200_000.0, 150_000.0, power_w=None),
+        ]
+        upper = make_upper(children)
+        assert upper.tick(0.0) is BandAction.HOLD
+        assert upper.alerts.by_severity(Severity.CRITICAL)
+
+    def test_fixed_overhead_included(self):
+        children = [FakeChild("c1", 200_000.0, 150_000.0, power_w=100_000.0)]
+        upper = make_upper(children)
+        upper.device.fixed_overhead_w = 5_000.0
+        upper.tick(0.0)
+        assert upper.last_aggregate_power_w == pytest.approx(105_000.0)
+
+
+class TestPaperCoordinationExample:
+    def test_section_3d_worked_example(self):
+        # P1 (300 KW) with C1=190 KW and C2=130 KW over quota 150 KW
+        # each: total 320 KW > 300 KW limit.  The three-band cut targets
+        # 95% of 300 = 285 KW, i.e. a 35 KW cut, all borne by offender
+        # C1 first (40 KW overage available).
+        c1 = FakeChild("C1", 200_000.0, 150_000.0, power_w=190_000.0)
+        c2 = FakeChild("C2", 200_000.0, 150_000.0, power_w=130_000.0)
+        upper = make_upper([c1, c2], rating_w=300_000.0)
+        action = upper.tick(0.0)
+        assert action is BandAction.CAP
+        assert c1.contractual == pytest.approx(190_000.0 - 35_000.0)
+        assert c2.contractual is None
+        assert upper.limited_children == ["C1"]
+
+    def test_uncap_releases_contractual_limits(self):
+        c1 = FakeChild("C1", 200_000.0, 150_000.0, power_w=190_000.0)
+        c2 = FakeChild("C2", 200_000.0, 150_000.0, power_w=130_000.0)
+        upper = make_upper([c1, c2], rating_w=300_000.0)
+        upper.tick(0.0)
+        assert c1.contractual is not None
+        # Power drops below the uncapping threshold (90% of 300 = 270).
+        c1.power_w = 120_000.0
+        c2.power_w = 120_000.0
+        action = upper.tick(9.0)
+        assert action is BandAction.UNCAP
+        assert c1.contractual is None
+        assert upper.limited_children == []
+
+    def test_cut_exceeding_all_child_power_alerts(self):
+        c1 = FakeChild("C1", 200_000.0, 150_000.0, power_w=400_000.0)
+        upper = make_upper([c1], rating_w=300_000.0)
+        # Requires a 115 KW cut; child draws 400 KW so it is allocatable;
+        # instead make the child tiny and the overhead huge.
+        upper.device.fixed_overhead_w = 310_000.0
+        c1.power_w = 5_000.0
+        upper.tick(0.0)
+        assert upper.alerts.by_severity(Severity.CRITICAL)
+
+
+class TestNesting:
+    def test_contractual_limit_from_grandparent(self):
+        c1 = FakeChild("C1", 200_000.0, 150_000.0, power_w=100_000.0)
+        upper = make_upper([c1], rating_w=300_000.0)
+        # Grandparent imposes 150 KW on this SB: the effective limit
+        # shrinks, and 100 KW now sits above the 99% threshold of 150.
+        upper.set_contractual_limit_w(100_500.0)
+        assert upper.effective_limit_w == 100_500.0
+        action = upper.tick(0.0)
+        assert action is BandAction.CAP
+        assert c1.contractual is not None
+
+    def test_effective_limit_never_above_physical(self):
+        upper = make_upper([], rating_w=300_000.0)
+        upper.set_contractual_limit_w(1e9)
+        assert upper.effective_limit_w == 300_000.0
+
+    def test_hold_in_band_keeps_limits(self):
+        c1 = FakeChild("C1", 200_000.0, 150_000.0, power_w=190_000.0)
+        c2 = FakeChild("C2", 200_000.0, 150_000.0, power_w=130_000.0)
+        upper = make_upper([c1, c2], rating_w=300_000.0)
+        upper.tick(0.0)
+        limit_after_cap = c1.contractual
+        # Power now between uncap and cap thresholds: hysteresis holds.
+        c1.power_w = 150_000.0
+        c2.power_w = 130_000.0
+        assert upper.tick(9.0) is BandAction.HOLD
+        assert c1.contractual == limit_after_cap

@@ -1,0 +1,138 @@
+"""Tests for breaker-reading validation and estimator recalibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import DynamoAgent
+from repro.core.leaf_controller import LeafPowerController
+from repro.core.validation import BreakerReadingSource, BreakerValidator
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.rpc.transport import RpcTransport
+from repro.server.platform import WESTMERE_2011
+from repro.server.server import ConstantWorkload, Server
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+from repro.telemetry.alerts import Severity
+
+from tests.conftest import settle_server
+
+
+def build_world(n=5, estimator_bias=1.0):
+    """Sensor-less servers so the aggregate comes from estimators."""
+    engine = SimulationEngine()
+    transport = RpcTransport(np.random.default_rng(0))
+    servers = {}
+    device = PowerDevice("rpp0", DeviceLevel.RPP, 50_000.0)
+    for i in range(n):
+        server = Server(
+            f"s{i}", WESTMERE_2011, ConstantWorkload(0.7, "web")
+        )
+        settle_server(server)
+        if estimator_bias != 1.0:
+            server.estimator = server.estimator.recalibrate(estimator_bias)
+        device.attach_load(server.server_id, server.power_w)
+        servers[server.server_id] = server
+        DynamoAgent(server, transport, clock=engine.clock)
+    controller = LeafPowerController(device, list(servers), transport)
+    PeriodicProcess(engine, 3.0, controller.tick, priority=10).start(phase=3.0)
+    source = BreakerReadingSource(engine, device, interval_s=60.0)
+    source.start(phase=1.0)
+    return engine, device, servers, controller, source
+
+
+class TestBreakerReadingSource:
+    def test_minute_grained_sampling(self):
+        engine, device, _, _, source = build_world()
+        engine.run_until(310.0)
+        assert len(source.series) == 6  # t=1,61,...,301
+        assert source.latest_reading_w() is not None
+
+    def test_no_reading_before_first_sample(self):
+        engine = SimulationEngine()
+        device = PowerDevice("x", DeviceLevel.RPP, 1000.0)
+        source = BreakerReadingSource(engine, device)
+        assert source.latest_reading_w() is None
+
+    def test_rejects_bad_interval(self):
+        engine = SimulationEngine()
+        device = PowerDevice("x", DeviceLevel.RPP, 1000.0)
+        with pytest.raises(ConfigurationError):
+            BreakerReadingSource(engine, device, interval_s=0.0)
+
+
+class TestBreakerValidator:
+    def test_no_action_when_consistent(self):
+        engine, device, servers, controller, source = build_world()
+        validator = BreakerValidator(
+            engine, controller, source, servers=servers, interval_s=120.0
+        )
+        validator.start(phase=130.0)
+        engine.run_until(1000.0)
+        assert validator.validations > 0
+        assert validator.recalibrations == 0
+
+    def test_recalibrates_biased_estimators(self):
+        # Estimators report 25% high: the aggregate drifts from the
+        # breaker reading and the validator tunes the models back.
+        engine, device, servers, controller, source = build_world(
+            estimator_bias=1.25
+        )
+        validator = BreakerValidator(
+            engine, controller, source, servers=servers, interval_s=120.0
+        )
+        validator.start(phase=130.0)
+        engine.run_until(2500.0)
+        assert validator.recalibrations >= 1
+        # After recalibration the aggregate matches the breaker side.
+        aggregate = controller.last_aggregate_power_w
+        true_power = device.power_w()
+        assert aggregate == pytest.approx(true_power, rel=0.08)
+        infos = controller.alerts.by_severity(Severity.INFO)
+        assert infos
+
+    def test_alerts_instead_when_recalibration_disabled(self):
+        engine, device, servers, controller, source = build_world(
+            estimator_bias=1.25
+        )
+        validator = BreakerValidator(
+            engine,
+            controller,
+            source,
+            servers=servers,
+            interval_s=120.0,
+            recalibrate=False,
+        )
+        validator.start(phase=130.0)
+        engine.run_until(1000.0)
+        warnings = controller.alerts.by_severity(Severity.WARNING)
+        assert warnings
+        assert validator.recalibrations == 0
+
+    def test_strike_counting(self):
+        engine, device, servers, controller, source = build_world(
+            estimator_bias=1.25
+        )
+        validator = BreakerValidator(
+            engine,
+            controller,
+            source,
+            servers=servers,
+            interval_s=120.0,
+            strikes_before_action=3,
+        )
+        validator.start(phase=130.0)
+        # Ticks land at t=130 and t=250: two strikes, below the limit
+        # of three, so no action yet.
+        engine.run_until(260.0)
+        assert validator.recalibrations == 0
+        # The third tick (t=370) crosses the strike limit.
+        engine.run_until(380.0)
+        assert validator.recalibrations == 1
+
+    def test_rejects_bad_tolerance(self):
+        engine, device, servers, controller, source = build_world()
+        with pytest.raises(ConfigurationError):
+            BreakerValidator(
+                engine, controller, source, tolerance_fraction=2.0
+            )

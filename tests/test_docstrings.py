@@ -1,0 +1,50 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_module_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their definition site
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(member):
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}"
+    )

@@ -1,0 +1,144 @@
+"""Tests for fleet construction and the physical-world driver."""
+
+import pytest
+
+from repro.config import DynamoConfig
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    Fleet,
+    FleetDriver,
+    ServiceAllocation,
+    populate_fleet,
+)
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.device import DeviceLevel
+from repro.server.platform import WESTMERE_2011
+from repro.simulation.rng import RngStreams
+
+from tests.conftest import tiny_topology
+
+
+def small_topology():
+    return build_datacenter(
+        DataCenterSpec(
+            name="t", msb_count=1, sbs_per_msb=1, rpps_per_sb=2, racks_per_rpp=2
+        )
+    )
+
+
+class TestPopulateFleet:
+    def test_counts_and_services(self, rng_streams):
+        topo = small_topology()
+        fleet = populate_fleet(
+            topo,
+            [ServiceAllocation("web", 8), ServiceAllocation("cache", 4)],
+            rng_streams,
+        )
+        assert len(fleet.servers) == 12
+        assert len(fleet.by_service("web")) == 8
+        assert len(fleet.by_service("cache")) == 4
+
+    def test_servers_attached_to_racks_by_default(self, rng_streams):
+        topo = small_topology()
+        populate_fleet(topo, [ServiceAllocation("web", 8)], rng_streams)
+        racks = topo.devices_at_level(DeviceLevel.RACK)
+        per_rack = [len(r.load_ids) for r in racks]
+        assert sum(per_rack) == 8
+        assert max(per_rack) - min(per_rack) <= 1  # round-robin balance
+
+    def test_attach_at_rpp_when_no_racks(self, rng_streams):
+        topo = tiny_topology()
+        populate_fleet(topo, [ServiceAllocation("web", 4)], rng_streams)
+        rpps = topo.devices_at_level(DeviceLevel.RPP)
+        assert sum(len(r.load_ids) for r in rpps) == 4
+
+    def test_explicit_attach_level(self, rng_streams):
+        topo = small_topology()
+        populate_fleet(
+            topo,
+            [ServiceAllocation("web", 4)],
+            rng_streams,
+            attach_level=DeviceLevel.RPP,
+        )
+        rpps = topo.devices_at_level(DeviceLevel.RPP)
+        assert sum(len(r.load_ids) for r in rpps) == 4
+
+    def test_platform_and_turbo_options(self, rng_streams):
+        topo = tiny_topology()
+        fleet = populate_fleet(
+            topo,
+            [
+                ServiceAllocation(
+                    "hadoop", 2, platform=WESTMERE_2011, turbo_enabled=True
+                )
+            ],
+            rng_streams,
+        )
+        for server in fleet.servers.values():
+            assert server.platform is WESTMERE_2011
+            assert server.turbo.enabled
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            ServiceAllocation("web", -1)
+
+    def test_fleet_lookup(self, rng_streams):
+        topo = tiny_topology()
+        fleet = populate_fleet(topo, [ServiceAllocation("web", 2)], rng_streams)
+        assert fleet.server("web-0000").service == "web"
+        with pytest.raises(ConfigurationError):
+            fleet.server("ghost")
+
+    def test_deterministic_given_seed(self):
+        topo1, topo2 = tiny_topology(), tiny_topology()
+        f1 = populate_fleet(topo1, [ServiceAllocation("web", 3)], RngStreams(5))
+        f2 = populate_fleet(topo2, [ServiceAllocation("web", 3)], RngStreams(5))
+        for sid in f1.server_ids:
+            u1 = f1.server(sid).workload.utilization(100.0)
+            u2 = f2.server(sid).workload.utilization(100.0)
+            assert u1 == u2
+
+
+class TestFleetDriver:
+    def test_steps_servers(self, engine, rng_streams):
+        topo = tiny_topology()
+        fleet = populate_fleet(topo, [ServiceAllocation("cache", 4)], rng_streams)
+        driver = FleetDriver(engine, topology=topo, fleet=fleet)
+        driver.start()
+        engine.run_until(30.0)
+        assert fleet.total_power_w() > 0.0
+        assert topo.total_power_w() == pytest.approx(fleet.total_power_w())
+
+    def test_records_trips(self, engine, rng_streams):
+        topo = tiny_topology()
+        fleet = populate_fleet(topo, [ServiceAllocation("web", 2)], rng_streams)
+        # A rogue fixed load pushes rpp0 into magnetic trip range.
+        topo.device("rpp0").fixed_overhead_w = 105_000.0
+        driver = FleetDriver(engine, topology=topo, fleet=fleet)
+        driver.start()
+        engine.run_until(5.0)
+        assert driver.tripped
+        assert driver.trips[0].device_name == "rpp0"
+        assert driver.trips[0].level == "rpp"
+
+    def test_no_trips_under_normal_load(self, engine, rng_streams):
+        topo = tiny_topology()
+        fleet = populate_fleet(topo, [ServiceAllocation("cache", 4)], rng_streams)
+        driver = FleetDriver(engine, topology=topo, fleet=fleet)
+        driver.start()
+        engine.run_until(60.0)
+        assert not driver.tripped
+
+    def test_rejects_bad_interval(self, engine, rng_streams):
+        topo = tiny_topology()
+        fleet = Fleet()
+        with pytest.raises(ConfigurationError):
+            FleetDriver(engine, topo, fleet, step_interval_s=0.0)
+
+    def test_capped_servers_listing(self, engine, rng_streams):
+        topo = tiny_topology()
+        fleet = populate_fleet(topo, [ServiceAllocation("web", 3)], rng_streams)
+        assert fleet.capped_servers() == []
+        server = fleet.server("web-0000")
+        server.rapl.set_limit(200.0)
+        assert fleet.capped_servers() == [server]

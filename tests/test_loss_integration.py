@@ -1,0 +1,80 @@
+"""Tests for loss-model integration and time-series CSV round-trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.loss import PowerLossModel
+from repro.telemetry.timeseries import TimeSeries
+
+
+class TestDeviceLossIntegration:
+    def build(self, efficiency=0.96, overhead=0.0):
+        rpp = PowerDevice("rpp0", DeviceLevel.RPP, 100_000.0)
+        rpp.attach_load("srv", lambda: 9_600.0)
+        rpp.loss_model = PowerLossModel(
+            efficiency=efficiency, overhead_w=overhead
+        )
+        return rpp
+
+    def test_breaker_sees_inflated_power(self):
+        rpp = self.build(efficiency=0.96)
+        assert rpp.power_w() == pytest.approx(10_000.0)
+
+    def test_losses_compound_up_the_tree(self):
+        sb = PowerDevice("sb0", DeviceLevel.SB, 1_000_000.0)
+        sb.loss_model = PowerLossModel(efficiency=0.98)
+        rpp = self.build(efficiency=0.96)
+        sb.add_child(rpp)
+        assert sb.power_w() == pytest.approx(10_000.0 / 0.98)
+
+    def test_no_loss_model_passthrough(self):
+        rpp = PowerDevice("rpp0", DeviceLevel.RPP, 100_000.0)
+        rpp.attach_load("srv", lambda: 500.0)
+        assert rpp.power_w() == 500.0
+
+    def test_loss_counts_against_breaker(self):
+        # The aggregation gap the paper validates against: servers
+        # report 9.6 KW while the breaker sees 10 KW.  Capping decisions
+        # compare server-side aggregates to limits, so the controller's
+        # fixed_overhead_w (or validation loop) must absorb the delta.
+        rpp = self.build(efficiency=0.96)
+        server_side = 9_600.0
+        assert rpp.power_w() - server_side == pytest.approx(400.0)
+
+    def test_tripped_device_reports_zero_despite_loss_model(self):
+        rpp = self.build()
+        rpp.breaker.observe(rpp.rated_power_w * 10, 1.0, 0.0)
+        assert rpp.power_w() == 0.0
+
+
+class TestTimeSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        series = TimeSeries("t")
+        for i in range(20):
+            series.append(i * 3.0, 100.0 + i * 0.5)
+        path = tmp_path / "series.csv"
+        series.to_csv(path)
+        loaded = TimeSeries.from_csv(path, name="t")
+        assert list(loaded.times) == list(series.times)
+        assert list(loaded.values) == list(series.values)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        TimeSeries("e").to_csv(path)
+        assert len(TimeSeries.from_csv(path)) == 0
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigurationError):
+            TimeSeries.from_csv(path)
+
+    def test_precision_preserved(self, tmp_path):
+        series = TimeSeries("p")
+        series.append(1.0 / 3.0, 2.0 / 7.0)
+        path = tmp_path / "p.csv"
+        series.to_csv(path)
+        loaded = TimeSeries.from_csv(path)
+        assert loaded.times[0] == series.times[0]
+        assert loaded.values[0] == series.values[0]

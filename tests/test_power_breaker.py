@@ -1,0 +1,144 @@
+"""Tests for circuit breakers and their Figure-3 trip curves."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.breaker import STANDARD_CURVES, BreakerCurve, CircuitBreaker
+
+
+class TestBreakerCurve:
+    def test_no_trip_at_or_below_rating(self):
+        curve = STANDARD_CURVES["rpp"]
+        assert math.isinf(curve.trip_time(1.0))
+        assert math.isinf(curve.trip_time(0.5))
+
+    def test_trip_time_decreases_with_overdraw(self):
+        curve = STANDARD_CURVES["rpp"]
+        assert curve.trip_time(1.1) > curve.trip_time(1.2) > curve.trip_time(1.4)
+
+    def test_rpp_anchor_points(self):
+        # Section II-A: RPPs sustain a 10% overdraw ~17 min and a 40%
+        # overdraw ~60 s.
+        curve = STANDARD_CURVES["rpp"]
+        assert curve.trip_time(1.10) == pytest.approx(1020.0, rel=0.05)
+        assert curve.trip_time(1.40) == pytest.approx(60.0, rel=0.05)
+
+    def test_msb_anchor_points(self):
+        # MSBs trip on ~5% overdraw in ~2 min and sustain 15% for ~60 s.
+        curve = STANDARD_CURVES["msb"]
+        assert curve.trip_time(1.05) == pytest.approx(120.0, rel=0.05)
+        assert curve.trip_time(1.15) == pytest.approx(60.0, rel=0.05)
+
+    def test_lower_levels_tolerate_more_overdraw(self):
+        # Figure 3: at the same overdraw, RPPs hold out longer than MSBs.
+        for ratio in (1.10, 1.15, 1.20):
+            assert (
+                STANDARD_CURVES["rpp"].trip_time(ratio)
+                > STANDARD_CURVES["msb"].trip_time(ratio)
+            )
+
+    def test_instant_trip_above_magnetic_threshold(self):
+        curve = STANDARD_CURVES["rack"]
+        assert curve.trip_time(curve.instant_trip_ratio) == 0.0
+
+    def test_all_levels_have_curves(self):
+        assert set(STANDARD_CURVES) == {"rack", "rpp", "sb", "msb"}
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ConfigurationError):
+            BreakerCurve(k=-1.0, exponent=2.0)
+        with pytest.raises(ConfigurationError):
+            BreakerCurve(k=1.0, exponent=2.0, instant_trip_ratio=0.9)
+
+
+class TestCircuitBreaker:
+    def make(self, rated=1000.0, level="rpp") -> CircuitBreaker:
+        return CircuitBreaker(rated, STANDARD_CURVES[level])
+
+    def test_no_trip_under_rating(self):
+        breaker = self.make()
+        for t in range(10_000):
+            assert not breaker.observe(999.0, 1.0, float(t))
+
+    def test_trips_at_predicted_time_constant_overdraw(self):
+        breaker = self.make()
+        ratio = 1.4
+        expected = STANDARD_CURVES["rpp"].trip_time(ratio)
+        t = 0.0
+        while not breaker.observe(1400.0, 1.0, t):
+            t += 1.0
+            assert t < 2 * expected, "breaker failed to trip"
+        assert t == pytest.approx(expected, rel=0.05)
+
+    def test_large_spike_trips_quickly(self):
+        breaker = self.make()
+        t = 0.0
+        while not breaker.observe(2800.0, 1.0, t):
+            t += 1.0
+        assert t < 10.0
+
+    def test_stress_decays_when_load_drops(self):
+        breaker = self.make()
+        breaker.observe(1400.0, 30.0, 30.0)
+        stress_after_overdraw = breaker.stress
+        assert stress_after_overdraw > 0.0
+        breaker.observe(500.0, 300.0, 330.0)
+        assert breaker.stress < stress_after_overdraw
+
+    def test_trip_is_latched(self):
+        breaker = self.make()
+        breaker.observe(5000.0, 1.0, 1.0)
+        assert breaker.tripped
+        # Dropping load does not untrip.
+        assert breaker.observe(0.0, 100.0, 101.0)
+        assert breaker.tripped
+
+    def test_trip_time_recorded(self):
+        breaker = self.make()
+        breaker.observe(5000.0, 1.0, 42.0)
+        assert breaker.trip_time == 42.0
+
+    def test_reset_clears_state(self):
+        breaker = self.make()
+        breaker.observe(5000.0, 1.0, 1.0)
+        breaker.reset()
+        assert not breaker.tripped
+        assert breaker.stress == 0.0
+        assert breaker.trip_time is None
+
+    def test_time_to_trip_infinite_below_rating(self):
+        breaker = self.make()
+        assert math.isinf(breaker.time_to_trip(900.0))
+
+    def test_time_to_trip_shrinks_with_accumulated_stress(self):
+        breaker = self.make()
+        fresh = breaker.time_to_trip(1400.0)
+        breaker.observe(1400.0, 20.0, 20.0)
+        assert breaker.time_to_trip(1400.0) < fresh
+
+    def test_intermittent_overdraw_accumulates(self):
+        # Alternating 10 s over / 1 s under should still trip eventually,
+        # just later than constant overdraw (thermal memory).
+        breaker = self.make()
+        constant = STANDARD_CURVES["rpp"].trip_time(1.4)
+        t = 0.0
+        tripped_at = None
+        while t < 10 * constant:
+            power = 1400.0 if int(t) % 11 < 10 else 500.0
+            if breaker.observe(power, 1.0, t):
+                tripped_at = t
+                break
+            t += 1.0
+        assert tripped_at is not None
+        assert tripped_at > constant
+
+    def test_rejects_nonpositive_rating(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(0.0, STANDARD_CURVES["rpp"])
+
+    def test_rejects_negative_dt(self):
+        breaker = self.make()
+        with pytest.raises(ConfigurationError):
+            breaker.observe(500.0, -1.0, 0.0)

@@ -1,0 +1,170 @@
+"""Tests for power devices and subtree power computation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.power.device import DeviceLevel, PowerDevice
+
+
+def make_rpp(name="rpp0", rating=190_000.0) -> PowerDevice:
+    return PowerDevice(name, DeviceLevel.RPP, rating)
+
+
+class TestConstruction:
+    def test_basic_attributes(self):
+        device = make_rpp()
+        assert device.name == "rpp0"
+        assert device.level is DeviceLevel.RPP
+        assert device.rated_power_w == 190_000.0
+
+    def test_quota_defaults_to_rating(self):
+        assert make_rpp().power_quota_w == 190_000.0
+
+    def test_breaker_matches_rating(self):
+        assert make_rpp().breaker.rated_power_w == 190_000.0
+
+    def test_rejects_nonpositive_rating(self):
+        with pytest.raises(ConfigurationError):
+            PowerDevice("bad", DeviceLevel.RPP, 0.0)
+
+
+class TestTreeConstruction:
+    def test_add_child_sets_parent(self):
+        sb = PowerDevice("sb0", DeviceLevel.SB, 1_250_000.0)
+        rpp = make_rpp()
+        sb.add_child(rpp)
+        assert rpp.parent is sb
+        assert sb.children == [rpp]
+
+    def test_rejects_double_parent(self):
+        sb1 = PowerDevice("sb1", DeviceLevel.SB, 1_250_000.0)
+        sb2 = PowerDevice("sb2", DeviceLevel.SB, 1_250_000.0)
+        rpp = make_rpp()
+        sb1.add_child(rpp)
+        with pytest.raises(TopologyError):
+            sb2.add_child(rpp)
+
+    def test_rejects_self_child(self):
+        rpp = make_rpp()
+        with pytest.raises(TopologyError):
+            rpp.add_child(rpp)
+
+    def test_rejects_level_inversion(self):
+        rpp = make_rpp()
+        sb = PowerDevice("sb0", DeviceLevel.SB, 1_250_000.0)
+        with pytest.raises(TopologyError):
+            rpp.add_child(sb)
+
+    def test_rejects_same_level_child(self):
+        with pytest.raises(TopologyError):
+            make_rpp("a").add_child(make_rpp("b"))
+
+
+class TestLoads:
+    def test_attach_and_read(self):
+        device = make_rpp()
+        device.attach_load("srv1", lambda: 250.0)
+        device.attach_load("srv2", lambda: 150.0)
+        assert device.direct_load_power_w() == 400.0
+
+    def test_duplicate_load_rejected(self):
+        device = make_rpp()
+        device.attach_load("srv1", lambda: 250.0)
+        with pytest.raises(TopologyError):
+            device.attach_load("srv1", lambda: 100.0)
+
+    def test_detach_load(self):
+        device = make_rpp()
+        device.attach_load("srv1", lambda: 250.0)
+        device.detach_load("srv1")
+        assert device.direct_load_power_w() == 0.0
+
+    def test_detach_missing_load_rejected(self):
+        with pytest.raises(TopologyError):
+            make_rpp().detach_load("ghost")
+
+    def test_load_ids(self):
+        device = make_rpp()
+        device.attach_load("a", lambda: 1.0)
+        device.attach_load("b", lambda: 2.0)
+        assert sorted(device.load_ids) == ["a", "b"]
+
+
+class TestPowerComputation:
+    def build_tree(self):
+        msb = PowerDevice("msb", DeviceLevel.MSB, 2_500_000.0)
+        sb = PowerDevice("sb", DeviceLevel.SB, 1_250_000.0)
+        rpp = make_rpp()
+        msb.add_child(sb)
+        sb.add_child(rpp)
+        rpp.attach_load("srv", lambda: 300.0)
+        return msb, sb, rpp
+
+    def test_power_rolls_up(self):
+        msb, sb, rpp = self.build_tree()
+        assert rpp.power_w() == 300.0
+        assert sb.power_w() == 300.0
+        assert msb.power_w() == 300.0
+
+    def test_fixed_overhead_added(self):
+        msb, sb, rpp = self.build_tree()
+        rpp.fixed_overhead_w = 50.0
+        assert rpp.power_w() == 350.0
+        assert msb.power_w() == 350.0
+
+    def test_tripped_subtree_draws_nothing(self):
+        msb, sb, rpp = self.build_tree()
+        rpp.breaker.observe(rpp.rated_power_w * 10, 1.0, 0.0)
+        assert rpp.breaker.tripped
+        assert rpp.power_w() == 0.0
+        assert msb.power_w() == 0.0
+
+    def test_utilization(self):
+        __, __, rpp = self.build_tree()
+        assert rpp.utilization() == pytest.approx(300.0 / 190_000.0)
+
+
+class TestTraversal:
+    def test_iter_subtree_preorder(self):
+        msb = PowerDevice("msb", DeviceLevel.MSB, 2_500_000.0)
+        sb = PowerDevice("sb", DeviceLevel.SB, 1_250_000.0)
+        rpp = make_rpp()
+        msb.add_child(sb)
+        sb.add_child(rpp)
+        assert [d.name for d in msb.iter_subtree()] == ["msb", "sb", "rpp0"]
+
+    def test_iter_leaf_devices(self):
+        msb = PowerDevice("msb", DeviceLevel.MSB, 2_500_000.0)
+        sb = PowerDevice("sb", DeviceLevel.SB, 1_250_000.0)
+        msb.add_child(sb)
+        sb.add_child(make_rpp("rpp0"))
+        sb.add_child(make_rpp("rpp1"))
+        assert [d.name for d in msb.iter_leaf_devices()] == ["rpp0", "rpp1"]
+
+    def test_iter_load_ids_covers_subtree(self):
+        msb = PowerDevice("msb", DeviceLevel.MSB, 2_500_000.0)
+        sb = PowerDevice("sb", DeviceLevel.SB, 1_250_000.0)
+        rpp = make_rpp()
+        msb.add_child(sb)
+        sb.add_child(rpp)
+        rpp.attach_load("deep", lambda: 1.0)
+        sb.attach_load("mid", lambda: 1.0)
+        assert sorted(msb.iter_load_ids()) == ["deep", "mid"]
+
+    def test_path(self):
+        msb = PowerDevice("msb", DeviceLevel.MSB, 2_500_000.0)
+        sb = PowerDevice("sb", DeviceLevel.SB, 1_250_000.0)
+        msb.add_child(sb)
+        assert sb.path() == "msb/sb"
+
+
+class TestDeviceLevel:
+    def test_depths(self):
+        assert DeviceLevel.MSB.depth == 0
+        assert DeviceLevel.SB.depth == 1
+        assert DeviceLevel.RPP.depth == 2
+        assert DeviceLevel.RACK.depth == 3
+
+    def test_breaker_curves_mapped(self):
+        for level in DeviceLevel:
+            assert level.breaker_curve.k > 0

@@ -1,0 +1,147 @@
+"""Tests for network devices, leased-DC topology, and non-server
+components in leaf controllers."""
+
+import numpy as np
+import pytest
+
+from repro.config import DynamoConfig
+from repro.core.hierarchy import build_controller_hierarchy
+from repro.core.leaf_controller import (
+    LeafPowerController,
+    NonServerComponent,
+)
+from repro.errors import ConfigurationError
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.leased import LeasedDataCenterSpec, build_leased_datacenter
+from repro.power.network import NetworkSwitch, network_power_budget_w
+from repro.rpc.transport import RpcTransport
+
+
+class TestNetworkSwitch:
+    def test_power_composition(self):
+        switch = NetworkSwitch(
+            "tor0",
+            chassis_power_w=100.0,
+            port_power_w=2.0,
+            port_count=48,
+            active_ports=24,
+            traffic_power_w=20.0,
+        )
+        switch.set_traffic_load(0.5)
+        assert switch.power_w() == pytest.approx(100 + 48 + 10)
+
+    def test_nameplate_exceeds_typical(self):
+        switch = NetworkSwitch("tor0", active_ports=24)
+        assert switch.nameplate_power_w() > switch.power_w()
+
+    def test_traffic_load_bounds(self):
+        switch = NetworkSwitch("tor0")
+        with pytest.raises(ConfigurationError):
+            switch.set_traffic_load(1.5)
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSwitch("x", port_count=0)
+        with pytest.raises(ConfigurationError):
+            NetworkSwitch("x", active_ports=100, port_count=48)
+
+    def test_budget(self):
+        switches = [NetworkSwitch(f"t{i}") for i in range(3)]
+        assert network_power_budget_w(switches) == pytest.approx(
+            3 * switches[0].nameplate_power_w()
+        )
+
+    def test_network_power_is_small_fraction(self):
+        # Paper: network devices draw a low single-digit percentage of
+        # server power.  One ToR per ~20 servers at ~230 W each.
+        switch = NetworkSwitch("tor0")
+        server_row_power = 20 * 230.0
+        assert switch.power_w() / server_row_power < 0.06
+
+
+class TestNonServerComponents:
+    def build_controller(self):
+        transport = RpcTransport(np.random.default_rng(0))
+        device = PowerDevice("rpp0", DeviceLevel.RPP, 100_000.0)
+        return LeafPowerController(device, [], transport), device
+
+    def test_component_with_source_pulled_directly(self):
+        controller, _ = self.build_controller()
+        switch = NetworkSwitch("tor0")
+        controller.add_component(
+            NonServerComponent("tor0", source=switch.power_w)
+        )
+        controller.tick(0.0)
+        assert controller.last_aggregate_power_w == pytest.approx(
+            switch.power_w()
+        )
+
+    def test_component_without_source_estimated(self):
+        controller, _ = self.build_controller()
+        controller.add_component(
+            NonServerComponent("tor1", source=None, estimate_w=180.0)
+        )
+        controller.tick(0.0)
+        assert controller.last_aggregate_power_w == pytest.approx(180.0)
+
+    def test_components_listed(self):
+        controller, _ = self.build_controller()
+        controller.add_component(NonServerComponent("a", estimate_w=1.0))
+        controller.add_component(NonServerComponent("b", estimate_w=2.0))
+        assert [c.name for c in controller.components] == ["a", "b"]
+
+    def test_components_never_capped(self):
+        # Monitoring-only: a component pushing the aggregate over the
+        # limit triggers capping decisions but no cap is (or can be)
+        # sent to the component — with no servers, the cut is simply
+        # unallocatable and alerts.
+        controller, device = self.build_controller()
+        controller.add_component(
+            NonServerComponent("hog", estimate_w=device.rated_power_w * 1.05)
+        )
+        controller.tick(0.0)
+        assert controller.capped_server_ids == []
+
+
+class TestLeasedDatacenter:
+    def test_structure(self):
+        spec = LeasedDataCenterSpec()
+        topo = build_leased_datacenter(spec)
+        assert len(topo.roots) == spec.feed_count
+        assert (
+            len(topo.devices_at_level(DeviceLevel.RPP)) == spec.breaker_count
+        )
+        assert "pdu0.0" in topo
+        assert "pdubrk0.0.0" in topo
+
+    def test_ratings(self):
+        topo = build_leased_datacenter()
+        assert topo.device("pdu0.0").rated_power_w == 225_000.0
+        assert topo.device("pdubrk0.0.0").rated_power_w == 90_000.0
+
+    def test_dynamo_hierarchy_builds_unchanged(self):
+        # Section IV: leaf controllers attach to PDU breakers in leased
+        # datacenters; the hierarchy builder needs no special-casing.
+        topo = build_leased_datacenter(
+            LeasedDataCenterSpec(feed_count=1, pdus_per_feed=2, breakers_per_pdu=2)
+        )
+        hierarchy = build_controller_hierarchy(
+            topo, RpcTransport(np.random.default_rng(0)), config=DynamoConfig()
+        )
+        assert set(hierarchy.leaf_controllers) == {
+            "pdubrk0.0.0",
+            "pdubrk0.0.1",
+            "pdubrk0.1.0",
+            "pdubrk0.1.1",
+        }
+        assert set(hierarchy.upper_controllers) == {
+            "feed0",
+            "pdu0.0",
+            "pdu0.1",
+        }
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ConfigurationError):
+            LeasedDataCenterSpec(feed_count=0)
+        with pytest.raises(ConfigurationError):
+            LeasedDataCenterSpec(pdu_rating_w=-1.0)

@@ -1,0 +1,76 @@
+"""Tests for suite (room) tagging and suite-grouped controllers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import ServiceAllocation, populate_fleet
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.oversubscription import plan_quotas
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+
+class TestSuiteTagging:
+    def test_default_four_suites(self):
+        topo = build_datacenter(DataCenterSpec())
+        suites = {topo.device(f"msb{m}").suite for m in range(4)}
+        assert suites == {0, 1, 2, 3}
+
+    def test_subtree_inherits_msb_suite(self):
+        topo = build_datacenter(
+            DataCenterSpec(msb_count=2, suite_count=2, racks_per_rpp=2)
+        )
+        for root in topo.roots:
+            for device in root.iter_subtree():
+                assert device.suite == root.suite
+
+    def test_round_robin_distribution(self):
+        topo = build_datacenter(
+            DataCenterSpec(msb_count=8, suite_count=4, include_racks=False)
+        )
+        per_suite = {}
+        for root in topo.roots:
+            per_suite[root.suite] = per_suite.get(root.suite, 0) + 1
+        assert per_suite == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_rejects_nonpositive_suite_count(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterSpec(suite_count=0)
+
+    def test_hand_built_devices_have_no_suite(self):
+        from tests.conftest import tiny_topology
+
+        for device in tiny_topology().iter_devices():
+            assert device.suite is None
+
+
+class TestSuiteGroupedControllers:
+    def test_grouping_covers_all_controllers(self):
+        from repro.core.dynamo import Dynamo
+
+        engine = SimulationEngine()
+        topo = build_datacenter(
+            DataCenterSpec(
+                name="s",
+                msb_count=2,
+                suite_count=2,
+                sbs_per_msb=1,
+                rpps_per_sb=2,
+                include_racks=False,
+            )
+        )
+        plan_quotas(topo)
+        rng = RngStreams(3)
+        fleet = populate_fleet(topo, [ServiceAllocation("web", 8)], rng)
+        dynamo = Dynamo(engine, topo, fleet, rng_streams=rng.fork("d"))
+        groups = dynamo.controllers_by_suite()
+        assert set(groups) == {0, 1}
+        all_names = sorted(n for names in groups.values() for n in names)
+        assert all_names == sorted(
+            c.name for c in dynamo.hierarchy.all_controllers
+        )
+        # Suite 0 holds msb0's subtree only.
+        assert all(
+            n == "msb0" or n.startswith(("sb0", "rpp0"))
+            for n in groups[0]
+        )

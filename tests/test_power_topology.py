@@ -1,0 +1,204 @@
+"""Tests for topology container, builder, oversubscription, and loss."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.power.builder import SMALL_SPEC, DataCenterSpec, build_datacenter
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.loss import PowerLossModel
+from repro.power.oversubscription import (
+    headroom_w,
+    oversubscription_at,
+    plan_quotas,
+)
+from repro.power.topology import PowerTopology
+from repro.units import kilowatts, megawatts
+
+from tests.conftest import tiny_topology
+
+
+class TestTopology:
+    def test_lookup_by_name(self):
+        topo = tiny_topology()
+        assert topo.device("rpp0").name == "rpp0"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(TopologyError):
+            tiny_topology().device("ghost")
+
+    def test_contains(self):
+        topo = tiny_topology()
+        assert "sb0" in topo
+        assert "ghost" not in topo
+
+    def test_device_count(self):
+        assert tiny_topology().device_count == 4
+
+    def test_devices_at_level(self):
+        topo = tiny_topology()
+        assert len(topo.devices_at_level(DeviceLevel.RPP)) == 2
+        assert len(topo.devices_at_level(DeviceLevel.RACK)) == 0
+
+    def test_duplicate_names_rejected(self):
+        msb = PowerDevice("msb0", DeviceLevel.MSB, 1000.0)
+        sb1 = PowerDevice("dup", DeviceLevel.SB, 500.0)
+        sb2 = PowerDevice("dup", DeviceLevel.SB, 500.0)
+        msb.add_child(sb1)
+        msb.add_child(sb2)
+        with pytest.raises(TopologyError):
+            PowerTopology("bad", [msb])
+
+    def test_non_msb_root_rejected(self):
+        sb = PowerDevice("sb0", DeviceLevel.SB, 500.0)
+        with pytest.raises(TopologyError):
+            PowerTopology("bad", [sb])
+
+    def test_total_power(self):
+        topo = tiny_topology()
+        topo.device("rpp0").attach_load("a", lambda: 100.0)
+        topo.device("rpp1").attach_load("b", lambda: 200.0)
+        assert topo.total_power_w() == 300.0
+
+    def test_observe_breakers_reports_new_trips(self):
+        # 105 KW overloads only the 30 KW RPP past its magnetic trip
+        # point; the 50 KW SB (ratio 2.1) and 100 KW MSB (ratio 1.05)
+        # need sustained overdraw and survive a single 1 s step.
+        topo = tiny_topology()
+        rpp = topo.device("rpp0")
+        rpp.attach_load("hog", lambda: 105_000.0)
+        tripped = topo.observe_breakers(1.0, 1.0)
+        assert [d.name for d in tripped] == ["rpp0"]
+        # Next observation: already tripped, not re-reported — and the
+        # subtree now draws nothing, so nothing else trips either.
+        assert topo.observe_breakers(1.0, 2.0) == []
+
+    def test_tripped_devices_listing(self):
+        topo = tiny_topology()
+        rpp = topo.device("rpp1")
+        rpp.attach_load("hog", lambda: 105_000.0)
+        topo.observe_breakers(1.0, 1.0)
+        assert [d.name for d in topo.tripped_devices()] == ["rpp1"]
+
+    def test_parent_trip_shields_children_after_trip(self):
+        # A tripped RPP takes its load offline: the SB sees zero from
+        # that subtree afterwards (cascade prevention by outage).
+        topo = tiny_topology()
+        rpp = topo.device("rpp0")
+        rpp.attach_load("hog", lambda: 105_000.0)
+        topo.observe_breakers(1.0, 1.0)
+        assert topo.device("sb0").power_w() == 0.0
+
+
+class TestBuilder:
+    def test_default_spec_counts(self):
+        spec = DataCenterSpec()
+        topo = build_datacenter(spec)
+        assert len(topo.roots) == 4
+        assert len(topo.devices_at_level(DeviceLevel.SB)) == 16
+        assert len(topo.devices_at_level(DeviceLevel.RPP)) == 96
+        assert len(topo.devices_at_level(DeviceLevel.RACK)) == spec.rack_count
+
+    def test_paper_ratings(self):
+        topo = build_datacenter(SMALL_SPEC)
+        assert topo.device("msb0").rated_power_w == megawatts(2.5)
+        assert topo.device("sb0.0").rated_power_w == megawatts(1.25)
+        assert topo.device("rpp0.0.0").rated_power_w == kilowatts(190)
+        assert topo.device("rack0.0.0.0").rated_power_w == kilowatts(12.6)
+
+    def test_small_spec_shape(self):
+        topo = build_datacenter(SMALL_SPEC)
+        assert topo.device_count == 1 + 2 + 4 + 12
+
+    def test_include_racks_false(self):
+        spec = DataCenterSpec(
+            msb_count=1, sbs_per_msb=1, rpps_per_sb=2, include_racks=False
+        )
+        topo = build_datacenter(spec)
+        assert topo.devices_at_level(DeviceLevel.RACK) == []
+        assert spec.rack_count == 0
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterSpec(msb_count=0)
+
+    def test_rejects_bad_ratings(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterSpec(rpp_rating_w=-1.0)
+
+    def test_oversubscription_present_at_msb(self):
+        # 4 SBs x 1.25 MW = 5 MW under a 2.5 MW MSB: ratio 2.0.
+        topo = build_datacenter(DataCenterSpec())
+        assert oversubscription_at(topo.device("msb0")) == pytest.approx(2.0)
+
+
+class TestOversubscriptionPlanning:
+    def test_root_keeps_rating(self):
+        topo = tiny_topology()
+        plan = plan_quotas(topo)
+        assert plan.quota("msb0") == topo.device("msb0").rated_power_w
+
+    def test_quotas_sum_to_parent_quota_times_ratio(self):
+        topo = tiny_topology()
+        plan_quotas(topo, ratio=1.0)
+        sb = topo.device("sb0")
+        child_quota_sum = sum(c.power_quota_w for c in sb.children)
+        assert child_quota_sum == pytest.approx(
+            min(sb.power_quota_w, sum(c.rated_power_w for c in sb.children))
+        )
+
+    def test_quota_clamped_to_rating(self):
+        topo = tiny_topology()
+        plan_quotas(topo, ratio=5.0)
+        for device in topo.iter_devices():
+            assert device.power_quota_w <= device.rated_power_w + 1e-9
+
+    def test_higher_ratio_raises_quotas(self):
+        topo1 = tiny_topology()
+        topo2 = tiny_topology()
+        plan_quotas(topo1, ratio=1.0)
+        plan_quotas(topo2, ratio=1.2)
+        assert (
+            topo2.device("rpp0").power_quota_w
+            > topo1.device("rpp0").power_quota_w
+        )
+
+    def test_apply_false_leaves_devices_unchanged(self):
+        topo = tiny_topology()
+        before = topo.device("rpp0").power_quota_w
+        plan_quotas(topo, ratio=0.5, apply=False)
+        assert topo.device("rpp0").power_quota_w == before
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ConfigurationError):
+            plan_quotas(tiny_topology(), ratio=0.0)
+
+    def test_headroom(self):
+        topo = tiny_topology()
+        rpp = topo.device("rpp0")
+        rpp.attach_load("a", lambda: 10_000.0)
+        assert headroom_w(rpp) == pytest.approx(20_000.0)
+
+
+class TestLossModel:
+    def test_upstream_exceeds_downstream(self):
+        loss = PowerLossModel(efficiency=0.96)
+        assert loss.upstream_power_w(960.0) == pytest.approx(1000.0)
+
+    def test_roundtrip(self):
+        loss = PowerLossModel(efficiency=0.94, overhead_w=50.0)
+        down = 12_345.0
+        assert loss.downstream_power_w(loss.upstream_power_w(down)) == pytest.approx(down)
+
+    def test_zero_downstream_gives_overhead(self):
+        loss = PowerLossModel(overhead_w=30.0)
+        assert loss.upstream_power_w(0.0) == 30.0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            PowerLossModel(efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            PowerLossModel(efficiency=0.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            PowerLossModel(overhead_w=-1.0)

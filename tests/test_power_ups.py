@@ -1,0 +1,115 @@
+"""Tests for DCUPS backup power and utility outage ride-through."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.ups import Dcups, UpsState, UtilityOutageScenario
+
+
+def make_ups(**kwargs) -> Dcups:
+    defaults = dict(rated_load_w=10_000.0, ride_through_s=90.0)
+    defaults.update(kwargs)
+    return Dcups("ups0", **defaults)
+
+
+class TestDcups:
+    def test_starts_online_and_charged(self):
+        ups = make_ups()
+        assert ups.state is UpsState.ONLINE
+        assert ups.stored_fraction == 1.0
+        assert ups.carrying_load
+
+    def test_rated_ride_through(self):
+        # At rated load the spec's 90 s backup holds exactly.
+        ups = make_ups()
+        ups.utility_lost()
+        for _ in range(89):
+            assert ups.step(10_000.0, 1.0)
+        assert ups.step(10_000.0, 1.0)  # second 90: battery hits zero
+        assert not ups.step(10_000.0, 1.0)  # 91st second: dropped
+        assert ups.state is UpsState.DEPLETED
+
+    def test_half_load_doubles_ride_through(self):
+        ups = make_ups()
+        ups.utility_lost()
+        assert ups.ride_through_remaining_s(5_000.0) == pytest.approx(180.0)
+
+    def test_generator_pickup_before_depletion(self):
+        ups = make_ups()
+        ups.utility_lost()
+        for t in range(30):
+            assert ups.step(10_000.0, 1.0)
+        ups.utility_restored()
+        assert ups.state is UpsState.ONLINE
+        assert ups.carrying_load
+        # Battery partially drained, recharging.
+        assert ups.stored_fraction < 1.0
+        ups.step(10_000.0, 600.0)
+        assert ups.stored_fraction > 0.8
+
+    def test_recharge_caps_at_full(self):
+        ups = make_ups()
+        ups.step(1_000.0, 1e6)
+        assert ups.stored_fraction == 1.0
+
+    def test_zero_load_infinite_ride_through(self):
+        ups = make_ups()
+        assert ups.ride_through_remaining_s(0.0) == float("inf")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            make_ups(rated_load_w=0.0)
+        with pytest.raises(ConfigurationError):
+            make_ups(ride_through_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_ups().step(-1.0, 1.0)
+
+
+class TestUtilityOutageScenario:
+    def test_sequence(self):
+        units = [make_ups() for _ in range(3)]
+        scenario = UtilityOutageScenario(
+            units, outage_at_s=100.0, generator_start_s=30.0
+        )
+        scenario.advance(50.0)
+        assert not scenario.utility_out
+        assert all(u.state is UpsState.ONLINE for u in units)
+        scenario.advance(100.0)
+        assert scenario.utility_out
+        assert all(u.state is UpsState.DISCHARGING for u in units)
+        scenario.advance(130.0)
+        assert not scenario.utility_out
+        assert all(u.state is UpsState.ONLINE for u in units)
+
+    def test_ride_through_survives_30s_generator_start(self):
+        # The design intent: 90 s of UPS comfortably bridges a 30 s
+        # generator start at full load.
+        ups = make_ups()
+        scenario = UtilityOutageScenario(
+            [ups], outage_at_s=10.0, generator_start_s=30.0
+        )
+        t, powered = 0.0, True
+        while t < 60.0:
+            scenario.advance(t)
+            powered = ups.step(10_000.0, 1.0) and powered
+            t += 1.0
+        assert powered
+
+    def test_slow_generator_drops_load(self):
+        # A 120 s generator start exceeds the 90 s spec: load drops.
+        ups = make_ups()
+        scenario = UtilityOutageScenario(
+            [ups], outage_at_s=10.0, generator_start_s=120.0
+        )
+        dropped = False
+        t = 0.0
+        while t < 140.0:
+            scenario.advance(t)
+            if not ups.step(10_000.0, 1.0):
+                dropped = True
+            t += 1.0
+        assert dropped
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            UtilityOutageScenario([], outage_at_s=0.0, generator_start_s=-1.0)

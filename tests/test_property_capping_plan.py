@@ -1,0 +1,91 @@
+"""Property-based tests for the capping-plan builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capping_plan import build_capping_plan
+from repro.core.messages import PowerReading
+from repro.core.priority import PriorityPolicy
+
+SERVICES = ("hadoop", "f4storage", "web", "newsfeed", "database", "cache")
+
+readings_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(SERVICES),
+        st.floats(min_value=90.0, max_value=450.0),
+    ),
+    min_size=1,
+    max_size=40,
+).map(
+    lambda rows: [
+        PowerReading(
+            server_id=f"s{i}",
+            power_w=p,
+            estimated=False,
+            service=svc,
+            time_s=0.0,
+        )
+        for i, (svc, p) in enumerate(rows)
+    ]
+)
+
+
+@given(
+    readings=readings_strategy,
+    cut=st.floats(min_value=0.0, max_value=20_000.0),
+)
+@settings(max_examples=200)
+def test_plan_conserves_and_respects_floors(readings, cut):
+    policy = PriorityPolicy()
+    plan = build_capping_plan(readings, cut, policy)
+    # Conservation.
+    assert plan.allocated_w + plan.unallocated_w == pytest.approx(
+        cut, abs=1e-4
+    )
+    # Every server appears exactly once.
+    assert sorted(c.server_id for c in plan.cuts) == sorted(
+        r.server_id for r in readings
+    )
+    for c in plan.cuts:
+        # No negative cuts; SLA floors honoured whenever the server
+        # started above its floor.
+        assert c.cut_w >= -1e-9
+        floor = min(policy.sla_min_cap_w(c.service), c.current_power_w)
+        assert c.cap_w >= floor - 1e-6
+
+
+@given(
+    readings=readings_strategy,
+    cut=st.floats(min_value=1.0, max_value=20_000.0),
+)
+@settings(max_examples=200)
+def test_priority_groups_drain_in_order(readings, cut):
+    policy = PriorityPolicy()
+    plan = build_capping_plan(readings, cut, policy)
+    # If any server in group G was cut, every group below G must be
+    # fully drained to its floors (within tolerance).
+    cut_groups = {c.priority_group for c in plan.cuts if c.cut_w > 1e-6}
+    if not cut_groups:
+        return
+    highest_cut_group = max(cut_groups)
+    for c in plan.cuts:
+        if c.priority_group < highest_cut_group:
+            floor = min(policy.sla_min_cap_w(c.service), c.current_power_w)
+            assert c.cap_w <= floor + 1e-4, (
+                f"group {c.priority_group} not drained before group "
+                f"{highest_cut_group} was touched"
+            )
+
+
+@given(readings=readings_strategy)
+@settings(max_examples=100)
+def test_unallocated_only_when_all_floored(readings):
+    policy = PriorityPolicy()
+    # Demand more than the fleet can possibly shed.
+    total_power = sum(r.power_w for r in readings)
+    plan = build_capping_plan(readings, total_power * 2, policy)
+    if plan.unallocated_w > 1e-6:
+        for c in plan.cuts:
+            floor = min(policy.sla_min_cap_w(c.service), c.current_power_w)
+            assert c.cap_w <= floor + 1e-4

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) on core data structures and
+algorithms: allocation conservation, band hysteresis, breaker curve
+monotonicity, power-model invertibility, and quota planning.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ThreeBandConfig
+from repro.core.bucket import AllocationInput, allocate_high_bucket_first
+from repro.core.offender import ChildState, punish_offender_first
+from repro.core.three_band import BandAction, ThreeBandController
+from repro.power.breaker import STANDARD_CURVES
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.power.oversubscription import plan_quotas
+from repro.power.topology import PowerTopology
+from repro.server.platform import HASWELL_2015, WESTMERE_2011
+from repro.server.power_model import PowerModel
+
+# ---------------------------------------------------------------------------
+# High-bucket-first allocator
+# ---------------------------------------------------------------------------
+
+server_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=100.0, max_value=500.0),  # power
+        st.floats(min_value=50.0, max_value=250.0),  # min cap
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(servers=server_lists, cut=st.floats(min_value=0.0, max_value=5_000.0))
+@settings(max_examples=200)
+def test_bucket_allocation_conserves_and_respects_floors(servers, cut):
+    inputs = [
+        AllocationInput(server_id=f"s{i}", power_w=p, min_cap_w=m)
+        for i, (p, m) in enumerate(servers)
+    ]
+    result = allocate_high_bucket_first(inputs, cut)
+    # Conservation: allocated + unallocated == requested cut.
+    assert result.total_cut_w + result.unallocated_w == pytest.approx(
+        cut, abs=1e-6
+    )
+    for inp in inputs:
+        cut_i = result.cuts_w[inp.server_id]
+        # No negative cuts, and never below the server's floor when the
+        # server was above it to begin with.
+        assert cut_i >= -1e-9
+        floor = min(inp.min_cap_w, inp.power_w)
+        assert inp.power_w - cut_i >= floor - 1e-6
+
+
+@given(servers=server_lists)
+@settings(max_examples=100)
+def test_bucket_allocation_zero_cut_is_identity(servers):
+    inputs = [
+        AllocationInput(server_id=f"s{i}", power_w=p, min_cap_w=m)
+        for i, (p, m) in enumerate(servers)
+    ]
+    result = allocate_high_bucket_first(inputs, 0.0)
+    assert all(c == 0.0 for c in result.cuts_w.values())
+
+
+@given(
+    servers=server_lists,
+    cut_small=st.floats(min_value=0.0, max_value=1_000.0),
+    extra=st.floats(min_value=0.0, max_value=1_000.0),
+)
+@settings(max_examples=100)
+def test_bucket_allocation_monotone_in_cut(servers, cut_small, extra):
+    inputs = [
+        AllocationInput(server_id=f"s{i}", power_w=p, min_cap_w=m)
+        for i, (p, m) in enumerate(servers)
+    ]
+    small = allocate_high_bucket_first(inputs, cut_small)
+    large = allocate_high_bucket_first(inputs, cut_small + extra)
+    assert large.total_cut_w >= small.total_cut_w - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Punish-offender-first
+# ---------------------------------------------------------------------------
+
+child_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=1_000.0, max_value=300_000.0),  # power
+        st.floats(min_value=1_000.0, max_value=200_000.0),  # quota
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(children=child_lists, cut=st.floats(min_value=0.0, max_value=500_000.0))
+@settings(max_examples=200)
+def test_offender_allocation_conserves(children, cut):
+    states = [
+        ChildState(name=f"c{i}", power_w=p, quota_w=q)
+        for i, (p, q) in enumerate(children)
+    ]
+    decision = punish_offender_first(states, cut)
+    total = sum(decision.cuts_w.values())
+    assert total + decision.unallocated_w == pytest.approx(cut, abs=1e-4)
+    for state in states:
+        # A child is never cut below zero power.
+        assert decision.cuts_w[state.name] <= state.power_w + 1e-6
+
+
+@given(children=child_lists, cut=st.floats(min_value=0.0, max_value=500_000.0))
+@settings(max_examples=200)
+def test_non_offenders_spared_while_offenders_can_pay(children, cut):
+    states = [
+        ChildState(name=f"c{i}", power_w=p, quota_w=q)
+        for i, (p, q) in enumerate(children)
+    ]
+    total_overage = sum(s.overage_w for s in states)
+    decision = punish_offender_first(states, cut)
+    if cut <= total_overage:
+        for state in states:
+            if not state.is_offender:
+                assert decision.cuts_w[state.name] == pytest.approx(0.0, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Three-band controller
+# ---------------------------------------------------------------------------
+
+@given(
+    powers=st.lists(
+        st.floats(min_value=0.0, max_value=200_000.0), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=100)
+def test_three_band_uncap_only_when_capped(powers):
+    band = ThreeBandController(ThreeBandConfig())
+    limit = 100_000.0
+    capped = False
+    for power in powers:
+        action = band.decide(power, limit).action
+        if action is BandAction.UNCAP:
+            assert capped, "UNCAP without prior CAP"
+            capped = False
+        elif action is BandAction.CAP:
+            capped = True
+
+
+@given(power=st.floats(min_value=0.0, max_value=200_000.0))
+@settings(max_examples=100)
+def test_three_band_cut_lands_on_target(power):
+    band = ThreeBandController(ThreeBandConfig())
+    limit = 100_000.0
+    decision = band.decide(power, limit)
+    if decision.action is BandAction.CAP:
+        assert power - decision.total_power_cut_w == pytest.approx(
+            limit * 0.95
+        )
+
+
+# ---------------------------------------------------------------------------
+# Breaker curves
+# ---------------------------------------------------------------------------
+
+@given(
+    ratio_lo=st.floats(min_value=1.01, max_value=2.5),
+    delta=st.floats(min_value=0.01, max_value=1.0),
+    level=st.sampled_from(["rack", "rpp", "sb", "msb"]),
+)
+@settings(max_examples=200)
+def test_breaker_trip_time_monotone_decreasing(ratio_lo, delta, level):
+    curve = STANDARD_CURVES[level]
+    t_lo = curve.trip_time(ratio_lo)
+    t_hi = curve.trip_time(ratio_lo + delta)
+    assert t_hi <= t_lo
+
+
+@given(ratio=st.floats(min_value=0.0, max_value=1.0))
+def test_breaker_never_trips_within_rating(ratio):
+    for curve in STANDARD_CURVES.values():
+        assert math.isinf(curve.trip_time(ratio))
+
+
+# ---------------------------------------------------------------------------
+# Power model
+# ---------------------------------------------------------------------------
+
+@given(
+    util=st.floats(min_value=0.0, max_value=1.0),
+    turbo=st.booleans(),
+    platform=st.sampled_from([HASWELL_2015, WESTMERE_2011]),
+)
+@settings(max_examples=200)
+def test_power_model_inverse_consistency(util, turbo, platform):
+    model = PowerModel(platform)
+    power = model.power_w(util, turbo=turbo)
+    recovered = model.utilization_at_power(power, turbo=turbo)
+    assert recovered == pytest.approx(util, abs=1e-5)
+
+
+@given(
+    u1=st.floats(min_value=0.0, max_value=1.0),
+    u2=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100)
+def test_power_model_monotone(u1, u2):
+    model = PowerModel(HASWELL_2015)
+    if u1 <= u2:
+        assert model.power_w(u1) <= model.power_w(u2)
+
+
+# ---------------------------------------------------------------------------
+# Quota planning
+# ---------------------------------------------------------------------------
+
+@given(
+    ratio=st.floats(min_value=0.5, max_value=3.0),
+    fanout=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50)
+def test_quota_plan_invariants(ratio, fanout):
+    msb = PowerDevice("msb0", DeviceLevel.MSB, 100_000.0)
+    sb = PowerDevice("sb0", DeviceLevel.SB, 60_000.0)
+    msb.add_child(sb)
+    for i in range(fanout):
+        sb.add_child(PowerDevice(f"rpp{i}", DeviceLevel.RPP, 25_000.0))
+    topology = PowerTopology("q", [msb])
+    plan = plan_quotas(topology, ratio=ratio)
+    for device in topology.iter_devices():
+        quota = plan.quota(device.name)
+        # Quota never exceeds the physical rating and is positive.
+        assert 0.0 < quota <= device.rated_power_w + 1e-9
+        # Children's quotas never exceed ratio x the parent quota.
+        if device.children:
+            child_sum = sum(plan.quota(c.name) for c in device.children)
+            assert child_sum <= ratio * quota + 1e-6

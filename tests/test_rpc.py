@@ -1,0 +1,110 @@
+"""Tests for the simulated RPC fabric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RpcError, RpcTimeoutError
+from repro.rpc.service import RpcService
+from repro.rpc.transport import FailureInjector, RpcTransport
+
+
+def make_transport(**injector_kwargs) -> RpcTransport:
+    return RpcTransport(
+        np.random.default_rng(0), injector=FailureInjector(**injector_kwargs)
+    )
+
+
+class TestTransport:
+    def test_call_roundtrip(self):
+        transport = make_transport()
+        transport.register("echo", lambda method, payload: (method, payload))
+        assert transport.call("echo", "ping", 42) == ("ping", 42)
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(RpcError):
+            make_transport().call("ghost", "ping")
+
+    def test_unregister(self):
+        transport = make_transport()
+        transport.register("x", lambda m, p: 1)
+        transport.unregister("x")
+        with pytest.raises(RpcError):
+            transport.call("x", "ping")
+
+    def test_down_endpoint_always_fails(self):
+        transport = make_transport()
+        transport.register("x", lambda m, p: 1)
+        transport.injector.take_down("x")
+        with pytest.raises(RpcError):
+            transport.call("x", "ping")
+        transport.injector.restore("x")
+        assert transport.call("x", "ping") == 1
+
+    def test_injected_failures_probabilistic(self):
+        transport = make_transport(failure_probability=0.5)
+        transport.register("x", lambda m, p: 1)
+        failures = 0
+        for _ in range(400):
+            try:
+                transport.call("x", "ping")
+            except RpcError:
+                failures += 1
+        assert 120 < failures < 280
+
+    def test_injected_timeouts_raise_timeout_error(self):
+        transport = make_transport(timeout_probability=1.0)
+        transport.register("x", lambda m, p: 1)
+        with pytest.raises(RpcTimeoutError):
+            transport.call("x", "ping")
+
+    def test_call_counters(self):
+        transport = make_transport()
+        transport.register("x", lambda m, p: 1)
+        transport.call("x", "ping")
+        with pytest.raises(RpcError):
+            transport.call("ghost", "ping")
+        assert transport.calls_made == 2
+        assert transport.calls_failed == 1
+
+    def test_latency_tracked(self):
+        transport = make_transport()
+        transport.register("x", lambda m, p: 1)
+        for _ in range(100):
+            transport.call("x", "ping")
+        assert 0.0 < transport.mean_latency_s() < 0.05
+
+
+class TestBroadcast:
+    def test_collects_successes_and_failures(self):
+        transport = make_transport()
+        transport.register("a", lambda m, p: "A")
+        transport.register("b", lambda m, p: "B")
+        transport.injector.take_down("b")
+        results, failures = transport.broadcast(["a", "b", "c"], "ping")
+        assert results == {"a": "A"}
+        assert set(failures) == {"b", "c"}
+
+    def test_empty_broadcast(self):
+        results, failures = make_transport().broadcast([], "ping")
+        assert results == {} and failures == {}
+
+
+class TestRpcService:
+    def test_method_dispatch(self):
+        transport = make_transport()
+        service = RpcService(transport, "svc")
+        service.method("add", lambda payload: payload + 1)
+        assert transport.call("svc", "add", 1) == 2
+
+    def test_unknown_method_raises(self):
+        transport = make_transport()
+        RpcService(transport, "svc")
+        with pytest.raises(RpcError):
+            transport.call("svc", "nope")
+
+    def test_shutdown_deregisters(self):
+        transport = make_transport()
+        service = RpcService(transport, "svc")
+        service.shutdown()
+        with pytest.raises(RpcError):
+            transport.call("svc", "anything")

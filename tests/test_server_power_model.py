@@ -1,0 +1,152 @@
+"""Tests for platform specs and the Figure-1 power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.platform import (
+    HASWELL_2015,
+    PLATFORMS,
+    WESTMERE_2011,
+    ServerPlatform,
+)
+from repro.server.power_model import PowerModel, sample_curve
+
+
+class TestPlatforms:
+    def test_all_platforms_registered(self):
+        assert "westmere-2011" in PLATFORMS
+        assert "haswell-2015" in PLATFORMS
+        assert len(PLATFORMS) >= 5  # rolling generations coexist
+
+    def test_figure1_peak_power_nearly_doubled(self):
+        # Figure 1: 2015 server peak nearly doubles the 2011 server's.
+        ratio = HASWELL_2015.peak_power_w / WESTMERE_2011.peak_power_w
+        assert 1.7 <= ratio <= 2.2
+
+    def test_westmere_has_no_sensor(self):
+        # The 2011 server was measured with a Yokogawa meter.
+        assert not WESTMERE_2011.has_power_sensor
+        assert HASWELL_2015.has_power_sensor
+
+    def test_turbo_gains_match_paper(self):
+        # Section IV-B: +13% performance, +20% power.
+        assert HASWELL_2015.turbo_perf_gain == pytest.approx(0.13)
+        assert HASWELL_2015.turbo_power_gain == pytest.approx(0.20)
+
+    def test_dynamic_range(self):
+        assert HASWELL_2015.dynamic_range_w == pytest.approx(
+            HASWELL_2015.peak_power_w - HASWELL_2015.idle_power_w
+        )
+
+    def test_effective_min_cap_at_least_idle(self):
+        for platform in PLATFORMS.values():
+            assert platform.effective_min_cap_w() >= platform.idle_power_w
+
+    def test_rejects_peak_below_idle(self):
+        with pytest.raises(ConfigurationError):
+            ServerPlatform("bad", idle_power_w=100, peak_power_w=50)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            ServerPlatform(
+                "bad", idle_power_w=50, peak_power_w=100, rapl_backend="usb"
+            )
+
+
+class TestPowerModel:
+    def setup_method(self):
+        self.model = PowerModel(HASWELL_2015)
+
+    def test_idle_at_zero_util(self):
+        assert self.model.power_w(0.0) == HASWELL_2015.idle_power_w
+
+    def test_peak_at_full_util(self):
+        assert self.model.power_w(1.0) == pytest.approx(HASWELL_2015.peak_power_w)
+
+    def test_monotonically_increasing(self):
+        powers = [self.model.power_w(u / 20) for u in range(21)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_rejects_out_of_range_util(self):
+        with pytest.raises(ConfigurationError):
+            self.model.power_w(1.5)
+        with pytest.raises(ConfigurationError):
+            self.model.power_w(-0.1)
+
+    def test_turbo_increases_power_at_high_util(self):
+        assert self.model.power_w(0.9, turbo=True) > self.model.power_w(0.9)
+
+    def test_turbo_no_effect_at_low_util(self):
+        # Turbo engages only above the sustained-load threshold.
+        assert self.model.power_w(0.2, turbo=True) == self.model.power_w(0.2)
+
+    def test_turbo_peak_matches_platform(self):
+        assert self.model.peak_power_w(turbo=True) == pytest.approx(
+            HASWELL_2015.turbo_peak_power_w
+        )
+
+    def test_inverse_roundtrip(self):
+        for util in (0.1, 0.35, 0.6, 0.85):
+            power = self.model.power_w(util)
+            assert self.model.utilization_at_power(power) == pytest.approx(
+                util, abs=1e-6
+            )
+
+    def test_inverse_roundtrip_turbo(self):
+        for util in (0.5, 0.7, 0.95):
+            power = self.model.power_w(util, turbo=True)
+            assert self.model.utilization_at_power(
+                power, turbo=True
+            ) == pytest.approx(util, abs=1e-6)
+
+    def test_inverse_clamps_below_idle(self):
+        assert self.model.utilization_at_power(50.0) == 0.0
+
+    def test_inverse_clamps_above_peak(self):
+        assert self.model.utilization_at_power(1000.0) == 1.0
+
+
+class TestPerformanceFactor:
+    def setup_method(self):
+        self.model = PowerModel(HASWELL_2015)
+
+    def test_unbound_cap_no_slowdown(self):
+        assert self.model.performance_factor(0.8, None) == 1.0
+        assert self.model.performance_factor(0.8, 1000.0) == 1.0
+
+    def test_binding_cap_slows_down(self):
+        demand = 0.9
+        power = self.model.power_w(demand)
+        factor = self.model.performance_factor(demand, power * 0.7)
+        assert 0.0 < factor < 1.0
+
+    def test_zero_demand_unaffected(self):
+        assert self.model.performance_factor(0.0, 100.0) == 1.0
+
+    def test_figure13_knee_shape(self):
+        # Slowdown grows slowly under ~20% power reduction, then
+        # accelerates: the marginal slowdown per percent of power cut
+        # must be larger in the 20-40% range than in the 0-20% range.
+        demand = 0.95
+        full_power = self.model.power_w(demand)
+
+        def slowdown(reduction):
+            cap = full_power * (1.0 - reduction)
+            factor = self.model.performance_factor(demand, cap)
+            return 1.0 / factor - 1.0
+
+        mild = slowdown(0.20) - slowdown(0.0)
+        severe = slowdown(0.40) - slowdown(0.20)
+        assert severe > mild
+
+    def test_cap_below_idle_floors_not_crashes(self):
+        factor = self.model.performance_factor(0.9, 10.0)
+        assert factor == pytest.approx(0.01)
+
+
+def test_sample_curve_shape():
+    points = sample_curve(PowerModel(WESTMERE_2011), points=11)
+    assert len(points) == 11
+    assert points[0] == (0.0, WESTMERE_2011.idle_power_w)
+    assert points[-1][0] == 100.0
+    assert points[-1][1] == pytest.approx(WESTMERE_2011.peak_power_w)

@@ -1,0 +1,103 @@
+"""Tests for periodic processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.process import PeriodicProcess
+
+
+def test_ticks_at_interval(engine):
+    times = []
+    process = PeriodicProcess(engine, 3.0, times.append)
+    process.start()
+    engine.run_until(10.0)
+    assert times == [0.0, 3.0, 6.0, 9.0]
+
+
+def test_phase_offsets_first_tick(engine):
+    times = []
+    process = PeriodicProcess(engine, 3.0, times.append)
+    process.start(phase=1.0)
+    engine.run_until(8.0)
+    assert times == [1.0, 4.0, 7.0]
+
+
+def test_stop_halts_ticking(engine):
+    times = []
+    process = PeriodicProcess(engine, 1.0, times.append)
+    process.start()
+    engine.run_until(3.5)
+    process.stop()
+    engine.run_until(10.0)
+    assert times == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_stop_from_within_tick(engine):
+    times = []
+
+    def tick(t):
+        times.append(t)
+        if len(times) == 2:
+            process.stop()
+
+    process = PeriodicProcess(engine, 1.0, tick)
+    process.start()
+    engine.run_until(10.0)
+    assert times == [0.0, 1.0]
+
+
+def test_tick_count(engine):
+    process = PeriodicProcess(engine, 2.0, lambda t: None)
+    process.start()
+    engine.run_until(9.0)
+    assert process.tick_count == 5  # t=0,2,4,6,8
+
+
+def test_rejects_nonpositive_interval(engine):
+    with pytest.raises(SimulationError):
+        PeriodicProcess(engine, 0.0, lambda t: None)
+
+
+def test_rejects_double_start(engine):
+    process = PeriodicProcess(engine, 1.0, lambda t: None)
+    process.start()
+    with pytest.raises(SimulationError):
+        process.start()
+
+
+def test_restart_after_stop(engine):
+    times = []
+    process = PeriodicProcess(engine, 1.0, times.append)
+    process.start()
+    engine.run_until(2.5)
+    process.stop()
+    process.start()
+    engine.run_until(4.0)
+    assert times == [0.0, 1.0, 2.0, 2.5, 3.5]
+
+
+def test_set_interval_takes_effect_next_tick(engine):
+    times = []
+    process = PeriodicProcess(engine, 1.0, times.append)
+    process.start()
+    engine.run_until(2.5)
+    process.set_interval(5.0)
+    engine.run_until(12.0)
+    # Ticks at 0,1,2 on the old interval; the tick pending at 3 was
+    # scheduled before the change, then 5 s spacing after.
+    assert times == [0.0, 1.0, 2.0, 3.0, 8.0]
+
+
+def test_rejects_negative_phase(engine):
+    process = PeriodicProcess(engine, 1.0, lambda t: None)
+    with pytest.raises(SimulationError):
+        process.start(phase=-1.0)
+
+
+def test_running_property(engine):
+    process = PeriodicProcess(engine, 1.0, lambda t: None)
+    assert not process.running
+    process.start()
+    assert process.running
+    process.stop()
+    assert not process.running

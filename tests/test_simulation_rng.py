@@ -1,0 +1,54 @@
+"""Tests for named RNG streams."""
+
+import numpy as np
+
+from repro.simulation.rng import RngStreams
+
+
+def test_same_name_same_stream_object():
+    streams = RngStreams(7)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_determinism_across_instances():
+    a = RngStreams(7).stream("workload").random(5)
+    b = RngStreams(7).stream("workload").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RngStreams(7)
+    a = streams.stream("a").random(5)
+    b = streams.stream("b").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random(5)
+    b = RngStreams(2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_creation_order_does_not_matter():
+    s1 = RngStreams(7)
+    s1.stream("first")
+    x1 = s1.stream("target").random(3)
+    s2 = RngStreams(7)
+    x2 = s2.stream("target").random(3)
+    assert np.array_equal(x1, x2)
+
+
+def test_fork_is_deterministic():
+    a = RngStreams(7).fork("child").stream("x").random(3)
+    b = RngStreams(7).fork("child").stream("x").random(3)
+    assert np.array_equal(a, b)
+
+
+def test_fork_differs_from_parent():
+    parent = RngStreams(7)
+    child = parent.fork("child")
+    assert child.seed != parent.seed
+
+
+def test_seed_property():
+    assert RngStreams(42).seed == 42

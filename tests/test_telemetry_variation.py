@@ -1,0 +1,123 @@
+"""Tests for the Figure-4 power-variation metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.variation import (
+    FIGURE5_WINDOWS_S,
+    max_variation_in_window,
+    variation_series,
+    variation_summary,
+)
+
+
+def series_from(values, spacing=3.0) -> TimeSeries:
+    series = TimeSeries("t")
+    for i, v in enumerate(values):
+        series.append(i * spacing, float(v))
+    return series
+
+
+class TestMaxVariation:
+    def test_constant_signal_zero_variation(self):
+        assert max_variation_in_window(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_max_minus_min(self):
+        assert max_variation_in_window(np.array([3.0, 9.0, 5.0])) == 6.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            max_variation_in_window(np.array([]))
+
+
+class TestVariationSeries:
+    def test_constant_trace(self):
+        variations = variation_series(series_from([100.0] * 100), 30.0)
+        assert np.all(variations == 0.0)
+
+    def test_step_trace_detected(self):
+        values = [100.0] * 50 + [150.0] * 50
+        variations = variation_series(series_from(values), 30.0)
+        assert variations.max() == pytest.approx(50.0)
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(100.0, 10.0, 200)
+        series = series_from(values, spacing=3.0)
+        window_s = 30.0
+        fast = variation_series(series, window_s)
+        width = int(round(window_s / 3.0)) + 1
+        naive = np.array(
+            [
+                values[i : i + width].max() - values[i : i + width].min()
+                for i in range(len(values) - width + 1)
+            ]
+        )
+        assert np.allclose(fast, naive)
+
+    def test_larger_windows_larger_variation(self):
+        # First observation from Figure 5.
+        rng = np.random.default_rng(1)
+        walk = np.cumsum(rng.normal(0, 1, 4000)) + 1000.0
+        series = series_from(walk)
+        p99s = []
+        for window in (30.0, 150.0, 600.0):
+            v = variation_series(series, window)
+            p99s.append(np.percentile(v, 99))
+        assert p99s[0] < p99s[1] < p99s[2]
+
+    def test_too_short_trace_empty(self):
+        assert variation_series(series_from([1.0, 2.0]), 600.0).size == 0
+
+    def test_stride_reduces_count(self):
+        series = series_from(np.arange(100.0))
+        full = variation_series(series, 30.0)
+        strided = variation_series(series, 30.0, stride_s=30.0)
+        assert strided.size < full.size
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            variation_series(series_from([1.0, 2.0, 3.0]), 0.0)
+
+
+class TestVariationSummary:
+    def test_percent_normalization(self):
+        values = [100.0] * 50 + [120.0] * 50
+        summary = variation_summary(
+            series_from(values), 30.0, reference_power_w=100.0
+        )
+        assert summary["p99"] == pytest.approx(20.0)
+
+    def test_default_reference_is_mean(self):
+        values = [90.0] * 50 + [110.0] * 50
+        summary = variation_summary(series_from(values), 30.0)
+        # mean = 100, variation 20 -> 20%.
+        assert summary["p99"] == pytest.approx(20.0)
+
+    def test_keys(self):
+        summary = variation_summary(series_from([1.0] * 50), 30.0, reference_power_w=1.0)
+        assert set(summary) == {"p50", "p99", "mean"}
+
+    def test_short_trace_raises(self):
+        with pytest.raises(ConfigurationError):
+            variation_summary(series_from([1.0, 2.0]), 600.0)
+
+    def test_figure5_windows_constant(self):
+        assert FIGURE5_WINDOWS_S == (3.0, 30.0, 60.0, 150.0, 300.0, 600.0)
+
+
+class TestAggregationSmoothing:
+    def test_aggregate_varies_less_than_individuals(self):
+        # Second observation from Figure 5: higher aggregation levels
+        # have smaller *relative* variation due to load multiplexing.
+        rng = np.random.default_rng(2)
+        n_servers, n_samples = 50, 600
+        individuals = 200.0 + rng.normal(0, 30.0, (n_servers, n_samples))
+        aggregate = individuals.sum(axis=0)
+        server_series = series_from(individuals[0])
+        agg_series = series_from(aggregate)
+        server_summary = variation_summary(server_series, 60.0)
+        agg_summary = variation_summary(agg_series, 60.0)
+        assert agg_summary["p99"] < server_summary["p99"]

@@ -1,0 +1,65 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_kilowatts_roundtrip():
+    assert units.to_kilowatts(units.kilowatts(190)) == pytest.approx(190)
+
+
+def test_megawatts_roundtrip():
+    assert units.to_megawatts(units.megawatts(2.5)) == pytest.approx(2.5)
+
+
+def test_kilowatts_scale():
+    assert units.kilowatts(1) == 1000.0
+
+
+def test_megawatts_scale():
+    assert units.megawatts(1) == 1_000_000.0
+
+
+def test_minutes():
+    assert units.minutes(2) == 120.0
+
+
+def test_hours():
+    assert units.hours(1.5) == 5400.0
+
+
+def test_days():
+    assert units.days(1) == 86_400.0
+
+
+def test_to_minutes():
+    assert units.to_minutes(90) == 1.5
+
+
+def test_to_hours():
+    assert units.to_hours(7200) == 2.0
+
+
+def test_format_power_megawatts():
+    assert units.format_power(2_500_000) == "2.50 MW"
+
+
+def test_format_power_kilowatts():
+    assert units.format_power(190_000) == "190.00 KW"
+
+
+def test_format_power_watts():
+    assert units.format_power(215.0) == "215.0 W"
+
+
+def test_format_duration_hours():
+    assert units.format_duration(7200) == "2.0 h"
+
+
+def test_format_duration_minutes():
+    assert units.format_duration(90) == "1.5 min"
+
+
+def test_format_duration_seconds():
+    assert units.format_duration(12) == "12.0 s"

@@ -1,0 +1,212 @@
+"""Tests for workload models, noise processes, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import hours
+from repro.workloads.base import (
+    OrnsteinUhlenbeckNoise,
+    PoissonBursts,
+    StochasticWorkload,
+)
+from repro.workloads.cache import CacheWorkload
+from repro.workloads.database import DatabaseWorkload
+from repro.workloads.diurnal import DiurnalShape
+from repro.workloads.hadoop import HadoopWorkload
+from repro.workloads.newsfeed import NewsfeedWorkload
+from repro.workloads.registry import (
+    SERVICE_SPECS,
+    all_service_names,
+    make_workload,
+    service_spec,
+)
+from repro.workloads.storage import StorageWorkload
+from repro.workloads.web import WebWorkload
+
+ALL_WORKLOADS = [
+    WebWorkload,
+    CacheWorkload,
+    HadoopWorkload,
+    DatabaseWorkload,
+    NewsfeedWorkload,
+    StorageWorkload,
+]
+
+
+class TestOrnsteinUhlenbeck:
+    def test_starts_at_initial(self):
+        noise = OrnsteinUhlenbeckNoise(0.1, 60.0, np.random.default_rng(0))
+        assert noise.sample(0.0) == 0.0
+
+    def test_stationary_std_near_sigma(self):
+        noise = OrnsteinUhlenbeckNoise(0.1, 10.0, np.random.default_rng(0))
+        samples = [noise.sample(float(t)) for t in range(0, 40_000, 5)]
+        assert np.std(samples[200:]) == pytest.approx(0.1, rel=0.1)
+
+    def test_mean_reverting(self):
+        noise = OrnsteinUhlenbeckNoise(
+            0.05, 10.0, np.random.default_rng(0), initial=5.0
+        )
+        # Far from the mean, the process decays toward zero.
+        noise.sample(0.0)
+        assert abs(noise.sample(100.0)) < 1.0
+
+    def test_same_time_query_cached(self):
+        noise = OrnsteinUhlenbeckNoise(0.1, 60.0, np.random.default_rng(0))
+        noise.sample(0.0)
+        a = noise.sample(10.0)
+        assert noise.sample(10.0) == a
+
+    def test_rejects_bad_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckNoise(-0.1, 60.0, rng)
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckNoise(0.1, 0.0, rng)
+
+
+class TestPoissonBursts:
+    def test_zero_rate_never_bursts(self):
+        bursts = PoissonBursts(0.0, 1.0, 30.0, np.random.default_rng(0))
+        assert all(bursts.sample(float(t)) == 0.0 for t in range(1000))
+
+    def test_bursts_occur_at_expected_rate(self):
+        bursts = PoissonBursts(
+            1.0 / 100.0, 0.5, 10.0, np.random.default_rng(0), magnitude_jitter=0.0
+        )
+        active = sum(
+            1 for t in range(100_000) if bursts.sample(float(t)) > 0.0
+        )
+        # rate 1/100 * duration 10 => ~10% duty cycle.
+        assert 0.05 < active / 100_000 < 0.2
+
+    def test_burst_magnitude(self):
+        bursts = PoissonBursts(
+            1.0 / 50.0, 0.5, 10.0, np.random.default_rng(1), magnitude_jitter=0.0
+        )
+        values = {bursts.sample(float(t)) for t in range(5000)}
+        assert values <= {0.0, 0.5}
+        assert 0.5 in values
+
+    def test_rejects_bad_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            PoissonBursts(-1.0, 0.5, 10.0, rng)
+        with pytest.raises(ConfigurationError):
+            PoissonBursts(1.0, 0.5, 0.0, rng)
+
+
+class TestDiurnalShape:
+    def test_peak_at_peak_time(self):
+        shape = DiurnalShape(trough=0.3, peak=0.7, peak_time_s=hours(14))
+        assert shape.value(hours(14)) == pytest.approx(0.7)
+
+    def test_trough_twelve_hours_later(self):
+        shape = DiurnalShape(trough=0.3, peak=0.7, peak_time_s=hours(14))
+        assert shape.value(hours(2)) == pytest.approx(0.3)
+
+    def test_daily_periodicity(self):
+        shape = DiurnalShape()
+        assert shape.value(hours(10)) == pytest.approx(shape.value(hours(34)))
+
+    def test_bounded(self):
+        shape = DiurnalShape(trough=0.2, peak=0.9)
+        for h in range(0, 48):
+            assert 0.2 <= shape.value(hours(h)) <= 0.9
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalShape(trough=0.8, peak=0.4)
+
+
+class TestWorkloadsCommon:
+    @pytest.mark.parametrize("cls", ALL_WORKLOADS)
+    def test_utilization_in_bounds(self, cls):
+        workload = cls(np.random.default_rng(3))
+        for t in range(0, 36_000, 30):
+            u = workload.utilization(float(t))
+            assert 0.0 <= u <= 1.0
+
+    @pytest.mark.parametrize("cls", ALL_WORKLOADS)
+    def test_deterministic_given_seed(self, cls):
+        w1 = cls(np.random.default_rng(9))
+        w2 = cls(np.random.default_rng(9))
+        for t in range(0, 600, 3):
+            assert w1.utilization(float(t)) == w2.utilization(float(t))
+
+    def test_service_names(self):
+        assert WebWorkload(np.random.default_rng(0)).service == "web"
+        assert StorageWorkload(np.random.default_rng(0)).service == "f4storage"
+
+    def test_modifier_applied_and_removable(self):
+        workload = CacheWorkload(np.random.default_rng(0))
+
+        class Doubler:
+            def apply(self, now_s, utilization):
+                return utilization * 2.0
+
+        base = workload.utilization(0.0)
+        modifier = Doubler()
+        workload.add_modifier(modifier)
+        boosted = workload.utilization(1.0)
+        workload.remove_modifier(modifier)
+        # Deterministically higher (clamped at 1.0).
+        assert boosted >= base
+
+    def test_base_utilization_abstract(self):
+        workload = StochasticWorkload("x", np.random.default_rng(0))
+        with pytest.raises(NotImplementedError):
+            workload.base_utilization(0.0)
+
+
+class TestHadoopPhases:
+    def test_alternates_between_levels(self):
+        workload = HadoopWorkload(
+            np.random.default_rng(4), compute_level=0.9, io_level=0.3
+        )
+        seen = {workload.base_utilization(float(t)) for t in range(0, 20_000, 10)}
+        assert seen == {0.9, 0.3}
+
+    def test_rejects_bad_phase_duration(self):
+        with pytest.raises(ConfigurationError):
+            HadoopWorkload(np.random.default_rng(0), mean_phase_s=0.0)
+
+
+class TestRegistry:
+    def test_priority_ordering_matches_paper(self):
+        # Cache sits above web and news feed (Section III-C3).
+        assert (
+            SERVICE_SPECS["cache"].priority_group
+            > SERVICE_SPECS["web"].priority_group
+        )
+        assert (
+            SERVICE_SPECS["cache"].priority_group
+            > SERVICE_SPECS["newsfeed"].priority_group
+        )
+
+    def test_batch_services_lowest_priority(self):
+        assert SERVICE_SPECS["hadoop"].priority_group == 0
+        assert SERVICE_SPECS["f4storage"].priority_group == 0
+
+    def test_make_workload_all_services(self):
+        for name in SERVICE_SPECS:
+            workload = make_workload(name, np.random.default_rng(0))
+            assert workload.service == name
+
+    def test_make_workload_unknown_service(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("quantum", np.random.default_rng(0))
+
+    def test_service_spec_unknown(self):
+        with pytest.raises(ConfigurationError):
+            service_spec("quantum")
+
+    def test_all_service_names_sorted_by_priority(self):
+        names = all_service_names()
+        groups = [SERVICE_SPECS[n].priority_group for n in names]
+        assert groups == sorted(groups)
+
+    def test_sla_floors_positive(self):
+        for spec in SERVICE_SPECS.values():
+            assert spec.sla_min_cap_w > 0.0

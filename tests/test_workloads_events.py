@@ -1,0 +1,196 @@
+"""Tests for traffic events and the load balancer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.platform import HASWELL_2015
+from repro.server.server import Server
+from repro.workloads.events import (
+    LoadTestEvent,
+    SiteOutageRecoveryEvent,
+    TrafficSurgeEvent,
+)
+from repro.workloads.loadbalancer import AssignedShareWorkload, LoadBalancer
+
+from tests.conftest import settle_server
+
+
+class TestLoadTestEvent:
+    def make(self):
+        return LoadTestEvent(start_s=100.0, end_s=500.0, magnitude=0.2, ramp_s=50.0)
+
+    def test_inactive_outside_window(self):
+        event = self.make()
+        assert event.apply(50.0, 0.5) == 0.5
+        assert event.apply(600.0, 0.5) == 0.5
+
+    def test_full_magnitude_in_plateau(self):
+        event = self.make()
+        assert event.apply(300.0, 0.5) == pytest.approx(0.7)
+
+    def test_linear_ramp_in(self):
+        event = self.make()
+        assert event.apply(125.0, 0.5) == pytest.approx(0.5 + 0.2 * 0.5)
+
+    def test_linear_ramp_out(self):
+        event = self.make()
+        assert event.apply(475.0, 0.5) == pytest.approx(0.5 + 0.2 * 0.5)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestEvent(start_s=500.0, end_s=100.0, magnitude=0.2)
+
+
+class TestTrafficSurge:
+    def test_multiplies_in_plateau(self):
+        surge = TrafficSurgeEvent(start_s=0.0, end_s=100.0, multiplier=1.5, ramp_s=10.0)
+        assert surge.apply(50.0, 0.4) == pytest.approx(0.6)
+
+    def test_shedding_multiplier(self):
+        surge = TrafficSurgeEvent(start_s=0.0, end_s=100.0, multiplier=0.5, ramp_s=10.0)
+        assert surge.apply(50.0, 0.4) == pytest.approx(0.2)
+
+    def test_identity_outside(self):
+        surge = TrafficSurgeEvent(start_s=10.0, end_s=100.0, multiplier=2.0)
+        assert surge.apply(0.0, 0.4) == 0.4
+
+    def test_rejects_negative_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSurgeEvent(start_s=0.0, end_s=1.0, multiplier=-1.0)
+
+
+class TestSiteOutageRecovery:
+    def make(self):
+        return SiteOutageRecoveryEvent(
+            1000.0,
+            drop_duration_s=100.0,
+            outage_floor=0.3,
+            oscillation_duration_s=200.0,
+            surge_multiplier=1.35,
+            surge_duration_s=300.0,
+            surge_decay_s=400.0,
+        )
+
+    def test_normal_before_outage(self):
+        assert self.make().multiplier(500.0) == 1.0
+
+    def test_drops_to_floor(self):
+        event = self.make()
+        assert event.multiplier(1100.0) == pytest.approx(0.3)
+
+    def test_oscillation_bounces_between_floor_and_partial(self):
+        event = self.make()
+        values = [event.multiplier(1100.0 + t) for t in range(0, 200, 5)]
+        assert min(values) >= 0.29
+        assert 0.45 <= max(values) <= 0.56
+
+    def test_surge_reaches_multiplier(self):
+        event = self.make()
+        assert event.multiplier(event.surge_start_s + 300.0 - 1.0) == pytest.approx(
+            1.35, abs=0.01
+        )
+
+    def test_surge_exceeds_normal_peak(self):
+        # The defining property of Figure 12: recovery overshoots 1.0.
+        event = self.make()
+        peak = max(event.multiplier(float(t)) for t in range(900, 2200))
+        assert peak > 1.3
+
+    def test_returns_to_normal(self):
+        event = self.make()
+        assert event.multiplier(event.end_s + 1.0) == 1.0
+
+    def test_phase_boundaries_consistent(self):
+        event = self.make()
+        assert event.oscillation_start_s == 1100.0
+        assert event.surge_start_s == 1300.0
+        assert event.surge_end_s == 1600.0
+        assert event.end_s == 2000.0
+
+    def test_apply_scales_utilization(self):
+        event = self.make()
+        assert event.apply(1100.0, 0.6) == pytest.approx(0.18)
+
+    def test_rejects_non_surge_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            SiteOutageRecoveryEvent(0.0, surge_multiplier=0.9)
+
+
+class TestLoadBalancer:
+    def make_pool(self, n=4, demand=0.6):
+        servers = [
+            Server(f"s{i}", HASWELL_2015, AssignedShareWorkload("web"))
+            for i in range(n)
+        ]
+        balancer = LoadBalancer(servers, lambda now: demand)
+        return servers, balancer
+
+    def test_even_split_when_uniform(self):
+        servers, balancer = self.make_pool()
+        balancer.rebalance(0.0)
+        for server in servers:
+            assert server.workload.utilization(0.0) == pytest.approx(0.6)
+        assert balancer.shed_demand == pytest.approx(0.0)
+
+    def test_capped_server_gets_less(self):
+        servers, balancer = self.make_pool()
+        capped = servers[0]
+        cap_util = 0.3
+        cap_power = capped.power_model.power_w(cap_util)
+        capped.rapl.set_limit(cap_power)
+        balancer.rebalance(0.0)
+        capped_share = capped.workload.utilization(0.0)
+        other_share = servers[1].workload.utilization(0.0)
+        assert capped_share < other_share
+        # Total demand conserved (3 x 1.0 + 0.3 capacity > 2.4 demand).
+        total = sum(s.workload.utilization(0.0) for s in servers)
+        assert total == pytest.approx(2.4)
+
+    def test_sheds_when_capacity_insufficient(self):
+        servers, balancer = self.make_pool(n=2, demand=0.9)
+        for server in servers:
+            server.rapl.set_limit(server.power_model.power_w(0.5))
+        balancer.rebalance(0.0)
+        assert balancer.shed_demand == pytest.approx(2 * 0.9 - 2 * 0.5, abs=0.01)
+
+    def test_offline_server_excluded(self):
+        servers, balancer = self.make_pool()
+        servers[0].set_online(False)
+        balancer.rebalance(0.0)
+        assert servers[0].workload.utilization(0.0) == 0.0
+        assert servers[1].workload.utilization(0.0) > 0.6
+
+    def test_all_offline_sheds_everything(self):
+        servers, balancer = self.make_pool(n=2, demand=0.5)
+        for server in servers:
+            server.set_online(False)
+        balancer.rebalance(0.0)
+        assert balancer.shed_demand == pytest.approx(1.0)
+
+    def test_requires_assigned_workloads(self):
+        from repro.server.server import ConstantWorkload
+
+        server = Server("s", HASWELL_2015, ConstantWorkload(0.5))
+        with pytest.raises(ConfigurationError):
+            LoadBalancer([server], lambda now: 0.5)
+
+    def test_requires_servers(self):
+        with pytest.raises(ConfigurationError):
+            LoadBalancer([], lambda now: 0.5)
+
+    def test_feedback_loop_with_capping(self):
+        # End-to-end: cap a server, rebalance, and verify the capped
+        # server's delivered power drops while peers pick up the load.
+        servers, balancer = self.make_pool(n=3, demand=0.5)
+        balancer.rebalance(0.0)
+        for server in servers:
+            settle_server(server)
+        capped = servers[0]
+        capped.rapl.set_limit(capped.power_model.power_w(0.2))
+        balancer.rebalance(100.0)
+        t = 100.0
+        for _ in range(30):
+            t += 1.0
+            for server in servers:
+                server.step(t, 1.0)
+        assert capped.power_w() < servers[1].power_w()

@@ -1,0 +1,137 @@
+"""Tests for trace replay and energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.timeseries import TimeSeries
+from repro.workloads.cache import CacheWorkload
+from repro.workloads.events import TrafficSurgeEvent
+from repro.workloads.replay import TraceWorkload, record_workload
+
+from tests.conftest import make_server, settle_server
+
+
+def make_trace(points):
+    trace = TimeSeries("t")
+    for t, u in points:
+        trace.append(t, u)
+    return trace
+
+
+class TestTraceWorkload:
+    def test_exact_at_samples(self):
+        workload = TraceWorkload(
+            make_trace([(0.0, 0.2), (10.0, 0.6), (20.0, 0.4)])
+        )
+        assert workload.utilization(0.0) == 0.2
+        assert workload.utilization(10.0) == 0.6
+        assert workload.utilization(20.0) == 0.4
+
+    def test_linear_interpolation(self):
+        workload = TraceWorkload(make_trace([(0.0, 0.2), (10.0, 0.6)]))
+        assert workload.utilization(5.0) == pytest.approx(0.4)
+
+    def test_step_hold_mode(self):
+        workload = TraceWorkload(
+            make_trace([(0.0, 0.2), (10.0, 0.6)]), interpolate=False
+        )
+        assert workload.utilization(9.9) == 0.2
+
+    def test_clamps_outside_range(self):
+        workload = TraceWorkload(make_trace([(5.0, 0.3), (10.0, 0.7)]))
+        assert workload.utilization(0.0) == 0.3
+        assert workload.utilization(100.0) == 0.7
+
+    def test_looping(self):
+        workload = TraceWorkload(
+            make_trace([(0.0, 0.2), (10.0, 0.6)]), loop=True
+        )
+        assert workload.utilization(15.0) == pytest.approx(
+            workload.utilization(5.0)
+        )
+
+    def test_modifiers_apply(self):
+        workload = TraceWorkload(make_trace([(0.0, 0.4), (100.0, 0.4)]))
+        workload.add_modifier(
+            TrafficSurgeEvent(start_s=0.0, end_s=100.0, multiplier=1.5, ramp_s=1.0)
+        )
+        assert workload.utilization(50.0) == pytest.approx(0.6)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload(TimeSeries("e"))
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload(make_trace([(0.0, 1.5)]))
+
+    def test_service_label(self):
+        workload = TraceWorkload(make_trace([(0.0, 0.5)]), service="web")
+        assert workload.service == "web"
+
+    def test_drives_a_server(self):
+        from repro.server.platform import HASWELL_2015
+        from repro.server.server import Server
+
+        workload = TraceWorkload(
+            make_trace([(0.0, 0.3), (30.0, 0.9)]), service="web"
+        )
+        server = Server("replayed", HASWELL_2015, workload)
+        t = 0.0
+        powers = []
+        while t < 30.0:
+            t += 1.0
+            powers.append(server.step(t, 1.0))
+        # Power ramps with the replayed utilization.
+        assert powers[-1] > powers[5] > 0.0
+
+
+class TestRecordWorkload:
+    def test_roundtrip_through_record_and_replay(self):
+        original = CacheWorkload(np.random.default_rng(3))
+        trace = record_workload(original, 600.0, interval_s=3.0)
+        replay = TraceWorkload(trace, service="cache")
+        # At sample instants the replay matches the recording exactly.
+        for t in (0.0, 300.0, 600.0):
+            assert replay.utilization(t) == pytest.approx(
+                trace.value_at(t)
+            )
+
+    def test_record_rejects_bad_args(self):
+        original = CacheWorkload(np.random.default_rng(3))
+        with pytest.raises(ConfigurationError):
+            record_workload(original, -1.0)
+        with pytest.raises(ConfigurationError):
+            record_workload(original, 10.0, interval_s=0.0)
+
+
+class TestEnergyAccounting:
+    def test_energy_integrates_power(self):
+        server = make_server(utilization=0.6)
+        settle_server(server, 100.0)
+        # ~settled power x time (transient makes it slightly lower).
+        assert server.energy_j == pytest.approx(
+            server.power_w() * 100.0, rel=0.05
+        )
+
+    def test_capped_server_uses_less_energy(self):
+        a = make_server("a", utilization=0.9)
+        b = make_server("b", utilization=0.9)
+        b.rapl.set_limit(b.platform.effective_min_cap_w() + 50.0)
+        settle_server(a, 60.0)
+        settle_server(b, 60.0)
+        assert b.energy_j < a.energy_j
+
+    def test_efficiency_metric(self):
+        server = make_server(utilization=0.7)
+        settle_server(server, 60.0)
+        assert server.energy_efficiency() > 0.0
+        fresh = make_server("f")
+        assert fresh.energy_efficiency() == 0.0
+
+    def test_reset_clears_energy(self):
+        server = make_server(utilization=0.5)
+        settle_server(server)
+        server.reset_work_counters()
+        assert server.energy_j == 0.0
