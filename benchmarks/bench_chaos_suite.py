@@ -1,0 +1,80 @@
+"""Chaos suite — robustness scorecards for the fault-tolerance claims.
+
+Section III-E of the paper enumerates Dynamo's failure answers: a
+watchdog restarts dead agents, leaf controllers abort aggregation above
+20% pull failures, and every controller runs as a primary/backup pair.
+This suite drives those mechanisms with deterministic fault injections
+and scores the outcome: the fleet must detect, recover, and above all
+never trip a breaker.
+"""
+
+from repro.chaos import CHAOS_SCENARIOS, build_scorecard, render_scorecard
+
+
+def _run_scenario(name, seed=7):
+    run = CHAOS_SCENARIOS[name](seed=seed)
+    run.run()
+    return run
+
+
+def test_chaos_watchdog_restart(once):
+    run = once(lambda: _run_scenario("watchdog-restart"))
+    score = build_scorecard(run)
+    print()
+    print(render_scorecard(score))
+
+    # A quarter of the fleet's agents crashed and every one was
+    # restarted by the watchdog within its sweep interval.
+    assert score.watchdog_restarts == 10
+    assert score.watchdog_suppressed == 0
+    # The probe saw the outage and saw it end.
+    assert score.time_to_detect_s is not None
+    assert score.time_to_recover_s <= 120.0
+    assert all(agent.healthy for agent in run.dynamo.agents.values())
+    # The safety invariant held throughout.
+    assert score.breaker_trips == 0
+
+
+def test_chaos_leaf_controller_crash(once):
+    run = once(lambda: _run_scenario("leaf-controller-crash"))
+    score = build_scorecard(run)
+    print()
+    print(render_scorecard(score))
+
+    # The backup took over on the very next tick: a clean ride-through
+    # with zero externally visible degradation.
+    assert score.failovers == 1
+    assert score.time_to_detect_s is None
+    assert score.time_to_recover_s == 0.0
+    assert score.aggregation_aborts == 0
+    assert score.breaker_trips == 0
+
+
+def test_chaos_sb_outage_surge(once):
+    run = once(lambda: _run_scenario("sb-outage"))
+    score = build_scorecard(run)
+    print()
+    print(render_scorecard(score))
+
+    # The surge pushed the SB over its rating; capping engaged, pulled
+    # it back under, and released after the surge passed.
+    assert score.cap_events >= 1
+    assert score.uncap_events >= 1
+    assert score.sla_violation_s < 60.0
+    assert score.time_to_recover_s <= 120.0
+    assert run.dynamo.capped_server_count() == 0
+    assert score.breaker_trips == 0
+
+
+def test_chaos_partition_aborts_aggregation(once):
+    run = once(lambda: _run_scenario("partition"))
+    score = build_scorecard(run)
+    print()
+    print(render_scorecard(score))
+
+    # >20% of one row's pulls failing must abort aggregation with a
+    # CRITICAL alert — and must NOT cause false capping or a trip.
+    assert score.aggregation_aborts > 0
+    assert score.critical_alerts > 0
+    assert score.cap_events == 0
+    assert score.breaker_trips == 0

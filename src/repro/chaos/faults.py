@@ -1,0 +1,381 @@
+"""The fault catalogue: composable, revertible injections.
+
+Each fault class knows how to ``inject`` itself into a live deployment
+and how to ``recover`` (revert) it.  Faults are described declaratively
+by :class:`FaultSpec` — kind, start, duration, targets, parameters — so
+scenarios are data, campaigns can be drawn from a seeded RNG, and two
+runs of the same schedule are byte-identical.
+
+The catalogue covers the failure modes Sections III-E and V design for:
+
+==================  =====================================================
+kind                effect
+==================  =====================================================
+``sensor-dropout``  on-board sensors vanish; agents fall back to model
+                    estimation (the sensor-less Westmere path)
+``sensor-stuck``    sensors freeze at their last reading
+``agent-crash``     agent daemons die; the watchdog restarts them
+``rpc-partition``   endpoints become unreachable (network partition)
+``rpc-blackhole``   calls to endpoints time out instead of completing
+``rpc-flaky``       per-endpoint failure/timeout probabilities
+``rpc-latency``     per-endpoint injected latency spike
+``controller-crash`` a leaf/upper controller primary dies; its backup
+                    takes over via :class:`FailoverController`
+``power-surge``     workload demand surges (site-outage recovery)
+``breaker-derate``  a device's rating is temporarily derated
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.agent import agent_endpoint
+from repro.errors import ConfigurationError
+from repro.server.sensor import PowerBreakdown, PowerSensor
+from repro.workloads.events import TrafficSurgeEvent
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of one injection.
+
+    Attributes:
+        kind: a fault kind from the catalogue (see module docstring).
+        start_s: absolute simulation time of the injection.
+        duration_s: how long the fault persists; ``None`` means it is
+            never auto-reverted (e.g. an agent crash left for the
+            watchdog to repair).
+        targets: server ids or device names the fault applies to; empty
+            means "every applicable target".
+        params: fault-specific parameters (multipliers, probabilities).
+    """
+
+    kind: str
+    start_s: float
+    duration_s: float | None = None
+    targets: tuple[str, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("fault start time cannot be negative")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigurationError("fault duration must be positive")
+        if self.kind not in FAULT_TYPES:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: {fault_kinds()}"
+            )
+
+    @property
+    def end_s(self) -> float | None:
+        """Absolute recovery time, or None for open-ended faults."""
+        if self.duration_s is None:
+            return None
+        return self.start_s + self.duration_s
+
+    def describe(self) -> str:
+        """Stable one-line form used in timelines and fingerprints."""
+        window = "open" if self.duration_s is None else f"{self.duration_s:g}s"
+        targets = ",".join(self.targets) if self.targets else "*"
+        params = ",".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}@{self.start_s:g}s/{window} targets={targets} {params}"
+
+
+class Fault:
+    """Base class: one armed instance of a :class:`FaultSpec`."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+
+    @property
+    def kind(self) -> str:
+        """The catalogue kind."""
+        return self.spec.kind
+
+    def inject(self, ctx) -> str:
+        """Apply the fault; returns a stable detail string."""
+        raise NotImplementedError
+
+    def recover(self, ctx) -> str:
+        """Revert the fault; returns a stable detail string."""
+        raise NotImplementedError
+
+    # Helpers shared by the concrete faults ----------------------------
+
+    def _server_ids(self, ctx) -> list[str]:
+        if self.spec.targets:
+            return list(self.spec.targets)
+        return sorted(ctx.fleet.servers)
+
+    def _param(self, name: str, default):
+        return self.spec.params.get(name, default)
+
+
+class _StuckSensor:
+    """Sensor replacement frozen at one reading (a wedged BMC)."""
+
+    def __init__(self, frozen: PowerBreakdown) -> None:
+        self._frozen = frozen
+
+    def read(self, true_power_w: float) -> float:
+        """The frozen total, regardless of true power."""
+        return self._frozen.total_w
+
+    def read_breakdown(self, true_power_w: float) -> PowerBreakdown:
+        """The frozen breakdown, regardless of true power."""
+        return self._frozen
+
+
+class SensorDropoutFault(Fault):
+    """On-board sensors disappear; agents estimate from utilization."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        self._saved: dict[str, PowerSensor | None] = {}
+
+    def inject(self, ctx) -> str:
+        dropped = 0
+        for server_id in self._server_ids(ctx):
+            server = ctx.fleet.servers[server_id]
+            if server.sensor is None:
+                continue
+            self._saved[server_id] = server.sensor
+            server.sensor = None
+            dropped += 1
+        return f"dropped {dropped} sensors"
+
+    def recover(self, ctx) -> str:
+        for server_id, sensor in self._saved.items():
+            ctx.fleet.servers[server_id].sensor = sensor
+        restored = len(self._saved)
+        self._saved.clear()
+        return f"restored {restored} sensors"
+
+
+class SensorStuckFault(Fault):
+    """Sensors freeze at the reading taken at injection time."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        self._saved: dict[str, PowerSensor] = {}
+
+    def inject(self, ctx) -> str:
+        stuck = 0
+        for server_id in self._server_ids(ctx):
+            server = ctx.fleet.servers[server_id]
+            # Skip sensorless servers and ones a concurrent fault already
+            # froze — restoring would re-install the other fault's wrapper.
+            if server.sensor is None or isinstance(server.sensor, _StuckSensor):
+                continue
+            frozen = server.sensor.read_breakdown(server.power_w())
+            self._saved[server_id] = server.sensor
+            server.sensor = _StuckSensor(frozen)
+            stuck += 1
+        return f"froze {stuck} sensors"
+
+    def recover(self, ctx) -> str:
+        for server_id, sensor in self._saved.items():
+            ctx.fleet.servers[server_id].sensor = sensor
+        restored = len(self._saved)
+        self._saved.clear()
+        return f"unfroze {restored} sensors"
+
+
+class AgentCrashFault(Fault):
+    """Agent daemons die.  With no duration, only the watchdog repairs
+    them — which is exactly what the scenario usually wants to measure."""
+
+    def inject(self, ctx) -> str:
+        ids = self._server_ids(ctx)
+        for server_id in ids:
+            ctx.dynamo.agents[server_id].crash()
+        return f"crashed {len(ids)} agents"
+
+    def recover(self, ctx) -> str:
+        restarted = 0
+        for server_id in self._server_ids(ctx):
+            agent = ctx.dynamo.agents[server_id]
+            if not agent.healthy:
+                agent.restart()
+                restarted += 1
+        return f"manually restarted {restarted} agents"
+
+
+class RpcPartitionFault(Fault):
+    """Agent endpoints become unreachable (a network partition)."""
+
+    def inject(self, ctx) -> str:
+        endpoints = [agent_endpoint(s) for s in self._server_ids(ctx)]
+        for endpoint in endpoints:
+            ctx.injector.take_down(endpoint)
+        return f"partitioned {len(endpoints)} endpoints"
+
+    def recover(self, ctx) -> str:
+        endpoints = [agent_endpoint(s) for s in self._server_ids(ctx)]
+        for endpoint in endpoints:
+            ctx.injector.restore(endpoint)
+        return f"healed {len(endpoints)} endpoints"
+
+
+class _EndpointRateFault(Fault):
+    """Base for faults that set per-endpoint injector rates."""
+
+    _fields: tuple[str, ...] = ()
+
+    def _rates(self) -> dict[str, float]:
+        raise NotImplementedError
+
+    def inject(self, ctx) -> str:
+        rates = self._rates()
+        endpoints = [agent_endpoint(s) for s in self._server_ids(ctx)]
+        for endpoint in endpoints:
+            ctx.injector.set_endpoint_faults(endpoint, **rates)
+        detail = ",".join(f"{k}={v:g}" for k, v in sorted(rates.items()))
+        return f"{len(endpoints)} endpoints {detail}"
+
+    def recover(self, ctx) -> str:
+        zeroed = {key: 0.0 for key in self._rates()}
+        endpoints = [agent_endpoint(s) for s in self._server_ids(ctx)]
+        for endpoint in endpoints:
+            ctx.injector.set_endpoint_faults(endpoint, **zeroed)
+        return f"cleared {len(endpoints)} endpoints"
+
+
+class RpcBlackholeFault(_EndpointRateFault):
+    """Every call to the targets times out instead of completing."""
+
+    def _rates(self) -> dict[str, float]:
+        return {"timeout_probability": 1.0}
+
+
+class RpcFlakyFault(_EndpointRateFault):
+    """Per-endpoint probabilistic failures and timeouts."""
+
+    def _rates(self) -> dict[str, float]:
+        return {
+            "failure_probability": float(self._param("failure_probability", 0.2)),
+            "timeout_probability": float(self._param("timeout_probability", 0.0)),
+        }
+
+
+class RpcLatencyFault(_EndpointRateFault):
+    """Per-endpoint injected latency spike (exponential extra latency)."""
+
+    def _rates(self) -> dict[str, float]:
+        return {"extra_latency_mean_s": float(self._param("mean_s", 0.050))}
+
+
+class ControllerCrashFault(Fault):
+    """A controller primary dies; its backup takes over next tick."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        if not spec.targets:
+            raise ConfigurationError(
+                "controller-crash needs explicit device-name targets"
+            )
+
+    def inject(self, ctx) -> str:
+        for device_name in self.spec.targets:
+            pair = ctx.dynamo.enable_failover(device_name)
+            pair.fail_primary()
+        return f"crashed primaries: {','.join(self.spec.targets)}"
+
+    def recover(self, ctx) -> str:
+        for device_name in self.spec.targets:
+            ctx.dynamo.enable_failover(device_name).restore_primary()
+        return f"restored primaries: {','.join(self.spec.targets)}"
+
+
+class PowerSurgeFault(Fault):
+    """Workload demand surges (outage-recovery traffic, special events)."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        if spec.duration_s is None:
+            raise ConfigurationError("power-surge needs a duration")
+        self._modifiers: dict[str, TrafficSurgeEvent] = {}
+
+    def inject(self, ctx) -> str:
+        multiplier = float(self._param("multiplier", 1.5))
+        ramp_s = float(self._param("ramp_s", 60.0))
+        surge = TrafficSurgeEvent(
+            start_s=self.spec.start_s,
+            end_s=self.spec.start_s + float(self.spec.duration_s),
+            multiplier=multiplier,
+            ramp_s=ramp_s,
+        )
+        surged = 0
+        for server_id in self._server_ids(ctx):
+            workload = ctx.fleet.servers[server_id].workload
+            if not hasattr(workload, "add_modifier"):
+                continue
+            workload.add_modifier(surge)
+            self._modifiers[server_id] = surge
+            surged += 1
+        return f"surged {surged} servers x{multiplier:g}"
+
+    def recover(self, ctx) -> str:
+        for server_id, surge in self._modifiers.items():
+            ctx.fleet.servers[server_id].workload.remove_modifier(surge)
+        released = len(self._modifiers)
+        self._modifiers.clear()
+        return f"released {released} servers"
+
+
+class BreakerDeratingFault(Fault):
+    """A device's rating is temporarily derated (maintenance, heat)."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        if not spec.targets:
+            raise ConfigurationError(
+                "breaker-derate needs explicit device-name targets"
+            )
+        self._saved: dict[str, float] = {}
+
+    def inject(self, ctx) -> str:
+        fraction = float(self._param("fraction", 0.85))
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("derating fraction must be in (0, 1]")
+        for device_name in self.spec.targets:
+            device = ctx.topology.device(device_name)
+            self._saved[device_name] = device.rated_power_w
+            device.rated_power_w = device.rated_power_w * fraction
+            device.breaker.rated_power_w = device.rated_power_w
+        return f"derated {','.join(self.spec.targets)} to {fraction:g}x"
+
+    def recover(self, ctx) -> str:
+        for device_name, rating in self._saved.items():
+            device = ctx.topology.device(device_name)
+            device.rated_power_w = rating
+            device.breaker.rated_power_w = rating
+        restored = ",".join(sorted(self._saved))
+        self._saved.clear()
+        return f"restored ratings: {restored}"
+
+
+FAULT_TYPES: dict[str, type[Fault]] = {
+    "sensor-dropout": SensorDropoutFault,
+    "sensor-stuck": SensorStuckFault,
+    "agent-crash": AgentCrashFault,
+    "rpc-partition": RpcPartitionFault,
+    "rpc-blackhole": RpcBlackholeFault,
+    "rpc-flaky": RpcFlakyFault,
+    "rpc-latency": RpcLatencyFault,
+    "controller-crash": ControllerCrashFault,
+    "power-surge": PowerSurgeFault,
+    "breaker-derate": BreakerDeratingFault,
+}
+
+
+def fault_kinds() -> list[str]:
+    """All known fault kinds, sorted."""
+    return sorted(FAULT_TYPES)
+
+
+def build_fault(spec: FaultSpec) -> Fault:
+    """Instantiate the fault class for one spec."""
+    return FAULT_TYPES[spec.kind](spec)

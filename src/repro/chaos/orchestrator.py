@@ -1,0 +1,154 @@
+"""The chaos orchestrator: arms fault schedules as simulation events.
+
+The orchestrator takes declarative :class:`FaultSpec` schedules and turns
+them into engine events at ``PRIORITY_CHAOS`` — after the fleet step but
+before any controller runs at the same instant, so an injection is
+visible to the very next control cycle.  Every injection and recovery is
+recorded into a :class:`~repro.telemetry.events.EventLog`, whose
+``fingerprint()`` is the replay-determinism contract: same seed, same
+schedule ⇒ byte-identical timeline.
+
+A health probe — a scenario-supplied predicate sampled periodically into
+a time series — gives the scorecard the signal it needs to measure
+time-to-detect and time-to-recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chaos.faults import Fault, FaultSpec, build_fault
+from repro.core.coordinator import PRIORITY_CHAOS
+from repro.core.dynamo import Dynamo
+from repro.fleet import Fleet, FleetDriver
+from repro.power.topology import PowerTopology
+from repro.rpc.transport import FailureInjector
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.process import PeriodicProcess
+from repro.telemetry.events import EventLog
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass
+class ChaosContext:
+    """Everything a fault may touch in a live deployment."""
+
+    engine: SimulationEngine
+    dynamo: Dynamo
+    topology: PowerTopology
+    fleet: Fleet
+    driver: FleetDriver | None = None
+
+    @property
+    def injector(self) -> FailureInjector:
+        """The RPC fabric's failure injector."""
+        return self.dynamo.transport.injector
+
+
+class ChaosOrchestrator:
+    """Schedules, applies, reverts, and records fault injections."""
+
+    def __init__(self, ctx: ChaosContext, *, events: EventLog | None = None) -> None:
+        self.ctx = ctx
+        self.events = events or EventLog()
+        self.faults: list[Fault] = []
+        self.health_series = TimeSeries("chaos.health")
+        self._probe: PeriodicProcess | None = None
+        self._healthy_fn: Callable[[ChaosContext], bool] | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, spec: FaultSpec) -> Fault:
+        """Arm one fault: injection at ``start_s``, recovery at ``end_s``."""
+        fault = build_fault(spec)
+        self.faults.append(fault)
+        self.ctx.engine.schedule_at(
+            spec.start_s,
+            lambda: self._inject(fault),
+            priority=PRIORITY_CHAOS,
+            label=f"chaos.inject.{spec.kind}",
+        )
+        if spec.end_s is not None:
+            self.ctx.engine.schedule_at(
+                spec.end_s,
+                lambda: self._recover(fault),
+                priority=PRIORITY_CHAOS,
+                label=f"chaos.recover.{spec.kind}",
+            )
+        return fault
+
+    def schedule_all(self, specs: list[FaultSpec]) -> list[Fault]:
+        """Arm a whole scenario schedule."""
+        return [self.schedule(spec) for spec in specs]
+
+    def _inject(self, fault: Fault) -> None:
+        detail = fault.inject(self.ctx)
+        self.events.record(
+            self.ctx.engine.clock.now,
+            "chaos",
+            f"inject.{fault.kind}",
+            f"{fault.spec.describe()} -> {detail}",
+        )
+
+    def _recover(self, fault: Fault) -> None:
+        detail = fault.recover(self.ctx)
+        self.events.record(
+            self.ctx.engine.clock.now,
+            "chaos",
+            f"recover.{fault.kind}",
+            f"{fault.spec.describe()} -> {detail}",
+        )
+
+    # ------------------------------------------------------------------
+    # Health probing
+    # ------------------------------------------------------------------
+
+    def attach_probe(
+        self,
+        healthy: Callable[[ChaosContext], bool],
+        *,
+        interval_s: float = 3.0,
+        phase: float = 0.0,
+    ) -> None:
+        """Sample ``healthy(ctx)`` periodically into ``health_series``.
+
+        The probe runs at sampler priority-adjacent ``PRIORITY_CHAOS + 1``
+        so it observes the world after injections land but before it is
+        repaired by the same instant's controllers.
+        """
+        self._healthy_fn = healthy
+        self._probe = PeriodicProcess(
+            self.ctx.engine,
+            interval_s,
+            self._sample_health,
+            label="chaos.health-probe",
+            priority=PRIORITY_CHAOS + 1,
+        )
+        self._probe.start(phase=phase)
+
+    def _sample_health(self, now_s: float) -> None:
+        assert self._healthy_fn is not None
+        self.health_series.append(now_s, 1.0 if self._healthy_fn(self.ctx) else 0.0)
+
+    # ------------------------------------------------------------------
+    # Timeline
+    # ------------------------------------------------------------------
+
+    @property
+    def injection_count(self) -> int:
+        """Injections performed so far."""
+        return len(self.events.by_kind_prefix("inject."))
+
+    def first_injection_time_s(self) -> float | None:
+        """Time of the first injection, or None before any."""
+        injections = self.events.by_kind_prefix("inject.")
+        if not injections:
+            return None
+        return injections[0].time_s
+
+    def timeline_fingerprint(self) -> str:
+        """Stable rendering of the full injection/recovery timeline."""
+        return self.events.fingerprint()

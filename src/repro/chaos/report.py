@@ -1,0 +1,164 @@
+"""The robustness scorecard: did Dynamo survive the chaos?
+
+A scorecard condenses one finished :class:`~repro.chaos.scenarios.ChaosRun`
+into the metrics the paper's fault-tolerance story hinges on:
+
+* **time-to-detect** — seconds from the first injection to the first
+  unhealthy health-probe sample (``None`` if the fault never became
+  visible, i.e. a clean ride-through);
+* **time-to-recover** — seconds from the first injection until health
+  stays restored (0.0 for a ride-through);
+* **breaker trips** — the one number that must be zero;
+* **capping SLA violation** — integrated seconds the monitored device's
+  aggregate sat above its rated limit;
+* **aggregation aborts** — leaf cycles invalidated by >20% pull failures.
+
+Watchdog restart/suppression counters, failover takeovers, and cap/uncap
+event totals round out the picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+from repro.chaos.scenarios import ChaosRun
+from repro.core.failover import FailoverController
+from repro.telemetry.alerts import Severity
+
+
+@dataclass(frozen=True)
+class RobustnessScore:
+    """Robustness metrics for one finished chaos run."""
+
+    scenario: str
+    seed: int
+    injections: int
+    recoveries: int
+    time_to_detect_s: float | None
+    time_to_recover_s: float
+    breaker_trips: int
+    sla_violation_s: float
+    aggregation_aborts: int
+    critical_alerts: int
+    watchdog_restarts: int
+    watchdog_suppressed: int
+    failovers: int
+    cap_events: int
+    uncap_events: int
+
+    @property
+    def survived(self) -> bool:
+        """The headline verdict: nothing tripped."""
+        return self.breaker_trips == 0
+
+
+def _detect_and_recover(
+    run: ChaosRun, first_injection_s: float | None
+) -> tuple[float | None, float]:
+    """Detection and recovery latencies from the health-probe series.
+
+    Detection is the first unhealthy sample at/after the first
+    injection.  Recovery is the first healthy sample *after the last
+    unhealthy sample* — health must stay restored to the end of the run.
+    """
+    series = run.orchestrator.health_series
+    if first_injection_s is None or len(series) == 0:
+        return None, 0.0
+    times = series.times
+    values = series.values
+    unhealthy = [
+        t for t, v in zip(times, values) if t >= first_injection_s and v < 0.5
+    ]
+    if not unhealthy:
+        return None, 0.0
+    detect_s = unhealthy[0] - first_injection_s
+    last_bad = unhealthy[-1]
+    recovered_at = [t for t in times if t > last_bad]
+    # If no healthy sample follows the last unhealthy one, the run ended
+    # degraded: charge recovery through the end of the run.
+    recover_s = (recovered_at[0] if recovered_at else run.end_s) - first_injection_s
+    return float(detect_s), float(recover_s)
+
+
+def _sla_violation_s(run: ChaosRun) -> float:
+    """Integrated seconds the monitored aggregate exceeded its rating.
+
+    Uses the device rating at scorecard time; for derating scenarios
+    whose fault has already recovered this is the original rating.
+    """
+    controller = run.dynamo.controller(run.monitored_device)
+    limit_w = run.topology.device(run.monitored_device).rated_power_w
+    series = controller.aggregate_series
+    if len(series) < 2:
+        return 0.0
+    times = series.times
+    values = series.values
+    violation = 0.0
+    for i in range(1, len(times)):
+        if values[i] > limit_w:
+            violation += times[i] - times[i - 1]
+    return float(violation)
+
+
+def build_scorecard(run: ChaosRun) -> RobustnessScore:
+    """Score a finished chaos run."""
+    orchestrator = run.orchestrator
+    first_injection_s = orchestrator.first_injection_time_s()
+    detect_s, recover_s = _detect_and_recover(run, first_injection_s)
+    aborts = sum(
+        leaf.invalid_cycles
+        for leaf in run.dynamo.hierarchy.leaf_controllers.values()
+    )
+    failovers = sum(
+        c.failovers
+        for c in run.dynamo.hierarchy.all_controllers
+        if isinstance(c, FailoverController)
+    )
+    return RobustnessScore(
+        scenario=run.name,
+        seed=run.seed,
+        injections=orchestrator.injection_count,
+        recoveries=len(orchestrator.events.by_kind_prefix("recover.")),
+        time_to_detect_s=detect_s,
+        time_to_recover_s=recover_s,
+        breaker_trips=len(run.driver.trips),
+        sla_violation_s=_sla_violation_s(run),
+        aggregation_aborts=aborts,
+        critical_alerts=len(run.dynamo.alerts.by_severity(Severity.CRITICAL)),
+        watchdog_restarts=run.dynamo.watchdog.restarts,
+        watchdog_suppressed=run.dynamo.watchdog.restarts_suppressed,
+        failovers=failovers,
+        cap_events=run.dynamo.total_cap_events(),
+        uncap_events=sum(
+            c.uncap_events for c in run.dynamo.hierarchy.all_controllers
+        ),
+    )
+
+
+def render_scorecard(score: RobustnessScore) -> str:
+    """Render one scorecard as an aligned text table."""
+    table = Table(
+        f"Robustness scorecard: {score.scenario} (seed {score.seed})",
+        ["metric", "value"],
+    )
+    detect = (
+        "never unhealthy"
+        if score.time_to_detect_s is None
+        else f"{score.time_to_detect_s:.1f} s"
+    )
+    table.add_row("faults injected", score.injections)
+    table.add_row("faults recovered", score.recoveries)
+    table.add_row("time to detect", detect)
+    table.add_row("time to recover", f"{score.time_to_recover_s:.1f} s")
+    table.add_row("breaker trips", score.breaker_trips)
+    table.add_row("capping SLA violation", f"{score.sla_violation_s:.1f} s")
+    table.add_row("aggregation aborts", score.aggregation_aborts)
+    table.add_row("critical alerts", score.critical_alerts)
+    table.add_row("watchdog restarts", score.watchdog_restarts)
+    table.add_row("watchdog suppressed", score.watchdog_suppressed)
+    table.add_row("failover takeovers", score.failovers)
+    table.add_row("cap events", score.cap_events)
+    table.add_row("uncap events", score.uncap_events)
+    table.add_row("survived", "yes" if score.survived else "NO")
+    return table.render()

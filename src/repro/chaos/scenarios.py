@@ -1,0 +1,354 @@
+"""Prebuilt chaos scenarios and seeded random campaigns.
+
+Each scenario wires a small, deliberately fragile deployment (thin SB
+headroom over rows of web servers, as in
+:func:`repro.analysis.worlds.build_surge_world`), arms a fault schedule
+through the :class:`ChaosOrchestrator`, and attaches a health probe so
+the scorecard can measure detection and recovery.
+
+Named scenarios map to the paper's fault-tolerance claims:
+
+================== =======================================================
+``sb-outage``       Figure 12 ride-through: an outage-recovery power surge
+                    drives the SB past its capping threshold; Dynamo caps
+                    offender rows and nothing trips.
+``watchdog-restart`` a quarter of the agents crash; the watchdog restarts
+                    them within one sweep (Section III-E).
+``leaf-controller-crash``   a leaf controller primary dies mid-run; its
+                    backup takes over on the next tick.
+``upper-controller-crash``  same for the SB-level controller.
+``rpc-storm``       per-endpoint failures and latency spikes; neighbour
+                    estimation keeps aggregation valid.
+``partition``       >20% of one row's agents partitioned; aggregation
+                    aborts with a CRITICAL alert, no false capping.
+``breaker-derate``  the SB rating is derated mid-run; capping pulls the
+                    load under the new limit.
+``campaign``        a seeded random campaign over the whole catalogue.
+================== =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.worlds import build_surge_world
+from repro.chaos.faults import FaultSpec
+from repro.chaos.orchestrator import ChaosContext, ChaosOrchestrator
+from repro.core.dynamo import Dynamo
+from repro.errors import ConfigurationError
+from repro.fleet import Fleet, FleetDriver
+from repro.power.topology import PowerTopology
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+
+@dataclass
+class ChaosRun:
+    """A fully wired chaos experiment ready to run."""
+
+    name: str
+    seed: int
+    engine: SimulationEngine
+    topology: PowerTopology
+    fleet: Fleet
+    dynamo: Dynamo
+    driver: FleetDriver
+    rng: RngStreams
+    orchestrator: ChaosOrchestrator
+    specs: list[FaultSpec]
+    monitored_device: str
+    end_s: float
+    extras: dict = field(default_factory=dict)
+
+    def start(self) -> None:
+        """Start the physical world and Dynamo."""
+        self.driver.start()
+        self.dynamo.start()
+
+    def run(self) -> None:
+        """Start everything and run the schedule to completion."""
+        self.start()
+        self.engine.run_until(self.end_s)
+
+    def fingerprint(self) -> str:
+        """The injection/recovery timeline fingerprint."""
+        return self.orchestrator.timeline_fingerprint()
+
+
+def default_health_probe(run: ChaosRun) -> Callable[[ChaosContext], bool]:
+    """The scenario-agnostic health predicate.
+
+    Healthy means: no breaker has tripped, every agent is up, the
+    monitored device's aggregate is at or under its (current) rating,
+    and no leaf controller aborted an aggregation since the last sample.
+    """
+    state = {"invalid": 0}
+
+    def healthy(ctx: ChaosContext) -> bool:
+        ok = not run.driver.tripped
+        if not all(agent.healthy for agent in ctx.dynamo.agents.values()):
+            ok = False
+        controller = ctx.dynamo.controller(run.monitored_device)
+        device = ctx.topology.device(run.monitored_device)
+        aggregate = controller.last_aggregate_power_w
+        if aggregate is not None and aggregate > device.rated_power_w:
+            ok = False
+        invalid = sum(
+            leaf.invalid_cycles
+            for leaf in ctx.dynamo.hierarchy.leaf_controllers.values()
+        )
+        if invalid > state["invalid"]:
+            ok = False
+        state["invalid"] = invalid
+        return ok
+
+    return healthy
+
+
+def build_chaos_run(
+    name: str,
+    specs: list[FaultSpec],
+    *,
+    seed: int = 7,
+    n_servers: int = 40,
+    level: float = 0.6,
+    rpp_count: int = 2,
+    end_s: float = 1800.0,
+    monitored_device: str = "sb0",
+    probe_interval_s: float = 3.0,
+) -> ChaosRun:
+    """Wire a chaos experiment: world + Dynamo + orchestrator + probe."""
+    engine, topology, fleet, rng = build_surge_world(
+        n_servers=n_servers, level=level, rpp_count=rpp_count, seed=seed
+    )
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    driver = FleetDriver(engine, topology, fleet, step_interval_s=1.0)
+    ctx = ChaosContext(
+        engine=engine,
+        dynamo=dynamo,
+        topology=topology,
+        fleet=fleet,
+        driver=driver,
+    )
+    orchestrator = ChaosOrchestrator(ctx)
+    run = ChaosRun(
+        name=name,
+        seed=seed,
+        engine=engine,
+        topology=topology,
+        fleet=fleet,
+        dynamo=dynamo,
+        driver=driver,
+        rng=rng,
+        orchestrator=orchestrator,
+        specs=list(specs),
+        monitored_device=monitored_device,
+        end_s=end_s,
+    )
+    orchestrator.schedule_all(run.specs)
+    orchestrator.attach_probe(
+        default_health_probe(run), interval_s=probe_interval_s
+    )
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Named scenarios
+# ---------------------------------------------------------------------------
+
+def sb_outage(seed: int = 7) -> ChaosRun:
+    """Figure 12 ride-through: outage-recovery surge against the SB."""
+    specs = [
+        FaultSpec(
+            kind="power-surge",
+            start_s=300.0,
+            duration_s=900.0,
+            params={"multiplier": 1.6, "ramp_s": 120.0},
+        )
+    ]
+    return build_chaos_run("sb-outage", specs, seed=seed, end_s=1800.0)
+
+
+def watchdog_restart(seed: int = 7) -> ChaosRun:
+    """A quarter of the agents crash; the watchdog repairs them."""
+    # Targets are fixed by position so the schedule itself is static;
+    # only fault *consequences* vary with the seed.
+    engine, topology, fleet, _ = build_surge_world(n_servers=40, seed=seed)
+    del engine, topology
+    victims = tuple(sorted(fleet.servers)[::4])
+    specs = [FaultSpec(kind="agent-crash", start_s=120.0, targets=victims)]
+    return build_chaos_run("watchdog-restart", specs, seed=seed, end_s=600.0)
+
+
+def leaf_controller_crash(seed: int = 7) -> ChaosRun:
+    """A leaf controller primary dies; its backup takes over."""
+    specs = [
+        FaultSpec(
+            kind="controller-crash",
+            start_s=150.0,
+            duration_s=300.0,
+            targets=("rpp0",),
+        )
+    ]
+    return build_chaos_run(
+        "leaf-controller-crash", specs, seed=seed, end_s=900.0
+    )
+
+
+def upper_controller_crash(seed: int = 7) -> ChaosRun:
+    """The SB-level controller primary dies; its backup takes over."""
+    specs = [
+        FaultSpec(
+            kind="controller-crash",
+            start_s=150.0,
+            duration_s=300.0,
+            targets=("sb0",),
+        )
+    ]
+    return build_chaos_run(
+        "upper-controller-crash", specs, seed=seed, end_s=900.0
+    )
+
+
+def rpc_storm(seed: int = 7) -> ChaosRun:
+    """Flaky fabric plus a latency spike across every agent endpoint."""
+    specs = [
+        FaultSpec(
+            kind="rpc-flaky",
+            start_s=120.0,
+            duration_s=300.0,
+            params={"failure_probability": 0.15},
+        ),
+        FaultSpec(
+            kind="rpc-latency",
+            start_s=120.0,
+            duration_s=300.0,
+            params={"mean_s": 0.050},
+        ),
+    ]
+    return build_chaos_run("rpc-storm", specs, seed=seed, end_s=900.0)
+
+
+def partition(seed: int = 7) -> ChaosRun:
+    """Partition >20% of one row's agents: aggregation must abort."""
+    engine, topology, fleet, _ = build_surge_world(n_servers=40, seed=seed)
+    rpp0_ids = sorted(topology.device("rpp0").load_ids)
+    del engine, fleet
+    victims = tuple(rpp0_ids[: max(1, int(len(rpp0_ids) * 0.3))])
+    specs = [
+        FaultSpec(
+            kind="rpc-partition",
+            start_s=120.0,
+            duration_s=240.0,
+            targets=victims,
+        )
+    ]
+    return build_chaos_run("partition", specs, seed=seed, end_s=900.0)
+
+
+def breaker_derate(seed: int = 7) -> ChaosRun:
+    """The SB rating is derated mid-run; capping pulls load under it."""
+    specs = [
+        FaultSpec(
+            kind="breaker-derate",
+            start_s=200.0,
+            duration_s=600.0,
+            targets=("sb0",),
+            params={"fraction": 0.82},
+        )
+    ]
+    return build_chaos_run("breaker-derate", specs, seed=seed, end_s=1200.0)
+
+
+# ---------------------------------------------------------------------------
+# Random campaigns
+# ---------------------------------------------------------------------------
+
+#: Fault kinds a random campaign draws from, with (min, max) durations.
+CAMPAIGN_KINDS: list[tuple[str, float, float]] = [
+    ("agent-crash", 0.0, 0.0),  # open-ended: the watchdog repairs it
+    ("sensor-dropout", 120.0, 300.0),
+    ("sensor-stuck", 120.0, 300.0),
+    ("rpc-flaky", 90.0, 240.0),
+    ("rpc-latency", 90.0, 240.0),
+    ("rpc-partition", 60.0, 180.0),
+    ("power-surge", 240.0, 480.0),
+]
+
+
+def random_campaign_specs(
+    rng_streams: RngStreams,
+    server_ids: list[str],
+    *,
+    n_faults: int = 6,
+    horizon_s: float = 900.0,
+    first_start_s: float = 60.0,
+) -> list[FaultSpec]:
+    """Draw a replayable random fault schedule.
+
+    All randomness comes from the ``"chaos.campaign"`` stream, so the
+    same root seed always yields the identical schedule — the campaign
+    is as deterministic as a hand-written one.
+    """
+    if not server_ids:
+        raise ConfigurationError("campaign needs at least one server")
+    rng = rng_streams.stream("chaos.campaign")
+    ordered = sorted(server_ids)
+    specs: list[FaultSpec] = []
+    for _ in range(n_faults):
+        kind, dur_lo, dur_hi = CAMPAIGN_KINDS[
+            int(rng.integers(len(CAMPAIGN_KINDS)))
+        ]
+        start_s = float(rng.uniform(first_start_s, horizon_s))
+        duration_s = None
+        if dur_hi > 0.0:
+            duration_s = float(rng.uniform(dur_lo, dur_hi))
+        # Target a contiguous slice of the fleet: cheap to draw, stable
+        # to describe, and adjustable in severity via the slice width.
+        width = max(1, int(rng.integers(1, max(2, len(ordered) // 4))))
+        offset = int(rng.integers(len(ordered)))
+        targets = tuple(
+            ordered[(offset + i) % len(ordered)] for i in range(width)
+        )
+        params: dict = {}
+        if kind == "power-surge":
+            params = {"multiplier": float(rng.uniform(1.2, 1.5))}
+            targets = ()  # surges hit every server
+        elif kind == "rpc-flaky":
+            params = {"failure_probability": float(rng.uniform(0.05, 0.3))}
+        elif kind == "rpc-latency":
+            params = {"mean_s": float(rng.uniform(0.01, 0.1))}
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                start_s=round(start_s, 3),
+                duration_s=None if duration_s is None else round(duration_s, 3),
+                targets=targets,
+                params=params,
+            )
+        )
+    specs.sort(key=lambda s: (s.start_s, s.kind))
+    return specs
+
+
+def campaign(seed: int = 7, *, n_faults: int = 6) -> ChaosRun:
+    """A seeded random campaign over the fault catalogue."""
+    engine, topology, fleet, rng = build_surge_world(n_servers=40, seed=seed)
+    del engine, topology
+    specs = random_campaign_specs(
+        rng, list(fleet.servers), n_faults=n_faults, horizon_s=900.0
+    )
+    return build_chaos_run("campaign", specs, seed=seed, end_s=1500.0)
+
+
+CHAOS_SCENARIOS: dict[str, Callable[..., ChaosRun]] = {
+    "sb-outage": sb_outage,
+    "watchdog-restart": watchdog_restart,
+    "leaf-controller-crash": leaf_controller_crash,
+    "upper-controller-crash": upper_controller_crash,
+    "rpc-storm": rpc_storm,
+    "partition": partition,
+    "breaker-derate": breaker_derate,
+    "campaign": campaign,
+}

@@ -8,9 +8,13 @@ Usage::
     python -m repro run altoona
     python -m repro run hadoop --servers 100 --duration-h 6
     python -m repro run cascade
+    python -m repro chaos list
+    python -m repro chaos run sb-outage --seed 7
 
 Each scenario prints a short report; exit code is 0 when the run's
-safety invariant (no breaker trips) holds.
+safety invariant (no breaker trips) holds.  ``chaos run`` additionally
+executes the scenario twice and requires byte-identical injection
+timelines (the replay-determinism contract).
 """
 
 from __future__ import annotations
@@ -148,6 +152,36 @@ def _run_cascade(args: argparse.Namespace) -> int:
     return 1 if tripped else 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CHAOS_SCENARIOS, build_scorecard, render_scorecard
+
+    if args.chaos_command == "list":
+        for name in sorted(CHAOS_SCENARIOS):
+            print(name)
+        return 0
+
+    builder = CHAOS_SCENARIOS[args.scenario]
+    fingerprints: list[str] = []
+    score = None
+    for _ in range(1 if args.once else 2):
+        run = builder(seed=args.seed)
+        run.run()
+        fingerprints.append(run.fingerprint())
+        score = build_scorecard(run)
+    assert score is not None
+    print(render_scorecard(score))
+    deterministic = len(set(fingerprints)) == 1
+    if not args.once:
+        print(
+            "replay determinism: "
+            + ("byte-identical timelines" if deterministic else "DIVERGED")
+        )
+        if not deterministic:
+            print("--- run 1 ---", fingerprints[0], sep="\n")
+            print("--- run 2 ---", fingerprints[1], sep="\n")
+    return 0 if (deterministic and score.breaker_trips == 0) else 1
+
+
 _RUNNERS = {
     "quickstart": _run_quickstart,
     "ashburn": _run_ashburn,
@@ -176,6 +210,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cascade scenario only: run without Dynamo",
     )
+    chaos = sub.add_parser("chaos", help="fault-injection scenarios")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser("list", help="list chaos scenarios")
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run a chaos scenario twice and score it"
+    )
+    from repro.chaos.scenarios import CHAOS_SCENARIOS
+
+    chaos_run.add_argument("scenario", choices=sorted(CHAOS_SCENARIOS))
+    chaos_run.add_argument("--seed", type=int, default=7)
+    chaos_run.add_argument(
+        "--once",
+        action="store_true",
+        help="single run, skipping the replay-determinism check",
+    )
     return parser
 
 
@@ -186,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in SCENARIOS:
             print(name)
         return 0
+    if args.command == "chaos":
+        return _run_chaos(args)
     return _RUNNERS[args.scenario](args)
 
 

@@ -101,11 +101,32 @@ class RaplConfig:
 
 @dataclass(frozen=True)
 class AgentConfig:
-    """Per-server Dynamo agent parameters."""
+    """Per-server Dynamo agent parameters.
+
+    The watchdog fields govern the restart policy: an agent that keeps
+    failing health checks is restarted with exponential backoff
+    (``base * 2**(n-1)`` seconds after its n-th consecutive restart,
+    capped at ``watchdog_backoff_max_s``) and at most
+    ``watchdog_restart_budget`` restarts per
+    ``watchdog_budget_window_s`` window, so a crash-looping agent cannot
+    consume the watchdog forever.
+    """
 
     rapl: RaplConfig = field(default_factory=RaplConfig)
     sensor_noise_fraction: float = 0.005
     watchdog_interval_s: float = 30.0
+    watchdog_backoff_base_s: float = 30.0
+    watchdog_backoff_max_s: float = 480.0
+    watchdog_restart_budget: int = 8
+    watchdog_budget_window_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.watchdog_backoff_base_s < 0 or self.watchdog_backoff_max_s < 0:
+            raise ConfigurationError("watchdog backoff times cannot be negative")
+        if self.watchdog_restart_budget < 1:
+            raise ConfigurationError("watchdog restart budget must be >= 1")
+        if self.watchdog_budget_window_s <= 0:
+            raise ConfigurationError("watchdog budget window must be positive")
 
 
 @dataclass(frozen=True)

@@ -16,11 +16,13 @@ aggregations.
 from __future__ import annotations
 
 from repro.core.hierarchy import ControllerHierarchy
+from repro.errors import ConfigurationError
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.process import PeriodicProcess
 
 #: Event priorities (lower runs first at the same instant).
 PRIORITY_FLEET_STEP = 0
+PRIORITY_CHAOS = 2
 PRIORITY_SAMPLER = 5
 PRIORITY_LEAF = 10
 PRIORITY_UPPER = 20
@@ -28,7 +30,14 @@ PRIORITY_WATCHDOG = 30
 
 
 class ControllerCoordinator:
-    """Schedules every controller in a hierarchy on the engine."""
+    """Schedules every controller in a hierarchy on the engine.
+
+    Ticks are dispatched through a name-indexed registry rather than
+    bound methods, so a controller can be replaced mid-run — e.g. the
+    chaos subsystem swapping a plain controller for a primary/backup
+    :class:`~repro.core.failover.FailoverController` pair — without
+    touching the event queue.
+    """
 
     def __init__(
         self,
@@ -37,13 +46,19 @@ class ControllerCoordinator:
     ) -> None:
         self._engine = engine
         self.hierarchy = hierarchy
+        self._controllers: dict[str, object] = {}
         self._processes: list[PeriodicProcess] = []
+
+        def dispatch(name: str):
+            return lambda now_s: self._controllers[name].tick(now_s)
+
         for controller in hierarchy.leaf_controllers.values():
+            self._controllers[controller.name] = controller
             self._processes.append(
                 PeriodicProcess(
                     engine,
                     controller.config.leaf_pull_interval_s,
-                    controller.tick,
+                    dispatch(controller.name),
                     label=f"leaf.{controller.name}",
                     priority=PRIORITY_LEAF,
                 )
@@ -56,16 +71,32 @@ class ControllerCoordinator:
             key=lambda c: -c.device.level.depth,
         )
         for controller in uppers:
+            self._controllers[controller.name] = controller
             self._processes.append(
                 PeriodicProcess(
                     engine,
                     controller.config.upper_pull_interval_s,
-                    controller.tick,
+                    dispatch(controller.name),
                     label=f"upper.{controller.name}",
                     priority=PRIORITY_UPPER + (3 - controller.device.level.depth),
                 )
             )
         self._started = False
+
+    def replace_controller(self, name: str, controller) -> None:
+        """Swap the instance ticked under ``name`` (failover wrapping)."""
+        if name not in self._controllers:
+            raise ConfigurationError(f"no scheduled controller named {name!r}")
+        self._controllers[name] = controller
+
+    def scheduled_controller(self, name: str):
+        """The instance currently ticked under ``name``."""
+        try:
+            return self._controllers[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no scheduled controller named {name!r}"
+            ) from None
 
     def start(self) -> None:
         """Start every controller's periodic process.

@@ -12,10 +12,13 @@ from __future__ import annotations
 from repro.config import DynamoConfig
 from repro.core.agent import DynamoAgent
 from repro.core.coordinator import ControllerCoordinator
+from repro.core.failover import FailoverController
 from repro.core.hierarchy import (
     ControllerHierarchy,
     build_controller_hierarchy,
 )
+from repro.core.leaf_controller import LeafPowerController
+from repro.core.upper_controller import UpperLevelPowerController
 from repro.core.priority import PriorityPolicy
 from repro.core.watchdog import AgentWatchdog
 from repro.fleet import Fleet
@@ -66,6 +69,10 @@ class Dynamo:
             engine,
             list(self.agents.values()),
             interval_s=self.config.agent.watchdog_interval_s,
+            backoff_base_s=self.config.agent.watchdog_backoff_base_s,
+            backoff_max_s=self.config.agent.watchdog_backoff_max_s,
+            restart_budget=self.config.agent.watchdog_restart_budget,
+            budget_window_s=self.config.agent.watchdog_budget_window_s,
         )
 
     # ------------------------------------------------------------------
@@ -81,6 +88,61 @@ class Dynamo:
         """Stop all periodic activity."""
         self.coordinator.stop()
         self.watchdog.stop()
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+
+    def enable_failover(self, device_name: str) -> FailoverController:
+        """Wrap one controller in a primary/backup pair (Section III-E).
+
+        Builds a backup instance of the controller protecting
+        ``device_name``, wraps primary and backup in a
+        :class:`FailoverController`, and swaps the pair into the
+        hierarchy, its parent's child list, and the coordinator's tick
+        dispatch.  Idempotent: a second call returns the existing pair.
+        """
+        existing = self.hierarchy.controller(device_name)
+        if isinstance(existing, FailoverController):
+            return existing
+        if device_name in self.hierarchy.leaf_controllers:
+            primary = self.hierarchy.leaf_controllers[device_name]
+            backup = LeafPowerController(
+                primary.device,
+                primary.server_ids,
+                self.transport,
+                config=self.config.controller,
+                bucket=self.config.bucket,
+                policy=self.policy,
+                alerts=self.alerts,
+            )
+            pair = FailoverController(primary, backup)
+            self.hierarchy.leaf_controllers[device_name] = pair
+        else:
+            primary = self.hierarchy.upper_controllers[device_name]
+            backup = UpperLevelPowerController(
+                primary.device,
+                primary.children,
+                config=self.config.controller,
+                alerts=self.alerts,
+            )
+            pair = FailoverController(primary, backup)
+            self.hierarchy.upper_controllers[device_name] = pair
+        self._replace_in_parents(device_name, pair)
+        self.coordinator.replace_controller(device_name, pair)
+        return pair
+
+    def _replace_in_parents(self, device_name: str, pair) -> None:
+        """Point every parent controller's child entry at the pair."""
+        for upper in self.hierarchy.upper_controllers.values():
+            for instance in (
+                (upper.primary, upper.backup)
+                if isinstance(upper, FailoverController)
+                else (upper,)
+            ):
+                for i, child in enumerate(instance.children):
+                    if child.name == device_name and child is not pair:
+                        instance.children[i] = pair
 
     # ------------------------------------------------------------------
     # Introspection

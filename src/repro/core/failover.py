@@ -123,3 +123,39 @@ class FailoverController:
         """Clear contractual limits on both instances."""
         self.primary.clear_contractual_limit()
         self.backup.clear_contractual_limit()
+
+    # ------------------------------------------------------------------
+    # Telemetry surface (so a wrapped controller still reports)
+    # ------------------------------------------------------------------
+
+    @property
+    def cap_events(self) -> int:
+        """Capping activations across both instances."""
+        return self.primary.cap_events + self.backup.cap_events
+
+    @property
+    def uncap_events(self) -> int:
+        """Uncapping activations across both instances."""
+        return self.primary.uncap_events + self.backup.uncap_events
+
+    @property
+    def invalid_cycles(self) -> int:
+        """Invalid aggregation cycles across both instances (leaves)."""
+        return getattr(self.primary, "invalid_cycles", 0) + getattr(
+            self.backup, "invalid_cycles", 0
+        )
+
+    @property
+    def aggregate_series(self):
+        """The active instance's aggregation time series."""
+        return self.active.aggregate_series
+
+    @property
+    def config(self):
+        """Controller timing config (shared by both instances)."""
+        return self.primary.config
+
+    @property
+    def effective_limit_w(self) -> float:
+        """The active instance's effective limit."""
+        return self.active.effective_limit_w

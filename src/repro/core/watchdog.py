@@ -2,15 +2,42 @@
 
 "A script periodically checks the health of an agent and restarts the
 agents in case the agent crashes."  The watchdog sweeps all registered
-agents on its interval and restarts any that report unhealthy, counting
-restarts for observability.
+agents on its interval and restarts any that report unhealthy.
+
+Repeatedly failing agents are handled defensively: each consecutive
+restart of the same agent doubles a per-agent backoff (``base * 2**(n-1)``
+seconds, capped), and a restart budget per rolling window bounds how much
+restarting one crash-looping agent can consume.  All outcomes are counted
+— restarts, backoff deferrals, budget suppressions — and timestamped so
+the chaos scorecard can measure time-to-recover.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.agent import DynamoAgent
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.process import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One watchdog restart of one agent."""
+
+    time_s: float
+    server_id: str
+    attempt: int
+
+
+@dataclass
+class _WatchState:
+    """Per-agent restart bookkeeping."""
+
+    consecutive_restarts: int = 0
+    next_restart_s: float = 0.0
+    window_start_s: float = 0.0
+    window_restarts: int = 0
 
 
 class AgentWatchdog:
@@ -23,9 +50,21 @@ class AgentWatchdog:
         *,
         interval_s: float = 30.0,
         priority: int = 30,
+        backoff_base_s: float = 30.0,
+        backoff_max_s: float = 480.0,
+        restart_budget: int = 8,
+        budget_window_s: float = 900.0,
     ) -> None:
         self._agents = list(agents)
+        self._backoff_base_s = float(backoff_base_s)
+        self._backoff_max_s = float(backoff_max_s)
+        self._restart_budget = int(restart_budget)
+        self._budget_window_s = float(budget_window_s)
+        self._states: dict[str, _WatchState] = {}
         self.restarts = 0
+        self.restarts_suppressed = 0
+        self.backoff_deferrals = 0
+        self.restart_log: list[RestartRecord] = []
         self._process = PeriodicProcess(
             engine,
             interval_s,
@@ -48,9 +87,52 @@ class AgentWatchdog:
 
     def _sweep(self, now_s: float) -> None:
         for agent in self._agents:
-            if not agent.healthy:
-                agent.restart()
-                self.restarts += 1
+            server_id = agent.server.server_id
+            state = self._states.get(server_id)
+            if agent.healthy:
+                # A healthy sighting resets the backoff ladder; the
+                # budget window keeps counting so flapping agents still
+                # exhaust it.
+                if state is not None:
+                    state.consecutive_restarts = 0
+                    state.next_restart_s = 0.0
+                continue
+            if state is None:
+                state = _WatchState(window_start_s=now_s)
+                self._states[server_id] = state
+            if now_s - state.window_start_s >= self._budget_window_s:
+                state.window_start_s = now_s
+                state.window_restarts = 0
+            if state.window_restarts >= self._restart_budget:
+                self.restarts_suppressed += 1
+                continue
+            if now_s < state.next_restart_s:
+                self.backoff_deferrals += 1
+                continue
+            agent.restart()
+            state.consecutive_restarts += 1
+            state.window_restarts += 1
+            backoff = self._backoff_base_s * 2.0 ** (state.consecutive_restarts - 1)
+            state.next_restart_s = now_s + min(backoff, self._backoff_max_s)
+            self.restarts += 1
+            self.restart_log.append(
+                RestartRecord(
+                    time_s=now_s,
+                    server_id=server_id,
+                    attempt=state.consecutive_restarts,
+                )
+            )
+
+    def consecutive_restarts(self, server_id: str) -> int:
+        """Restarts of ``server_id`` since it was last seen healthy."""
+        state = self._states.get(server_id)
+        return 0 if state is None else state.consecutive_restarts
+
+    def last_restart_time_s(self) -> float | None:
+        """Time of the most recent restart, or None if none yet."""
+        if not self.restart_log:
+            return None
+        return self.restart_log[-1].time_s
 
     @property
     def agent_count(self) -> int:

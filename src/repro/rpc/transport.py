@@ -11,8 +11,31 @@ from repro.errors import RpcError, RpcTimeoutError
 
 
 @dataclass
+class EndpointFaults:
+    """Per-endpoint fault rates layered on top of the global ones.
+
+    Attributes:
+        failure_probability: extra chance a call to this endpoint raises
+            :class:`RpcError`.
+        timeout_probability: extra chance a call to this endpoint raises
+            :class:`RpcTimeoutError`.
+        extra_latency_mean_s: mean of an exponential extra-latency draw
+            added to the call's accounted latency (a latency spike).
+    """
+
+    failure_probability: float = 0.0
+    timeout_probability: float = 0.0
+    extra_latency_mean_s: float = 0.0
+
+
+@dataclass
 class FailureInjector:
     """Controls which RPCs fail and how.
+
+    Global probabilities apply to every call; per-endpoint rates
+    (installed via :meth:`set_endpoint_faults`, typically by the chaos
+    orchestrator) compose with them, so a flaky fabric and a targeted
+    injection can coexist.
 
     Attributes:
         failure_probability: chance any call raises :class:`RpcError`.
@@ -20,11 +43,13 @@ class FailureInjector:
             :class:`RpcTimeoutError` instead of completing.
         down_endpoints: endpoints that always fail (crashed agents,
             partitioned hosts).
+        endpoint_faults: per-endpoint failure/timeout/latency overrides.
     """
 
     failure_probability: float = 0.0
     timeout_probability: float = 0.0
     down_endpoints: set[str] = field(default_factory=set)
+    endpoint_faults: dict[str, EndpointFaults] = field(default_factory=dict)
 
     def take_down(self, endpoint: str) -> None:
         """Mark an endpoint unreachable."""
@@ -34,14 +59,55 @@ class FailureInjector:
         """Mark an endpoint reachable again."""
         self.down_endpoints.discard(endpoint)
 
+    def set_endpoint_faults(
+        self,
+        endpoint: str,
+        *,
+        failure_probability: float | None = None,
+        timeout_probability: float | None = None,
+        extra_latency_mean_s: float | None = None,
+    ) -> EndpointFaults:
+        """Install (or update) per-endpoint fault rates.
+
+        Only the keyword arguments given are changed, so successive
+        injections against the same endpoint compose.
+        """
+        faults = self.endpoint_faults.setdefault(endpoint, EndpointFaults())
+        if failure_probability is not None:
+            faults.failure_probability = float(failure_probability)
+        if timeout_probability is not None:
+            faults.timeout_probability = float(timeout_probability)
+        if extra_latency_mean_s is not None:
+            faults.extra_latency_mean_s = float(extra_latency_mean_s)
+        return faults
+
+    def clear_endpoint_faults(self, endpoint: str) -> None:
+        """Remove all per-endpoint rates for ``endpoint``."""
+        self.endpoint_faults.pop(endpoint, None)
+
     def check(self, endpoint: str, rng: np.random.Generator) -> None:
         """Raise if this call should fail."""
         if endpoint in self.down_endpoints:
             raise RpcError(f"endpoint {endpoint!r} is down")
-        if self.timeout_probability > 0.0 and rng.random() < self.timeout_probability:
+        faults = self.endpoint_faults.get(endpoint)
+        timeout_p = self.timeout_probability
+        failure_p = self.failure_probability
+        if faults is not None:
+            # Independent hazards compose: surviving the call means
+            # surviving both the global and the endpoint-specific risk.
+            timeout_p = 1.0 - (1.0 - timeout_p) * (1.0 - faults.timeout_probability)
+            failure_p = 1.0 - (1.0 - failure_p) * (1.0 - faults.failure_probability)
+        if timeout_p > 0.0 and rng.random() < timeout_p:
             raise RpcTimeoutError(f"call to {endpoint!r} timed out")
-        if self.failure_probability > 0.0 and rng.random() < self.failure_probability:
+        if failure_p > 0.0 and rng.random() < failure_p:
             raise RpcError(f"call to {endpoint!r} failed")
+
+    def extra_latency_s(self, endpoint: str, rng: np.random.Generator) -> float:
+        """Injected extra latency for one call to ``endpoint``."""
+        faults = self.endpoint_faults.get(endpoint)
+        if faults is None or faults.extra_latency_mean_s <= 0.0:
+            return 0.0
+        return float(rng.exponential(faults.extra_latency_mean_s))
 
 
 Handler = Callable[[str, Any], Any]
@@ -95,6 +161,7 @@ class RpcTransport:
         """
         self.calls_made += 1
         self.total_latency_s += self._rng.exponential(self._mean_latency_s)
+        self.total_latency_s += self.injector.extra_latency_s(endpoint, self._rng)
         try:
             self.injector.check(endpoint, self._rng)
             handler = self._handlers.get(endpoint)

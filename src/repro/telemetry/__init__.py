@@ -11,6 +11,7 @@ human-intervention alarms into.
 
 from repro.telemetry.alerts import Alert, AlertSink
 from repro.telemetry.cdf import empirical_cdf, percentile
+from repro.telemetry.events import EventLog, TelemetryEvent
 from repro.telemetry.sampler import PowerSampler
 from repro.telemetry.timeseries import TimeSeries
 from repro.telemetry.variation import (
@@ -22,7 +23,9 @@ from repro.telemetry.variation import (
 __all__ = [
     "Alert",
     "AlertSink",
+    "EventLog",
     "PowerSampler",
+    "TelemetryEvent",
     "TimeSeries",
     "empirical_cdf",
     "max_variation_in_window",

@@ -56,3 +56,34 @@ class TestExecution:
         assert code == 1
         out = capsys.readouterr().out
         assert "dc" in out
+
+
+class TestChaosCommand:
+    def test_chaos_list(self, capsys):
+        from repro.chaos import CHAOS_SCENARIOS
+
+        assert main(["chaos", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in CHAOS_SCENARIOS:
+            assert name in out
+
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_chaos_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "run", "nonsense"])
+
+    def test_chaos_run_once_prints_scorecard(self, capsys):
+        code = main(["chaos", "run", "watchdog-restart", "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Robustness scorecard" in out
+        assert "replay determinism" not in out
+
+    def test_chaos_run_checks_determinism(self, capsys):
+        code = main(["chaos", "run", "watchdog-restart", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical timelines" in out

@@ -108,3 +108,72 @@ class TestRpcService:
         service.shutdown()
         with pytest.raises(RpcError):
             transport.call("svc", "anything")
+
+
+class TestEndpointFaults:
+    def test_targeted_failure_spares_other_endpoints(self):
+        transport = make_transport()
+        transport.register("a", lambda m, p: "A")
+        transport.register("b", lambda m, p: "B")
+        transport.injector.set_endpoint_faults("a", failure_probability=1.0)
+        with pytest.raises(RpcError):
+            transport.call("a", "ping")
+        for _ in range(50):
+            assert transport.call("b", "ping") == "B"
+
+    def test_targeted_timeout(self):
+        transport = make_transport()
+        transport.register("a", lambda m, p: "A")
+        transport.injector.set_endpoint_faults("a", timeout_probability=1.0)
+        with pytest.raises(RpcTimeoutError):
+            transport.call("a", "ping")
+
+    def test_per_endpoint_composes_with_global(self):
+        transport = make_transport(failure_probability=0.5)
+        transport.register("a", lambda m, p: "A")
+        transport.injector.set_endpoint_faults("a", failure_probability=1.0)
+        # Composed hazard is 1.0: every call fails even though the
+        # global coin would let half through.
+        for _ in range(20):
+            with pytest.raises(RpcError):
+                transport.call("a", "ping")
+
+    def test_partial_update_composes(self):
+        injector = FailureInjector()
+        injector.set_endpoint_faults("a", failure_probability=0.2)
+        injector.set_endpoint_faults("a", extra_latency_mean_s=0.01)
+        faults = injector.endpoint_faults["a"]
+        assert faults.failure_probability == 0.2
+        assert faults.extra_latency_mean_s == 0.01
+
+    def test_clear_restores_clean_fabric(self):
+        transport = make_transport()
+        transport.register("a", lambda m, p: "A")
+        transport.injector.set_endpoint_faults("a", failure_probability=1.0)
+        transport.injector.clear_endpoint_faults("a")
+        for _ in range(50):
+            assert transport.call("a", "ping") == "A"
+
+    def test_injected_latency_accounted(self):
+        quiet = make_transport()
+        spiked = make_transport()
+        for transport in (quiet, spiked):
+            transport.register("a", lambda m, p: "A")
+        spiked.injector.set_endpoint_faults("a", extra_latency_mean_s=0.5)
+        for _ in range(50):
+            quiet.call("a", "ping")
+            spiked.call("a", "ping")
+        assert spiked.mean_latency_s() > quiet.mean_latency_s() + 0.1
+
+    def test_no_endpoint_faults_keeps_rng_sequence(self):
+        # Installing a zero-rate entry must not consume rng draws and
+        # perturb downstream randomness (the determinism contract).
+        plain = make_transport()
+        touched = make_transport()
+        for transport in (plain, touched):
+            transport.register("a", lambda m, p: "A")
+        touched.injector.set_endpoint_faults("a", failure_probability=0.0)
+        for _ in range(20):
+            plain.call("a", "ping")
+            touched.call("a", "ping")
+        assert plain.total_latency_s == touched.total_latency_s

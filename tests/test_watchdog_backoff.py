@@ -1,0 +1,122 @@
+"""Tests for watchdog restart backoff and the restart budget."""
+
+from repro.core.watchdog import AgentWatchdog
+from repro.simulation.engine import SimulationEngine
+
+
+class _CrashLoopAgent:
+    """Stub agent that stays unhealthy no matter how often it restarts."""
+
+    def __init__(self, server_id: str) -> None:
+        self.server = type("S", (), {"server_id": server_id})()
+        self.healthy = False
+        self.restart_count = 0
+
+    def restart(self) -> None:
+        self.restart_count += 1
+
+
+class _RecoveringAgent(_CrashLoopAgent):
+    """Stub agent fixed by a single restart."""
+
+    def restart(self) -> None:
+        super().restart()
+        self.healthy = True
+
+
+def make_watchdog(engine, agents, **kwargs):
+    defaults = dict(
+        interval_s=30.0,
+        backoff_base_s=30.0,
+        backoff_max_s=480.0,
+        restart_budget=8,
+        budget_window_s=900.0,
+    )
+    defaults.update(kwargs)
+    watchdog = AgentWatchdog(engine, agents, **defaults)
+    watchdog.start()
+    return watchdog
+
+
+class TestBackoff:
+    def test_consecutive_restarts_back_off_exponentially(self):
+        engine = SimulationEngine()
+        agent = _CrashLoopAgent("s0")
+        watchdog = make_watchdog(engine, [agent])
+        engine.run_until(600.0)
+        times = [r.time_s for r in watchdog.restart_log]
+        # Sweeps every 30 s; backoff doubles per consecutive restart:
+        # 30, 60, 120, 240 s gaps (rounded up to the next sweep).
+        assert times == [0.0, 30.0, 90.0, 210.0, 450.0]
+        assert [r.attempt for r in watchdog.restart_log] == [1, 2, 3, 4, 5]
+        assert watchdog.backoff_deferrals > 0
+
+    def test_backoff_capped_at_max(self):
+        engine = SimulationEngine()
+        agent = _CrashLoopAgent("s0")
+        watchdog = make_watchdog(
+            engine, [agent], backoff_max_s=60.0, budget_window_s=1e9
+        )
+        engine.run_until(600.0)
+        gaps = [
+            b.time_s - a.time_s
+            for a, b in zip(watchdog.restart_log, watchdog.restart_log[1:])
+        ]
+        # After the ladder reaches the cap every gap is 60 s.
+        assert gaps[-3:] == [60.0, 60.0, 60.0]
+
+    def test_healthy_sighting_resets_ladder(self):
+        engine = SimulationEngine()
+        agent = _RecoveringAgent("s0")
+        watchdog = make_watchdog(engine, [agent])
+        engine.run_until(100.0)
+        assert agent.restart_count == 1
+        assert watchdog.consecutive_restarts("s0") == 0
+        # A later, unrelated crash restarts immediately — no stale backoff.
+        agent.healthy = False
+        engine.run_until(200.0)
+        assert agent.restart_count == 2
+        assert watchdog.restart_log[-1].attempt == 1
+
+    def test_one_flapping_agent_does_not_delay_others(self):
+        engine = SimulationEngine()
+        looper = _CrashLoopAgent("bad")
+        victim = _RecoveringAgent("good")
+        watchdog = make_watchdog(engine, [looper, victim])
+        engine.run_until(29.0)
+        assert victim.restart_count == 1
+        assert watchdog.restarts == 2
+
+
+class TestRestartBudget:
+    def test_budget_suppresses_runaway_restarts(self):
+        engine = SimulationEngine()
+        agent = _CrashLoopAgent("s0")
+        watchdog = make_watchdog(
+            engine,
+            [agent],
+            backoff_base_s=0.0,
+            restart_budget=3,
+            budget_window_s=1e9,
+        )
+        engine.run_until(600.0)
+        assert agent.restart_count == 3
+        assert watchdog.restarts == 3
+        assert watchdog.restarts_suppressed > 0
+
+    def test_budget_window_rolls_over(self):
+        engine = SimulationEngine()
+        agent = _CrashLoopAgent("s0")
+        watchdog = make_watchdog(
+            engine,
+            [agent],
+            backoff_base_s=0.0,
+            restart_budget=2,
+            budget_window_s=120.0,
+        )
+        engine.run_until(299.0)
+        # Two restarts per 120 s window: t=0,30 | suppressed 60,90 |
+        # new window at 120: restarts 120,150 | suppressed | 240,270.
+        times = [r.time_s for r in watchdog.restart_log]
+        assert times == [0.0, 30.0, 120.0, 150.0, 240.0, 270.0]
+        assert watchdog.restarts_suppressed == 4
