@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the traced control-cycle pipeline.
+
+The sense → aggregate → decide → actuate template records one TickTrace
+per tick into the shared ring.  These benches track (a) the per-tick
+cost of a traced leaf cycle — tracing must stay a rounding error next
+to the RPC pulls it observes — and (b) that the ring buffer's memory
+stays flat over arbitrarily long runs (bounded retention, lifetime
+counters intact).
+"""
+
+import numpy as np
+
+from repro.core.agent import DynamoAgent
+from repro.core.leaf_controller import LeafPowerController
+from repro.power.device import DeviceLevel, PowerDevice
+from repro.rpc.transport import RpcTransport
+from repro.server.platform import HASWELL_2015
+from repro.server.server import ConstantWorkload, Server
+from repro.telemetry.tracing import TraceBuffer, TraceBuilder
+
+
+def _leaf(n=50, tracer=None):
+    transport = RpcTransport(np.random.default_rng(0))
+    device = PowerDevice("rpp0", DeviceLevel.RPP, 1e6)
+    server_ids = []
+    for i in range(n):
+        server = Server(f"s{i}", HASWELL_2015, ConstantWorkload(0.6))
+        server.step(1.0, 1.0)
+        DynamoAgent(server, transport)
+        device.attach_load(server.server_id, server.power_w)
+        server_ids.append(server.server_id)
+    return LeafPowerController(device, server_ids, transport, tracer=tracer)
+
+
+def test_perf_traced_leaf_tick(benchmark):
+    tracer = TraceBuffer()
+    controller = _leaf(tracer=tracer)
+    clock = {"t": 0.0}
+
+    def tick():
+        clock["t"] += 3.0
+        return controller.tick(clock["t"])
+
+    benchmark(tick)
+    assert len(tracer) > 0
+
+
+def test_perf_trace_record(benchmark):
+    buffer = TraceBuffer()
+    trace = TraceBuilder(time_s=0.0, controller="rpp0", kind="leaf").finish()
+    benchmark(lambda: buffer.record(trace))
+
+
+def test_perf_trace_metrics_over_full_ring(benchmark):
+    buffer = TraceBuffer(capacity=4096)
+    for i in range(buffer.capacity):
+        buffer.record(
+            TraceBuilder(
+                time_s=float(i), controller=f"c{i % 8}", kind="leaf"
+            ).finish()
+        )
+    metrics = benchmark(buffer.metrics)
+    assert metrics.ticks == buffer.capacity
+
+
+def test_trace_ring_stays_bounded():
+    # 100k recorded ticks retain exactly `capacity` traces; the
+    # lifetime counter keeps the full total.
+    buffer = TraceBuffer(capacity=1024)
+    trace = TraceBuilder(time_s=0.0, controller="c", kind="leaf").finish()
+    for _ in range(100_000):
+        buffer.record(trace)
+    assert len(buffer) == 1024
+    assert buffer.recorded == 100_000

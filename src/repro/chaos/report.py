@@ -14,7 +14,10 @@ into the metrics the paper's fault-tolerance story hinges on:
 * **aggregation aborts** — leaf cycles invalidated by >20% pull failures.
 
 Watchdog restart/suppression counters, failover takeovers, and cap/uncap
-event totals round out the picture.
+event totals round out the picture, and the control-cycle trace ring
+(:class:`~repro.telemetry.tracing.TraceBuffer`) contributes per-tick
+pipeline metrics: ticks traced, invalid-tick counts, estimated pulls,
+and how much of the requested power cut the allocators actually placed.
 """
 
 from __future__ import annotations
@@ -46,11 +49,24 @@ class RobustnessScore:
     failovers: int
     cap_events: int
     uncap_events: int
+    #: Control-cycle pipeline metrics, from the deployment trace ring.
+    ticks_traced: int = 0
+    invalid_ticks: int = 0
+    pulls_estimated: int = 0
+    cut_requested_w: float = 0.0
+    cut_allocated_w: float = 0.0
 
     @property
     def survived(self) -> bool:
         """The headline verdict: nothing tripped."""
         return self.breaker_trips == 0
+
+    @property
+    def cut_allocation_fraction(self) -> float | None:
+        """Fraction of requested power cuts the allocators placed."""
+        if self.cut_requested_w <= 0.0:
+            return None
+        return self.cut_allocated_w / self.cut_requested_w
 
 
 def _detect_and_recover(
@@ -115,6 +131,7 @@ def build_scorecard(run: ChaosRun) -> RobustnessScore:
         for c in run.dynamo.hierarchy.all_controllers
         if isinstance(c, FailoverController)
     )
+    trace_metrics = run.dynamo.traces.metrics()
     return RobustnessScore(
         scenario=run.name,
         seed=run.seed,
@@ -133,6 +150,11 @@ def build_scorecard(run: ChaosRun) -> RobustnessScore:
         uncap_events=sum(
             c.uncap_events for c in run.dynamo.hierarchy.all_controllers
         ),
+        ticks_traced=trace_metrics.ticks,
+        invalid_ticks=trace_metrics.invalid_ticks,
+        pulls_estimated=trace_metrics.pulls_estimated,
+        cut_requested_w=trace_metrics.cut_requested_w,
+        cut_allocated_w=trace_metrics.cut_allocated_w,
     )
 
 
@@ -160,5 +182,18 @@ def render_scorecard(score: RobustnessScore) -> str:
     table.add_row("failover takeovers", score.failovers)
     table.add_row("cap events", score.cap_events)
     table.add_row("uncap events", score.uncap_events)
+    table.add_row("ticks traced", score.ticks_traced)
+    table.add_row("invalid ticks", score.invalid_ticks)
+    table.add_row("pulls estimated", score.pulls_estimated)
+    fraction = score.cut_allocation_fraction
+    table.add_row(
+        "cut allocated / requested",
+        "n/a"
+        if fraction is None
+        else (
+            f"{score.cut_allocated_w:.0f} / {score.cut_requested_w:.0f} W"
+            f" ({fraction:.0%})"
+        ),
+    )
     table.add_row("survived", "yes" if score.survived else "NO")
     return table.render()

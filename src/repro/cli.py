@@ -10,11 +10,16 @@ Usage::
     python -m repro run cascade
     python -m repro chaos list
     python -m repro chaos run sb-outage --seed 7
+    python -m repro trace rpp0.0 --scenario quickstart --last 10
+    python -m repro trace sb0.0 --scenario sb-outage --seed 7
 
 Each scenario prints a short report; exit code is 0 when the run's
 safety invariant (no breaker trips) holds.  ``chaos run`` additionally
 executes the scenario twice and requires byte-identical injection
-timelines (the replay-determinism contract).
+timelines (the replay-determinism contract).  ``trace`` runs a scenario
+and prints one controller's per-tick sense→aggregate→decide→actuate
+:class:`~repro.telemetry.tracing.TickTrace` records plus their
+aggregated metrics.
 """
 
 from __future__ import annotations
@@ -34,7 +39,8 @@ from repro.units import hours, to_kilowatts
 SCENARIOS = ("quickstart", "ashburn", "altoona", "hadoop", "mixedrow", "cascade")
 
 
-def _run_quickstart(args: argparse.Namespace) -> int:
+def _quickstart_deployment(seed: int, duration_h: float):
+    """Build, run, and return the quickstart deployment pieces."""
     from repro import (
         DataCenterSpec,
         Dynamo,
@@ -52,7 +58,7 @@ def _run_quickstart(args: argparse.Namespace) -> int:
         DataCenterSpec(msb_count=1, sbs_per_msb=2, rpps_per_sb=2, racks_per_rpp=3)
     )
     plan_quotas(topology)
-    rng = RngStreams(args.seed)
+    rng = RngStreams(seed)
     fleet = populate_fleet(
         topology,
         [ServiceAllocation("web", 24), ServiceAllocation("cache", 12)],
@@ -62,7 +68,14 @@ def _run_quickstart(args: argparse.Namespace) -> int:
     driver = FleetDriver(engine, topology, fleet)
     driver.start()
     dynamo.start()
-    engine.run_until(hours(args.duration_h))
+    engine.run_until(hours(duration_h))
+    return dynamo, driver, topology
+
+
+def _run_quickstart(args: argparse.Namespace) -> int:
+    dynamo, driver, topology = _quickstart_deployment(
+        args.seed, args.duration_h
+    )
     print(
         f"ran {args.duration_h} h: power {to_kilowatts(topology.total_power_w()):.1f} KW, "
         f"{dynamo.total_cap_events()} cap events, {len(driver.trips)} trips"
@@ -182,6 +195,31 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if (deterministic and score.breaker_trips == 0) else 1
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.chaos import CHAOS_SCENARIOS
+
+    if args.scenario == "quickstart":
+        dynamo, _, _ = _quickstart_deployment(args.seed, args.duration_h)
+    else:
+        run = CHAOS_SCENARIOS[args.scenario](seed=args.seed)
+        run.run()
+        dynamo = run.dynamo
+    traces = dynamo.traces.for_controller(args.device, args.last)
+    if not traces:
+        known = ", ".join(dynamo.traces.controllers()) or "none"
+        print(
+            f"no traces recorded for {args.device!r}; "
+            f"traced controllers: {known}"
+        )
+        return 1
+    for trace in traces:
+        print(trace.render())
+    print()
+    for metric, value in dynamo.traces.metrics(args.device).rows():
+        print(f"{metric}: {value}")
+    return 0
+
+
 _RUNNERS = {
     "quickstart": _run_quickstart,
     "ashburn": _run_ashburn,
@@ -225,6 +263,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="single run, skipping the replay-determinism check",
     )
+    trace = sub.add_parser(
+        "trace", help="per-tick control-cycle traces for one controller"
+    )
+    trace.add_argument("device", help="controller/device name, e.g. rpp0.0")
+    trace.add_argument(
+        "--scenario",
+        default="quickstart",
+        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+        help="scenario to run before dumping traces",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--duration-h", type=float, default=0.25)
+    trace.add_argument(
+        "--last", type=int, default=20, help="show the most recent N ticks"
+    )
     return parser
 
 
@@ -237,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "trace":
+        return _run_trace(args)
     return _RUNNERS[args.scenario](args)
 
 

@@ -13,11 +13,22 @@ Components mirror Section III:
   punish-offender-first coordination through contractual power limits.
 * :class:`~repro.core.dynamo.Dynamo` — the facade that attaches the whole
   controller hierarchy to a datacenter and runs it.
+
+Both controller flavours share one control cycle: the
+sense → aggregate → decide → actuate template owned by
+:class:`~repro.core.controller.BaseController`, with per-tick
+:class:`~repro.telemetry.tracing.TickTrace` records emitted into the
+deployment-wide trace buffer.
 """
 
 from repro.core.agent import DynamoAgent
 from repro.core.bucket import allocate_high_bucket_first
 from repro.core.capping_plan import CappingPlan, ServerCut
+from repro.core.controller import (
+    BaseController,
+    DecisionPolicy,
+    PowerController,
+)
 from repro.core.dryrun import (
     CappingTestHarness,
     DryRunLeafController,
@@ -43,12 +54,14 @@ from repro.core.watchdog import AgentWatchdog
 __all__ = [
     "AgentWatchdog",
     "BandAction",
+    "BaseController",
     "BreakerReadingSource",
     "BreakerValidator",
     "CapRequest",
     "CappingPlan",
     "CappingTestHarness",
     "DryRunLeafController",
+    "DecisionPolicy",
     "DryRunRecorder",
     "Dynamo",
     "DynamoAgent",
@@ -56,6 +69,7 @@ __all__ = [
     "LeafPowerController",
     "NonServerComponent",
     "PiPowerController",
+    "PowerController",
     "PowerReading",
     "PriorityPolicy",
     "RolloutState",

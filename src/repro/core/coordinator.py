@@ -15,6 +15,7 @@ aggregations.
 
 from __future__ import annotations
 
+from repro.core.controller import PowerController
 from repro.core.hierarchy import ControllerHierarchy
 from repro.errors import ConfigurationError
 from repro.simulation.engine import SimulationEngine
@@ -46,7 +47,7 @@ class ControllerCoordinator:
     ) -> None:
         self._engine = engine
         self.hierarchy = hierarchy
-        self._controllers: dict[str, object] = {}
+        self._controllers: dict[str, PowerController] = {}
         self._processes: list[PeriodicProcess] = []
 
         def dispatch(name: str):
@@ -83,13 +84,13 @@ class ControllerCoordinator:
             )
         self._started = False
 
-    def replace_controller(self, name: str, controller) -> None:
+    def replace_controller(self, name: str, controller: PowerController) -> None:
         """Swap the instance ticked under ``name`` (failover wrapping)."""
         if name not in self._controllers:
             raise ConfigurationError(f"no scheduled controller named {name!r}")
         self._controllers[name] = controller
 
-    def scheduled_controller(self, name: str):
+    def scheduled_controller(self, name: str) -> PowerController:
         """The instance currently ticked under ``name``."""
         try:
             return self._controllers[name]

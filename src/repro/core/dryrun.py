@@ -65,10 +65,13 @@ class DryRunRecorder:
 class DryRunLeafController(LeafPowerController):
     """A leaf controller that logs capping decisions instead of acting.
 
-    Power pulling, aggregation, failure estimation, and the three-band
-    decision all run for real — only the final cap/uncap fan-out is
-    suppressed and recorded.  This is the paper's dry-run mode for
-    validating service-specific control logic in production.
+    The shared sense → aggregate → decide pipeline stages
+    (:class:`~repro.core.controller.BaseController`) all run for real —
+    only the actuate-stage fan-out hooks (``_apply_plan`` /
+    ``_uncap_all``) are overridden to record instead of send, so ticks
+    still emit TickTraces and the three-band decision is exercised
+    end to end.  This is the paper's dry-run mode for validating
+    service-specific control logic in production.
     """
 
     def __init__(self, *args, recorder: DryRunRecorder | None = None, **kwargs):

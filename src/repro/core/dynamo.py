@@ -27,6 +27,7 @@ from repro.rpc.transport import FailureInjector, RpcTransport
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import RngStreams
 from repro.telemetry.alerts import AlertSink
+from repro.telemetry.tracing import TraceBuffer
 
 
 class Dynamo:
@@ -49,6 +50,9 @@ class Dynamo:
         self.config = config or DynamoConfig()
         self.policy = policy or PriorityPolicy()
         self.alerts = AlertSink()
+        #: Shared per-tick trace ring for every controller in the
+        #: deployment (the ``repro trace`` / chaos-scorecard feed).
+        self.traces = TraceBuffer()
         rng_streams = rng_streams or RngStreams(0)
         self.transport = RpcTransport(
             rng_streams.stream("rpc"), injector=injector
@@ -63,6 +67,7 @@ class Dynamo:
             config=self.config,
             policy=self.policy,
             alerts=self.alerts,
+            tracer=self.traces,
         )
         self.coordinator = ControllerCoordinator(engine, self.hierarchy)
         self.watchdog = AgentWatchdog(
@@ -107,6 +112,7 @@ class Dynamo:
             return existing
         if device_name in self.hierarchy.leaf_controllers:
             primary = self.hierarchy.leaf_controllers[device_name]
+            assert isinstance(primary, LeafPowerController)
             backup = LeafPowerController(
                 primary.device,
                 primary.server_ids,
@@ -115,16 +121,19 @@ class Dynamo:
                 bucket=self.config.bucket,
                 policy=self.policy,
                 alerts=self.alerts,
+                tracer=self.traces,
             )
             pair = FailoverController(primary, backup)
             self.hierarchy.leaf_controllers[device_name] = pair
         else:
             primary = self.hierarchy.upper_controllers[device_name]
+            assert isinstance(primary, UpperLevelPowerController)
             backup = UpperLevelPowerController(
                 primary.device,
                 primary.children,
                 config=self.config.controller,
                 alerts=self.alerts,
+                tracer=self.traces,
             )
             pair = FailoverController(primary, backup)
             self.hierarchy.upper_controllers[device_name] = pair
@@ -140,9 +149,10 @@ class Dynamo:
                 if isinstance(upper, FailoverController)
                 else (upper,)
             ):
-                for i, child in enumerate(instance.children):
+                children = getattr(instance, "children", [])
+                for i, child in enumerate(children):
                     if child.name == device_name and child is not pair:
-                        instance.children[i] = pair
+                        children[i] = pair
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,17 +168,13 @@ class Dynamo:
         The paper: "we can configure the capping and uncapping
         thresholds on a per-controller basis enabling customizable
         trade-offs between power-efficiency and performance at
-        different levels of the power delivery hierarchy."  Capping
-        state carries over so a live controller does not lose track of
-        caps it has in force.
+        different levels of the power delivery hierarchy."  Routed
+        through :meth:`~repro.core.controller.BaseController.replace_band`,
+        which carries capping state over so a live controller does not
+        lose track of caps it has in force — and which a
+        :class:`FailoverController` forwards to both primary and backup.
         """
-        from repro.core.three_band import ThreeBandController
-
-        controller = self.hierarchy.controller(device_name)
-        was_active = controller.band.capping_active
-        controller.band = ThreeBandController(band_config)
-        if was_active:
-            controller.band._capping_active = True
+        self.hierarchy.controller(device_name).replace_band(band_config)
 
     def leaf_controller(self, device_name: str):
         """The leaf controller for one leaf device."""

@@ -5,50 +5,26 @@ resides in a different location and can take control as soon as the
 primary controller fails."
 
 :class:`FailoverController` wraps two controller instances behind the
-uniform controller interface.  Ticks go to the primary while it is
-healthy; on primary failure the backup takes over on the very next tick.
-The backup re-derives capping state from its own observations — its first
-cycles may re-issue caps the primary already sent, which is idempotent at
-the agents.
+uniform :class:`~repro.core.controller.PowerController` surface — the
+same protocol parents, the coordinator, and chaos swapping all program
+against.  Ticks go to the primary while it is healthy; on primary
+failure the backup takes over on the very next tick.  The backup
+re-derives capping state from its own observations — its first cycles
+may re-issue caps the primary already sent, which is idempotent at the
+agents.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
-
+from repro.config import ControllerConfig, ThreeBandConfig
+from repro.core.controller import PowerController
 from repro.core.three_band import BandAction
 from repro.power.device import PowerDevice
+from repro.telemetry.timeseries import TimeSeries
 
-
-class TickableController(Protocol):
-    """The uniform controller surface failover wraps."""
-
-    @property
-    def name(self) -> str:
-        """Controller name."""
-        ...
-
-    @property
-    def device(self) -> PowerDevice:
-        """Protected device."""
-        ...
-
-    @property
-    def last_aggregate_power_w(self) -> float | None:
-        """Latest aggregation."""
-        ...
-
-    def tick(self, now_s: float) -> BandAction:
-        """Run one control cycle."""
-        ...
-
-    def set_contractual_limit_w(self, limit_w: float) -> None:
-        """Impose a contractual limit."""
-        ...
-
-    def clear_contractual_limit(self) -> None:
-        """Release the contractual limit."""
-        ...
+#: Backwards-compatible alias: failover wraps the one uniform
+#: controller protocol.
+TickableController = PowerController
 
 
 class FailoverController:
@@ -56,8 +32,8 @@ class FailoverController:
 
     def __init__(
         self,
-        primary: TickableController,
-        backup: TickableController,
+        primary: PowerController,
+        backup: PowerController,
     ) -> None:
         self.primary = primary
         self.backup = backup
@@ -84,7 +60,7 @@ class FailoverController:
         self._primary_healthy = True
 
     @property
-    def active(self) -> TickableController:
+    def active(self) -> PowerController:
         """The instance currently in control."""
         return self.primary if self._primary_healthy else self.backup
 
@@ -107,6 +83,11 @@ class FailoverController:
         """Latest aggregation from the active instance."""
         return self.active.last_aggregate_power_w
 
+    @property
+    def contractual_limit_w(self) -> float | None:
+        """The active instance's contractual limit."""
+        return self.active.contractual_limit_w
+
     def tick(self, now_s: float) -> BandAction:
         """Delegate the cycle to whichever instance is in control."""
         return self.active.tick(now_s)
@@ -124,6 +105,16 @@ class FailoverController:
         self.primary.clear_contractual_limit()
         self.backup.clear_contractual_limit()
 
+    def replace_band(self, band_config: ThreeBandConfig) -> None:
+        """Swap band thresholds on *both* instances.
+
+        Both see the new thresholds so a failover does not revert a
+        per-controller trade-off override; each instance carries its own
+        capping-active state over.
+        """
+        self.primary.replace_band(band_config)
+        self.backup.replace_band(band_config)
+
     # ------------------------------------------------------------------
     # Telemetry surface (so a wrapped controller still reports)
     # ------------------------------------------------------------------
@@ -140,18 +131,16 @@ class FailoverController:
 
     @property
     def invalid_cycles(self) -> int:
-        """Invalid aggregation cycles across both instances (leaves)."""
-        return getattr(self.primary, "invalid_cycles", 0) + getattr(
-            self.backup, "invalid_cycles", 0
-        )
+        """Invalid aggregation cycles across both instances."""
+        return self.primary.invalid_cycles + self.backup.invalid_cycles
 
     @property
-    def aggregate_series(self):
+    def aggregate_series(self) -> TimeSeries:
         """The active instance's aggregation time series."""
         return self.active.aggregate_series
 
     @property
-    def config(self):
+    def config(self) -> ControllerConfig:
         """Controller timing config (shared by both instances)."""
         return self.primary.config
 

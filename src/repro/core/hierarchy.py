@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import DynamoConfig
+from repro.core.controller import PowerController
 from repro.core.leaf_controller import LeafPowerController
 from repro.core.priority import PriorityPolicy
 from repro.core.upper_controller import UpperLevelPowerController
@@ -20,18 +21,23 @@ from repro.power.device import DeviceLevel, PowerDevice
 from repro.power.topology import PowerTopology
 from repro.rpc.transport import RpcTransport
 from repro.telemetry.alerts import AlertSink
+from repro.telemetry.tracing import TraceBuffer
 
 
 @dataclass
 class ControllerHierarchy:
-    """All controller instances for one datacenter, indexed by device."""
+    """All controller instances for one datacenter, indexed by device.
 
-    leaf_controllers: dict[str, LeafPowerController] = field(default_factory=dict)
-    upper_controllers: dict[str, UpperLevelPowerController] = field(
-        default_factory=dict
-    )
+    Values are :class:`~repro.core.controller.PowerController`\\ s: plain
+    leaf/upper controllers at build time, possibly
+    :class:`~repro.core.failover.FailoverController` pairs after
+    :meth:`~repro.core.dynamo.Dynamo.enable_failover` swaps one in.
+    """
 
-    def controller(self, device_name: str):
+    leaf_controllers: dict[str, PowerController] = field(default_factory=dict)
+    upper_controllers: dict[str, PowerController] = field(default_factory=dict)
+
+    def controller(self, device_name: str) -> PowerController:
         """Controller (leaf or upper) protecting ``device_name``."""
         if device_name in self.leaf_controllers:
             return self.leaf_controllers[device_name]
@@ -40,7 +46,7 @@ class ControllerHierarchy:
         raise ConfigurationError(f"no controller for device {device_name!r}")
 
     @property
-    def all_controllers(self) -> list:
+    def all_controllers(self) -> list[PowerController]:
         """Every controller, leaves first."""
         return list(self.leaf_controllers.values()) + list(
             self.upper_controllers.values()
@@ -59,6 +65,7 @@ def build_controller_hierarchy(
     config: DynamoConfig | None = None,
     policy: PriorityPolicy | None = None,
     alerts: AlertSink | None = None,
+    tracer: TraceBuffer | None = None,
 ) -> ControllerHierarchy:
     """Instantiate one controller per device, wired parent-to-children.
 
@@ -80,12 +87,12 @@ def build_controller_hierarchy(
 
     hierarchy = ControllerHierarchy()
 
-    def build(device: PowerDevice):
+    def build(device: PowerDevice) -> PowerController | None:
         if device.level.depth > leaf_level.depth:
             return None
         if device.level is leaf_level or not device.children:
             server_ids = sorted(device.iter_load_ids())
-            controller = LeafPowerController(
+            leaf = LeafPowerController(
                 device,
                 server_ids,
                 transport,
@@ -93,19 +100,20 @@ def build_controller_hierarchy(
                 bucket=config.bucket,
                 policy=policy,
                 alerts=alerts,
+                tracer=tracer,
             )
-            hierarchy.leaf_controllers[device.name] = controller
-            return controller
+            hierarchy.leaf_controllers[device.name] = leaf
+            return leaf
         children = [build(child) for child in device.children]
-        children = [c for c in children if c is not None]
-        controller = UpperLevelPowerController(
+        upper = UpperLevelPowerController(
             device,
-            children,
+            [c for c in children if c is not None],
             config=config.controller,
             alerts=alerts,
+            tracer=tracer,
         )
-        hierarchy.upper_controllers[device.name] = controller
-        return controller
+        hierarchy.upper_controllers[device.name] = upper
+        return upper
 
     for root in topology.roots:
         build(root)

@@ -1,21 +1,25 @@
 """The leaf power controller (Section III-C).
 
 One per leaf power device (an RPP or PDU breaker in the Facebook
-deployment).  Every 3 s it:
+deployment).  Every 3 s it runs the shared control-cycle pipeline
+(:class:`~repro.core.controller.BaseController`) with leaf-specific
+stages:
 
-1. **Pulls and aggregates** — broadcasts power-pull RPCs to all downstream
-   agents.  Failed pulls are estimated from neighbouring servers running
-   the same service (falling back to the last known reading, then to
-   service metadata).  If more than 20% of pulls fail, the aggregation is
-   invalid: the controller raises a human-intervention alert and takes no
-   action this cycle (no false positives).
-2. **Decides** — runs the three-band algorithm against the device's
+1. **sense** — broadcasts power-pull RPCs to all downstream agents.
+   Failed pulls are estimated from neighbouring servers running the same
+   service (falling back to the last known reading, then to service
+   metadata).  If more than 20% of pulls fail, the aggregation is
+   invalid: the controller raises a human-intervention alert and takes
+   no action this cycle (no false positives).
+2. **aggregate** — sums the readings plus fixed overhead and monitored
+   non-server components.
+3. **decide** (shared) — the three-band algorithm against the device's
    effective limit: the minimum of the physical breaker limit and any
    contractual limit imposed by its parent controller.
-3. **Caps performance-aware** — distributes the total-power-cut across
-   priority groups (lowest first) and within groups high-bucket-first,
-   then sends per-server cap requests.  Uncap sends clear-limit requests
-   to every server it capped.
+4. **actuate** — distributes the total-power-cut across priority groups
+   (lowest first) and within groups high-bucket-first, then sends
+   per-server cap requests.  Uncap sends clear-limit requests to every
+   server it capped.
 
 Non-server loads on the same breaker (top-of-rack switches) are accounted
 through the device's ``fixed_overhead_w`` — pulled directly when a reading
@@ -30,15 +34,16 @@ from typing import Callable
 
 from repro.config import BucketConfig, ControllerConfig
 from repro.core.capping_plan import CappingPlan, build_capping_plan
+from repro.core.controller import BaseController, DecisionPolicy
 from repro.core.messages import CapRequest, CapResponse, PowerReading
 from repro.core.priority import PriorityPolicy
-from repro.core.three_band import BandAction, ThreeBandController
-from repro.core.thresholds import control_thresholds_w
+from repro.core.three_band import BandAction, BandDecision
 from repro.errors import RpcError
 from repro.power.device import PowerDevice
 from repro.rpc.transport import RpcTransport
 from repro.telemetry.alerts import AlertSink, Severity
 from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.tracing import TraceBuffer, TraceBuilder
 
 
 @dataclass(frozen=True)
@@ -62,8 +67,10 @@ class NonServerComponent:
         return self.estimate_w
 
 
-class LeafPowerController:
+class LeafPowerController(BaseController[list[PowerReading]]):
     """Monitors and protects one leaf power device."""
+
+    KIND = "leaf"
 
     def __init__(
         self,
@@ -76,64 +83,23 @@ class LeafPowerController:
         policy: PriorityPolicy | None = None,
         alerts: AlertSink | None = None,
         endpoint_prefix: str = "agent:",
-        band=None,
+        band: DecisionPolicy | None = None,
+        tracer: TraceBuffer | None = None,
     ) -> None:
-        self.device = device
+        super().__init__(
+            device, config=config, alerts=alerts, band=band, tracer=tracer
+        )
         self.server_ids = list(server_ids)
         self._transport = transport
-        self.config = config or ControllerConfig()
         self._bucket = bucket or BucketConfig()
         self.policy = policy or PriorityPolicy()
-        self.alerts = alerts or AlertSink()
         self._endpoint_prefix = endpoint_prefix
-        # The decision policy is pluggable: the paper's three-band
-        # algorithm by default, or e.g. the PI policy for studies.
-        self.band = band or ThreeBandController(self.config.three_band)
-        self._contractual_limit_w: float | None = None
-        self._last_aggregate_w: float | None = None
         self._last_readings: dict[str, PowerReading] = {}
         self._capped_servers: dict[str, float] = {}
         self._components: list[NonServerComponent] = []
-        # Telemetry for experiments.
-        self.aggregate_series = TimeSeries(f"{device.name}.aggregate")
+        self._actuation_successes = 0
+        self._actuation_failures = 0
         self.capped_count_series = TimeSeries(f"{device.name}.capped")
-        self.cap_events = 0
-        self.uncap_events = 0
-        self.invalid_cycles = 0
-
-    # ------------------------------------------------------------------
-    # Parent-controller interface
-    # ------------------------------------------------------------------
-
-    @property
-    def name(self) -> str:
-        """Controller name (the protected device's name)."""
-        return self.device.name
-
-    @property
-    def last_aggregate_power_w(self) -> float | None:
-        """Most recent valid power aggregation, or None before the first."""
-        return self._last_aggregate_w
-
-    @property
-    def contractual_limit_w(self) -> float | None:
-        """Limit imposed by the parent controller, if any."""
-        return self._contractual_limit_w
-
-    def set_contractual_limit_w(self, limit_w: float) -> None:
-        """Parent imposes a (tighter) limit on this subtree."""
-        self._contractual_limit_w = float(limit_w)
-
-    def clear_contractual_limit(self) -> None:
-        """Parent releases its contractual limit."""
-        self._contractual_limit_w = None
-
-    @property
-    def effective_limit_w(self) -> float:
-        """min(physical breaker limit, contractual limit)."""
-        if self._contractual_limit_w is None:
-            return self.device.rated_power_w
-        return min(self.device.rated_power_w, self._contractual_limit_w)
 
     @property
     def capped_server_ids(self) -> list[str]:
@@ -150,49 +116,19 @@ class LeafPowerController:
         return list(self._components)
 
     # ------------------------------------------------------------------
-    # Control cycle
+    # Stage 1: power pulling with failure estimation
     # ------------------------------------------------------------------
 
-    def tick(self, now_s: float) -> BandAction:
-        """One 3 s control cycle; returns the action taken."""
-        readings = self._pull_and_estimate(now_s)
-        if readings is None:
-            self.invalid_cycles += 1
-            return BandAction.HOLD
-        aggregate = sum(r.power_w for r in readings) + self.device.fixed_overhead_w
-        aggregate += sum(c.power_w() for c in self._components)
-        self._last_aggregate_w = aggregate
-        self.aggregate_series.append(now_s, aggregate)
-        cap_at, target, uncap_at, limit = control_thresholds_w(
-            self.band.config, self.device.rated_power_w, self._contractual_limit_w
-        )
-        decision = self.band.decide_absolute(
-            aggregate, limit, cap_at, target, uncap_at
-        )
-        if decision.action is BandAction.CAP:
-            plan = build_capping_plan(
-                readings,
-                decision.total_power_cut_w,
-                self.policy,
-                bucket=self._bucket,
-            )
-            self._apply_plan(plan, now_s)
-            self.cap_events += 1
-        elif decision.action is BandAction.UNCAP:
-            self._uncap_all(now_s)
-            self.uncap_events += 1
-        self.capped_count_series.append(now_s, len(self._capped_servers))
-        return decision.action
-
-    # ------------------------------------------------------------------
-    # Power pulling with failure estimation
-    # ------------------------------------------------------------------
-
-    def _pull_and_estimate(self, now_s: float) -> list[PowerReading] | None:
+    def sense(
+        self, now_s: float, trace: TraceBuilder
+    ) -> list[PowerReading] | None:
+        """Pull every agent; estimate failures; None when >20% failed."""
         endpoints = [self._endpoint_prefix + s for s in self.server_ids]
         results, failures = self._transport.broadcast(
             endpoints, "read_power", None
         )
+        trace.pulls_attempted = len(self.server_ids)
+        trace.pulls_failed = len(failures)
         if self.server_ids and (
             len(failures) / len(self.server_ids)
             > self.config.max_reading_failure_fraction
@@ -217,6 +153,7 @@ class LeafPowerController:
             readings.append(
                 self._estimate_failed_reading(server_id, by_service_power, now_s)
             )
+        trace.pulls_estimated = len(failures)
         return readings
 
     def _estimate_failed_reading(
@@ -246,8 +183,46 @@ class LeafPowerController:
         )
 
     # ------------------------------------------------------------------
-    # Cap / uncap fan-out
+    # Stage 2: aggregation
     # ------------------------------------------------------------------
+
+    def aggregate(
+        self, sensed: list[PowerReading], now_s: float, trace: TraceBuilder
+    ) -> float:
+        """Sum server readings, fixed overhead, and component draws."""
+        aggregate = sum(r.power_w for r in sensed) + self.device.fixed_overhead_w
+        aggregate += sum(c.power_w() for c in self._components)
+        return aggregate
+
+    # ------------------------------------------------------------------
+    # Stage 4: cap / uncap fan-out
+    # ------------------------------------------------------------------
+
+    def actuate(
+        self,
+        decision: BandDecision,
+        sensed: list[PowerReading],
+        now_s: float,
+        trace: TraceBuilder,
+    ) -> None:
+        """Fan the decision out to the agents as cap/clear requests."""
+        self._actuation_successes = 0
+        self._actuation_failures = 0
+        if decision.action is BandAction.CAP:
+            plan = build_capping_plan(
+                sensed,
+                decision.total_power_cut_w,
+                self.policy,
+                bucket=self._bucket,
+            )
+            trace.cut_allocated_w = plan.allocated_w
+            self._apply_plan(plan, now_s)
+        elif decision.action is BandAction.UNCAP:
+            self._uncap_all(now_s)
+        trace.actuation_successes = self._actuation_successes
+        trace.actuation_failures = self._actuation_failures
+        trace.capped_after = len(self._capped_servers)
+        self.capped_count_series.append(now_s, len(self._capped_servers))
 
     def _apply_plan(self, plan: CappingPlan, now_s: float) -> None:
         if plan.unallocated_w > 1e-6:
@@ -268,9 +243,11 @@ class LeafPowerController:
             except RpcError:
                 # The server will be re-capped next cycle if still needed;
                 # its power remains in the aggregate so safety converges.
+                self._actuation_failures += 1
                 continue
             if response.success or response.message:
                 self._capped_servers[cut.server_id] = cut.cap_w
+                self._actuation_successes += 1
 
     def _uncap_all(self, now_s: float) -> None:
         still_capped: dict[str, float] = {}
@@ -279,7 +256,9 @@ class LeafPowerController:
             request = CapRequest(server_id=server_id, limit_w=None)
             try:
                 self._transport.call(endpoint, "set_cap", request)
+                self._actuation_successes += 1
             except RpcError:
+                self._actuation_failures += 1
                 still_capped[server_id] = self._capped_servers[server_id]
         self._capped_servers = still_capped
 
@@ -288,14 +267,18 @@ class LeafPowerController:
     # ------------------------------------------------------------------
 
     def validate_against_breaker(
-        self, breaker_reading_w: float, *, tolerance_fraction: float = 0.10
+        self,
+        breaker_reading_w: float,
+        now_s: float,
+        *,
+        tolerance_fraction: float = 0.10,
     ) -> bool:
         """Compare the aggregate with a (coarse) breaker-side reading.
 
         The paper uses breaker readings only to validate the server-side
         aggregation (their sampling is minute-grained, far too slow for
         control).  Returns True when the two agree within tolerance;
-        raises a WARNING alert otherwise.
+        raises a WARNING alert stamped ``now_s`` otherwise.
         """
         if self._last_aggregate_w is None:
             return True
@@ -305,7 +288,7 @@ class LeafPowerController:
         if drift / breaker_reading_w <= tolerance_fraction:
             return True
         self.alerts.raise_alert(
-            self.aggregate_series.latest()[0] if len(self.aggregate_series) else 0.0,
+            now_s,
             Severity.WARNING,
             self.name,
             f"aggregate {self._last_aggregate_w:.0f} W drifts "

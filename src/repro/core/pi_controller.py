@@ -34,6 +34,7 @@ class PiPowerController:
         kp: float = 0.8,
         ki: float = 0.3,
         integral_limit_fraction: float = 0.10,
+        capping_active: bool = False,
     ) -> None:
         if kp <= 0 or ki < 0:
             raise ConfigurationError("kp must be positive and ki non-negative")
@@ -42,7 +43,7 @@ class PiPowerController:
         self.ki = ki
         self._integral_limit_fraction = integral_limit_fraction
         self._integral_w = 0.0
-        self._capping_active = False
+        self._capping_active = capping_active
 
     @property
     def capping_active(self) -> bool:

@@ -50,9 +50,16 @@ class ThreeBandController:
     state the controller is in (the hysteresis).
     """
 
-    def __init__(self, config: ThreeBandConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ThreeBandConfig | None = None,
+        *,
+        capping_active: bool = False,
+    ) -> None:
         self.config = config or ThreeBandConfig()
-        self._capping_active = False
+        # ``capping_active`` seeds the hysteresis state so a threshold
+        # swap on a live controller keeps caps-in-force accounted.
+        self._capping_active = capping_active
 
     @property
     def capping_active(self) -> bool:

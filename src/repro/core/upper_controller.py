@@ -1,16 +1,23 @@
 """Upper-level power controllers (Section III-D).
 
-One per non-leaf power device (SB, MSB).  An upper-level controller pulls
-aggregated power from its *child controllers* — not from servers — on a
-cycle 3x longer than the leaf cycle (9 s vs 3 s) so the downstream
-capping actions have settled before it reacts (a textbook requirement for
+One per non-leaf power device (SB, MSB).  An upper-level controller runs
+the same shared control-cycle pipeline as the leaves
+(:class:`~repro.core.controller.BaseController`) but pulls aggregated
+power from its *child controllers* — not from servers — on a cycle 3x
+longer than the leaf cycle (9 s vs 3 s) so the downstream capping
+actions have settled before it reacts (a textbook requirement for
 nested control loops).
 
-Capping decisions use the same three-band algorithm; the capping *action*
-is the punish-offender-first algorithm: children over their power quota
-receive contractual power limits, which each child folds into its own
-effective limit (``min(physical, contractual)``) and enforces on its next
-cycle — recursively, down to the leaf controllers and the servers.
+Capping decisions use the same three-band algorithm; the capping
+*actuation* is the punish-offender-first algorithm: children over their
+power quota receive contractual power limits, which each child folds
+into its own effective limit (``min(physical, contractual)``) and
+enforces on its next cycle — recursively, down to the leaf controllers
+and the servers.
+
+A cycle where *every* child lacks an aggregation is an invalid cycle,
+accounted exactly like a leaf's failed aggregation: a CRITICAL alert,
+an ``invalid_cycles`` increment, and no action.
 
 In the consolidated deployment all controllers for a suite run in one
 binary (one thread each) and communicate through shared memory; here the
@@ -19,109 +26,49 @@ parent holds direct references to its children, which is the same thing.
 
 from __future__ import annotations
 
-from typing import Protocol
-
 from repro.config import ControllerConfig
+from repro.core.controller import BaseController, DecisionPolicy, PowerController
 from repro.core.offender import ChildState, OffenderDecision, punish_offender_first
-from repro.core.three_band import BandAction, ThreeBandController
-from repro.core.thresholds import control_thresholds_w
+from repro.core.three_band import BandAction, BandDecision
 from repro.power.device import PowerDevice
 from repro.telemetry.alerts import AlertSink, Severity
-from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.tracing import TraceBuffer, TraceBuilder
+
+#: Backwards-compatible alias: the child surface an upper controller
+#: programs against is the one uniform controller protocol.
+ChildController = PowerController
 
 
-class ChildController(Protocol):
-    """What an upper-level controller needs from its children."""
-
-    @property
-    def name(self) -> str:
-        """Controller name."""
-        ...
-
-    @property
-    def device(self) -> PowerDevice:
-        """The power device the child protects."""
-        ...
-
-    @property
-    def last_aggregate_power_w(self) -> float | None:
-        """Most recent power aggregation."""
-        ...
-
-    def set_contractual_limit_w(self, limit_w: float) -> None:
-        """Impose a contractual limit."""
-        ...
-
-    def clear_contractual_limit(self) -> None:
-        """Release the contractual limit."""
-        ...
-
-
-class UpperLevelPowerController:
+class UpperLevelPowerController(BaseController[list[ChildState]]):
     """Monitors and protects one non-leaf power device."""
+
+    KIND = "upper"
 
     def __init__(
         self,
         device: PowerDevice,
-        children: list[ChildController],
+        children: list[PowerController],
         *,
         config: ControllerConfig | None = None,
         alerts: AlertSink | None = None,
-        band=None,
+        band: DecisionPolicy | None = None,
+        tracer: TraceBuffer | None = None,
     ) -> None:
-        self.device = device
-        self.children = list(children)
-        self.config = config or ControllerConfig()
-        self.alerts = alerts or AlertSink()
-        self.band = band or ThreeBandController(self.config.three_band)
-        self._contractual_limit_w: float | None = None
-        self._last_aggregate_w: float | None = None
+        super().__init__(
+            device, config=config, alerts=alerts, band=band, tracer=tracer
+        )
+        self.children: list[PowerController] = list(children)
         self._limited_children: dict[str, float] = {}
-        self.aggregate_series = TimeSeries(f"{device.name}.aggregate")
-        self.cap_events = 0
-        self.uncap_events = 0
         self.last_decision: OffenderDecision | None = None
 
     # ------------------------------------------------------------------
-    # Parent-controller interface (uniform with the leaf controller)
+    # Stage 1: pull child aggregations
     # ------------------------------------------------------------------
 
-    @property
-    def name(self) -> str:
-        """Controller name (the protected device's name)."""
-        return self.device.name
-
-    @property
-    def last_aggregate_power_w(self) -> float | None:
-        """Most recent power aggregation, or None before the first."""
-        return self._last_aggregate_w
-
-    @property
-    def contractual_limit_w(self) -> float | None:
-        """Limit imposed by this controller's own parent, if any."""
-        return self._contractual_limit_w
-
-    def set_contractual_limit_w(self, limit_w: float) -> None:
-        """Parent imposes a (tighter) limit on this subtree."""
-        self._contractual_limit_w = float(limit_w)
-
-    def clear_contractual_limit(self) -> None:
-        """Parent releases its contractual limit."""
-        self._contractual_limit_w = None
-
-    @property
-    def effective_limit_w(self) -> float:
-        """min(physical limit, contractual limit)."""
-        if self._contractual_limit_w is None:
-            return self.device.rated_power_w
-        return min(self.device.rated_power_w, self._contractual_limit_w)
-
-    # ------------------------------------------------------------------
-    # Control cycle
-    # ------------------------------------------------------------------
-
-    def tick(self, now_s: float) -> BandAction:
-        """One 9 s control cycle; returns the action taken."""
+    def sense(
+        self, now_s: float, trace: TraceBuilder
+    ) -> list[ChildState] | None:
+        """Collect child aggregations; None when too many are missing."""
         child_states: list[ChildState] = []
         missing = 0
         for child in self.children:
@@ -136,9 +83,25 @@ class UpperLevelPowerController:
                     quota_w=child.device.power_quota_w,
                 )
             )
+        trace.pulls_attempted = len(self.children)
+        trace.pulls_failed = missing
+        if not self.children:
+            # Degenerate wiring: nothing to protect against.
+            return None
         if not child_states:
-            return BandAction.HOLD
-        if missing and missing / len(self.children) > self.config.max_reading_failure_fraction:
+            self.alerts.raise_alert(
+                now_s,
+                Severity.CRITICAL,
+                self.name,
+                f"all {len(self.children)} child controllers have no "
+                "aggregation; holding",
+            )
+            return None
+        if (
+            missing
+            and missing / len(self.children)
+            > self.config.max_reading_failure_fraction
+        ):
             self.alerts.raise_alert(
                 now_s,
                 Severity.CRITICAL,
@@ -146,30 +109,48 @@ class UpperLevelPowerController:
                 f"{missing}/{len(self.children)} child controllers have no "
                 "aggregation; holding",
             )
-            return BandAction.HOLD
-        aggregate = sum(c.power_w for c in child_states) + self.device.fixed_overhead_w
-        self._last_aggregate_w = aggregate
-        self.aggregate_series.append(now_s, aggregate)
+            return None
+        return child_states
 
-        cap_at, target, uncap_at, limit = control_thresholds_w(
-            self.band.config, self.device.rated_power_w, self._contractual_limit_w
-        )
-        decision = self.band.decide_absolute(
-            aggregate, limit, cap_at, target, uncap_at
-        )
+    # ------------------------------------------------------------------
+    # Stage 2: aggregation
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self, sensed: list[ChildState], now_s: float, trace: TraceBuilder
+    ) -> float:
+        """Sum child aggregates plus the device's fixed overhead."""
+        return sum(c.power_w for c in sensed) + self.device.fixed_overhead_w
+
+    # ------------------------------------------------------------------
+    # Stage 4: punish-offender-first contractual limits
+    # ------------------------------------------------------------------
+
+    def actuate(
+        self,
+        decision: BandDecision,
+        sensed: list[ChildState],
+        now_s: float,
+        trace: TraceBuilder,
+    ) -> None:
+        """Issue or release contractual limits per the decision."""
         if decision.action is BandAction.CAP:
-            self._cap_children(child_states, decision.total_power_cut_w, now_s)
-            self.cap_events += 1
+            self._cap_children(sensed, decision.total_power_cut_w, now_s, trace)
         elif decision.action is BandAction.UNCAP:
+            trace.actuation_successes = len(self._limited_children)
             self._uncap_children()
-            self.uncap_events += 1
-        return decision.action
+        trace.capped_after = len(self._limited_children)
 
     def _cap_children(
-        self, states: list[ChildState], needed_cut_w: float, now_s: float
+        self,
+        states: list[ChildState],
+        needed_cut_w: float,
+        now_s: float,
+        trace: TraceBuilder,
     ) -> None:
         decision = punish_offender_first(states, needed_cut_w)
         self.last_decision = decision
+        trace.cut_allocated_w = needed_cut_w - decision.unallocated_w
         if decision.unallocated_w > 1e-6:
             self.alerts.raise_alert(
                 now_s,
@@ -194,6 +175,7 @@ class UpperLevelPowerController:
                 limit = min(limit, existing)
             by_name[state.name].set_contractual_limit_w(limit)
             self._limited_children[state.name] = limit
+            trace.actuation_successes += 1
 
     def _uncap_children(self) -> None:
         by_name = {child.name: child for child in self.children}

@@ -6,7 +6,9 @@ months.  This package provides the storage (:class:`TimeSeries`), the
 collection (:class:`PowerSampler`), and the analysis — the windowed
 max-minus-min *power variation* metric of Figure 4 and the CDF machinery
 behind Figures 5 and 6 — plus the alerting sink controllers raise
-human-intervention alarms into.
+human-intervention alarms into, and the per-tick control-cycle trace
+ring (:class:`TraceBuffer` of :class:`TickTrace` records) every
+controller's sense → aggregate → decide → actuate pipeline feeds.
 """
 
 from repro.telemetry.alerts import Alert, AlertSink
@@ -14,6 +16,11 @@ from repro.telemetry.cdf import empirical_cdf, percentile
 from repro.telemetry.events import EventLog, TelemetryEvent
 from repro.telemetry.sampler import PowerSampler
 from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.tracing import (
+    TickTrace,
+    TraceBuffer,
+    TraceMetrics,
+)
 from repro.telemetry.variation import (
     max_variation_in_window,
     variation_series,
@@ -26,7 +33,10 @@ __all__ = [
     "EventLog",
     "PowerSampler",
     "TelemetryEvent",
+    "TickTrace",
     "TimeSeries",
+    "TraceBuffer",
+    "TraceMetrics",
     "empirical_cdf",
     "max_variation_in_window",
     "percentile",

@@ -87,3 +87,40 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "byte-identical timelines" in out
+
+    def test_chaos_scorecard_includes_trace_metrics(self, capsys):
+        code = main(["chaos", "run", "watchdog-restart", "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ticks traced" in out
+        assert "invalid ticks" in out
+
+
+class TestTraceCommand:
+    def test_trace_quickstart_prints_ticks_and_metrics(self, capsys):
+        code = main(
+            ["trace", "rpp0.0.0", "--duration-h", "0.05", "--last", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [line for line in out.splitlines() if "[leaf]" in line]
+        assert len(lines) == 5
+        assert "ticks traced" in out
+        assert "pulls ok/failed/estimated" in out
+
+    def test_trace_chaos_scenario(self, capsys):
+        code = main(
+            ["trace", "sb0", "--scenario", "watchdog-restart", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[upper]" in out
+
+    def test_trace_unknown_device_lists_known(self, capsys):
+        code = main(
+            ["trace", "nonsense", "--duration-h", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no traces recorded" in out
+        assert "rpp0.0.0" in out

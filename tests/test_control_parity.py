@@ -1,0 +1,150 @@
+"""Golden-fingerprint parity for the shared control-cycle pipeline.
+
+The refactor extracting :class:`~repro.core.controller.BaseController`
+must not change behaviour.  This test replays a seeded multi-suite
+scenario — two MSBs in two suites, a power surge, an agent crash, and a
+mid-run contractual squeeze on one SB — and compares a byte-for-byte
+fingerprint of every controller tick (time, controller, action), the
+chaos event log, and final per-controller telemetry against a golden
+recorded on the pre-refactor tree.
+
+Regenerate (only with a deliberate, reviewed behaviour change)::
+
+    PYTHONPATH=src:. python tests/test_control_parity.py --write
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chaos.faults import FaultSpec
+from repro.chaos.orchestrator import ChaosContext, ChaosOrchestrator
+from repro.core.dynamo import Dynamo
+from repro.fleet import FleetDriver, ServiceAllocation, populate_fleet
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.oversubscription import plan_quotas
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "control_parity_golden.txt"
+
+SEED = 42
+END_S = 720.0
+
+
+def build_parity_run(seed: int = SEED):
+    """A deterministic two-suite deployment with faults and a squeeze."""
+    engine = SimulationEngine()
+    topology = build_datacenter(
+        DataCenterSpec(
+            name="parity",
+            msb_count=2,
+            suite_count=2,
+            sbs_per_msb=2,
+            rpps_per_sb=2,
+            racks_per_rpp=2,
+        )
+    )
+    plan_quotas(topology)
+    rng = RngStreams(seed)
+    fleet = populate_fleet(
+        topology,
+        [ServiceAllocation("web", 32), ServiceAllocation("cache", 16)],
+        rng,
+    )
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    driver = FleetDriver(engine, topology, fleet)
+    orchestrator = ChaosOrchestrator(
+        ChaosContext(
+            engine=engine,
+            dynamo=dynamo,
+            topology=topology,
+            fleet=fleet,
+            driver=driver,
+        )
+    )
+    orchestrator.schedule_all(
+        [
+            FaultSpec(
+                kind="power-surge",
+                start_s=120.0,
+                duration_s=360.0,
+                params={"multiplier": 1.4, "ramp_s": 60.0},
+            ),
+            FaultSpec(
+                kind="agent-crash",
+                start_s=90.0,
+                targets=(sorted(fleet.servers)[0],),
+            ),
+        ]
+    )
+    return engine, dynamo, driver, orchestrator
+
+
+def run_and_fingerprint(seed: int = SEED, end_s: float = END_S) -> str:
+    """Run the scenario and render the behaviour fingerprint."""
+    engine, dynamo, driver, orchestrator = build_parity_run(seed)
+    ticks: list[str] = []
+
+    def wrap(controller):
+        inner = controller.tick
+
+        def tick(now_s: float):
+            action = inner(now_s)
+            ticks.append(f"{now_s:.3f} {controller.name} {action.value}")
+            return action
+
+        return tick
+
+    controllers = dynamo.hierarchy.all_controllers
+    for controller in controllers:
+        controller.tick = wrap(controller)
+
+    driver.start()
+    dynamo.start()
+    # Deterministic mid-run contractual squeeze on one SB: forces the
+    # punish-offender path upstream and real capping at the leaves.
+    sb = dynamo.controller("sb0.0")
+    engine.schedule_at(
+        240.0,
+        lambda: sb.set_contractual_limit_w(sb.last_aggregate_power_w * 0.93),
+    )
+    engine.schedule_at(540.0, sb.clear_contractual_limit)
+    engine.run_until(end_s)
+
+    lines = list(ticks)
+    lines.append("--- events ---")
+    event_fp = orchestrator.events.fingerprint()
+    if event_fp:
+        lines.extend(event_fp.splitlines())
+    lines.append("--- counters ---")
+    for controller in sorted(controllers, key=lambda c: c.name):
+        aggregate = controller.last_aggregate_power_w
+        lines.append(
+            f"{controller.name} cap={controller.cap_events} "
+            f"uncap={controller.uncap_events} "
+            f"invalid={getattr(controller, 'invalid_cycles', 0)} "
+            f"aggregate={aggregate:.6f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_refactor_preserves_golden_fingerprint():
+    golden = GOLDEN_PATH.read_text()
+    current = run_and_fingerprint()
+    assert current == golden, (
+        "control-cycle behaviour diverged from the pre-refactor golden; "
+        "if the change is deliberate, regenerate with "
+        "`python tests/test_control_parity.py --write` and review the diff"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(run_and_fingerprint())
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(run_and_fingerprint(), end="")

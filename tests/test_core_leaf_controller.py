@@ -209,15 +209,15 @@ class TestBreakerValidation:
         rig = Rig(n=5)
         rig.controller.tick(0.0)
         agg = rig.controller.last_aggregate_power_w
-        assert rig.controller.validate_against_breaker(agg * 1.02)
+        assert rig.controller.validate_against_breaker(agg * 1.02, 0.0)
 
     def test_drifting_reading_warns(self):
         rig = Rig(n=5)
         rig.controller.tick(0.0)
         agg = rig.controller.last_aggregate_power_w
-        assert not rig.controller.validate_against_breaker(agg * 1.5)
+        assert not rig.controller.validate_against_breaker(agg * 1.5, 0.0)
         assert rig.controller.alerts.by_severity(Severity.WARNING)
 
     def test_no_aggregate_yet_passes(self):
         rig = Rig(n=2)
-        assert rig.controller.validate_against_breaker(1_000.0)
+        assert rig.controller.validate_against_breaker(1_000.0, 0.0)

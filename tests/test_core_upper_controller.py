@@ -55,6 +55,11 @@ class TestAggregation:
         upper = make_upper(children)
         assert upper.tick(0.0) is BandAction.HOLD
         assert upper.last_aggregate_power_w is None
+        # All children dark is an invalid cycle, same as the leaf path.
+        assert upper.invalid_cycles == 1
+        critical = upper.alerts.by_severity(Severity.CRITICAL)
+        assert critical
+        assert "all 1 child controllers" in critical[-1].message
 
     def test_too_many_missing_children_alerts(self):
         children = [
