@@ -220,16 +220,33 @@ class RpcPartitionFault(Fault):
 
 
 class _EndpointRateFault(Fault):
-    """Base for faults that set per-endpoint injector rates."""
+    """Base for faults that set per-endpoint injector rates.
+
+    The ``scope`` parameter picks the endpoint set when no explicit
+    targets are given: ``"agents"`` (default) hits the agent endpoints
+    of the targeted servers; ``"fabric"`` hits every endpoint registered
+    on the transport — agents and controller endpoints alike — which is
+    what a genuinely flaky network looks like.
+    """
 
     _fields: tuple[str, ...] = ()
 
     def _rates(self) -> dict[str, float]:
         raise NotImplementedError
 
+    def _endpoints(self, ctx) -> list[str]:
+        scope = str(self._param("scope", "agents"))
+        if scope == "fabric" and not self.spec.targets:
+            return sorted(ctx.dynamo.transport.endpoints)
+        if scope not in ("agents", "fabric"):
+            raise ConfigurationError(
+                f"unknown endpoint scope {scope!r}; known: agents, fabric"
+            )
+        return [agent_endpoint(s) for s in self._server_ids(ctx)]
+
     def inject(self, ctx) -> str:
         rates = self._rates()
-        endpoints = [agent_endpoint(s) for s in self._server_ids(ctx)]
+        endpoints = self._endpoints(ctx)
         for endpoint in endpoints:
             ctx.injector.set_endpoint_faults(endpoint, **rates)
         detail = ",".join(f"{k}={v:g}" for k, v in sorted(rates.items()))
@@ -237,7 +254,7 @@ class _EndpointRateFault(Fault):
 
     def recover(self, ctx) -> str:
         zeroed = {key: 0.0 for key in self._rates()}
-        endpoints = [agent_endpoint(s) for s in self._server_ids(ctx)]
+        endpoints = self._endpoints(ctx)
         for endpoint in endpoints:
             ctx.injector.set_endpoint_faults(endpoint, **zeroed)
         return f"cleared {len(endpoints)} endpoints"

@@ -55,6 +55,15 @@ class RobustnessScore:
     pulls_estimated: int = 0
     cut_requested_w: float = 0.0
     cut_allocated_w: float = 0.0
+    #: RPC resilience metrics, from the deployment health registry.
+    rpc_retries: int = 0
+    rpc_retry_successes: int = 0
+    circuit_breaker_opens: int = 0
+    endpoint_quarantines: int = 0
+    #: Degraded-posture metrics, from the controller mode machines.
+    degraded_mode_entries: int = 0
+    safe_mode_entries: int = 0
+    pulls_stale: int = 0
 
     @property
     def survived(self) -> bool:
@@ -132,6 +141,7 @@ def build_scorecard(run: ChaosRun) -> RobustnessScore:
         if isinstance(c, FailoverController)
     )
     trace_metrics = run.dynamo.traces.metrics()
+    health = getattr(run.dynamo, "health", None)
     return RobustnessScore(
         scenario=run.name,
         seed=run.seed,
@@ -155,6 +165,19 @@ def build_scorecard(run: ChaosRun) -> RobustnessScore:
         pulls_estimated=trace_metrics.pulls_estimated,
         cut_requested_w=trace_metrics.cut_requested_w,
         cut_allocated_w=trace_metrics.cut_allocated_w,
+        rpc_retries=health.total_retries if health is not None else 0,
+        rpc_retry_successes=(
+            health.total_retry_successes if health is not None else 0
+        ),
+        circuit_breaker_opens=(
+            health.total_breaker_opens if health is not None else 0
+        ),
+        endpoint_quarantines=(
+            health.total_quarantines if health is not None else 0
+        ),
+        degraded_mode_entries=run.dynamo.degraded_mode_entries(),
+        safe_mode_entries=run.dynamo.safe_mode_entries(),
+        pulls_stale=trace_metrics.pulls_stale,
     )
 
 
@@ -185,6 +208,13 @@ def render_scorecard(score: RobustnessScore) -> str:
     table.add_row("ticks traced", score.ticks_traced)
     table.add_row("invalid ticks", score.invalid_ticks)
     table.add_row("pulls estimated", score.pulls_estimated)
+    table.add_row("stale reads served", score.pulls_stale)
+    table.add_row("rpc retries", score.rpc_retries)
+    table.add_row("rpc retry successes", score.rpc_retry_successes)
+    table.add_row("circuit-breaker opens", score.circuit_breaker_opens)
+    table.add_row("endpoint quarantines", score.endpoint_quarantines)
+    table.add_row("degraded-mode entries", score.degraded_mode_entries)
+    table.add_row("safe-mode entries", score.safe_mode_entries)
     fraction = score.cut_allocation_fraction
     table.add_row(
         "cut allocated / requested",

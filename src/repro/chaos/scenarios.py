@@ -19,6 +19,10 @@ Named scenarios map to the paper's fault-tolerance claims:
 ``upper-controller-crash``  same for the SB-level controller.
 ``rpc-storm``       per-endpoint failures and latency spikes; neighbour
                     estimation keeps aggregation valid.
+``flaky-fabric-recovery``   fabric-wide failure rates ramp up to 30% and
+                    back down over the fully distributed hierarchy; the
+                    resilience layer (retries, breakers) must ride it out
+                    with no breaker trips and no stranded limits.
 ``partition``       >20% of one row's agents partitioned; aggregation
                     aborts with a CRITICAL alert, no false capping.
 ``breaker-derate``  the SB rating is derated mid-run; capping pulls the
@@ -36,6 +40,7 @@ from repro.analysis.worlds import build_surge_world
 from repro.chaos.faults import FaultSpec
 from repro.chaos.orchestrator import ChaosContext, ChaosOrchestrator
 from repro.core.dynamo import Dynamo
+from repro.core.remote import distribute_hierarchy
 from repro.errors import ConfigurationError
 from repro.fleet import Fleet, FleetDriver
 from repro.power.topology import PowerTopology
@@ -230,6 +235,37 @@ def rpc_storm(seed: int = 7) -> ChaosRun:
     return build_chaos_run("rpc-storm", specs, seed=seed, end_s=900.0)
 
 
+def flaky_fabric_recovery(seed: int = 7) -> ChaosRun:
+    """Fabric-wide flakiness ramps up to 30%, peaks, and subsides.
+
+    Runs the fully *distributed* hierarchy (controller endpoints on the
+    fabric, parents behind RPC proxies) so contractual pushes travel the
+    same lossy network as power pulls.  The resilience layer must ride
+    the ramp out: retries keep aggregation live through the peak without
+    a single breaker trip, and the clean tail must leave no stranded
+    caps or contractual limits.
+    """
+    windows = [(120.0, 0.10), (240.0, 0.30), (360.0, 0.15)]
+    specs = [
+        FaultSpec(
+            kind="rpc-flaky",
+            start_s=start_s,
+            duration_s=120.0,
+            params={"failure_probability": rate, "scope": "fabric"},
+        )
+        for start_s, rate in windows
+    ]
+    run = build_chaos_run(
+        "flaky-fabric-recovery", specs, seed=seed, end_s=900.0
+    )
+    # Distribute after wiring so the ctrl: endpoints exist on the fabric
+    # before the first injection resolves its endpoint set.
+    run.extras["endpoints"] = distribute_hierarchy(
+        run.dynamo.hierarchy, run.dynamo.controller_transport
+    )
+    return run
+
+
 def partition(seed: int = 7) -> ChaosRun:
     """Partition >20% of one row's agents: aggregation must abort."""
     engine, topology, fleet, _ = build_surge_world(n_servers=40, seed=seed)
@@ -348,6 +384,7 @@ CHAOS_SCENARIOS: dict[str, Callable[..., ChaosRun]] = {
     "leaf-controller-crash": leaf_controller_crash,
     "upper-controller-crash": upper_controller_crash,
     "rpc-storm": rpc_storm,
+    "flaky-fabric-recovery": flaky_fabric_recovery,
     "partition": partition,
     "breaker-derate": breaker_derate,
     "campaign": campaign,

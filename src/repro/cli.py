@@ -12,6 +12,7 @@ Usage::
     python -m repro chaos run sb-outage --seed 7
     python -m repro trace rpp0.0 --scenario quickstart --last 10
     python -m repro trace sb0.0 --scenario sb-outage --seed 7
+    python -m repro health rpp0 --scenario flaky-fabric-recovery --seed 7
 
 Each scenario prints a short report; exit code is 0 when the run's
 safety invariant (no breaker trips) holds.  ``chaos run`` additionally
@@ -220,6 +221,71 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_health(args: argparse.Namespace) -> int:
+    from repro.chaos import CHAOS_SCENARIOS
+    from repro.core.agent import agent_endpoint
+    from repro.core.failover import FailoverController
+    from repro.core.remote import controller_endpoint
+    from repro.errors import ConfigurationError
+
+    if args.scenario == "quickstart":
+        dynamo, _, _ = _quickstart_deployment(args.seed, args.duration_h)
+    else:
+        run = CHAOS_SCENARIOS[args.scenario](seed=args.seed)
+        run.run()
+        dynamo = run.dynamo
+    try:
+        controller = dynamo.controller(args.device)
+    except ConfigurationError:
+        known = ", ".join(
+            sorted(c.name for c in dynamo.hierarchy.all_controllers)
+        )
+        print(f"no controller for {args.device!r}; known: {known}")
+        return 1
+    instance = (
+        controller.active
+        if isinstance(controller, FailoverController)
+        else controller
+    )
+    machine = getattr(instance, "modes", None)
+    now_s = dynamo.engine.clock.now
+    mode = machine.mode.value if machine is not None else "n/a"
+    print(f"{args.device}: mode={mode}")
+    if machine is not None:
+        print(
+            f"invalid streak={machine.consecutive_invalid} "
+            f"valid streak={machine.consecutive_valid} "
+            f"degraded entries={machine.degraded_entries} "
+            f"safe entries={machine.safe_entries} "
+            f"deferred uncaps={machine.deferred_uncaps}"
+        )
+        for time_s, from_mode, to_mode in machine.transitions:
+            print(f"  t={time_s:.1f}s {from_mode} -> {to_mode}")
+    if hasattr(instance, "server_ids"):
+        endpoints = [agent_endpoint(s) for s in instance.server_ids]
+    else:
+        endpoints = [
+            controller_endpoint(child.name)
+            for child in getattr(instance, "children", [])
+        ]
+    quarantined = dynamo.health.quarantined_endpoints(now_s)
+    print(
+        f"endpoint health ({len(endpoints)} endpoints, "
+        f"{len(quarantined)} quarantined):"
+    )
+    for endpoint in sorted(endpoints):
+        stats = dynamo.health.stats(endpoint)
+        line = (
+            stats.render(now_s)
+            if stats is not None
+            else f"{endpoint} no calls recorded"
+        )
+        if dynamo.resilient_transport is not None:
+            line += f" breaker={dynamo.resilient_transport.breaker_state(endpoint)}"
+        print(f"  {line}")
+    return 0
+
+
 _RUNNERS = {
     "quickstart": _run_quickstart,
     "ashburn": _run_ashburn,
@@ -278,6 +344,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--last", type=int, default=20, help="show the most recent N ticks"
     )
+    health = sub.add_parser(
+        "health",
+        help="operating mode and endpoint health for one controller",
+    )
+    health.add_argument("device", help="controller/device name, e.g. rpp0.0")
+    health.add_argument(
+        "--scenario",
+        default="quickstart",
+        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+        help="scenario to run before reporting health",
+    )
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument("--duration-h", type=float, default=0.25)
     return parser
 
 
@@ -292,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "health":
+        return _run_health(args)
     return _RUNNERS[args.scenario](args)
 
 

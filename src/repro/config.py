@@ -43,6 +43,125 @@ class ThreeBandConfig:
 
 
 @dataclass(frozen=True)
+class OperatingModeConfig:
+    """Degraded-mode state machine (NORMAL → DEGRADED → SAFE) knobs.
+
+    A controller escalates after consecutive invalid cycles: DEGRADED
+    defers uncapping and widens alerting; SAFE additionally applies a
+    conservative fail-safe cap at the capping target.  Recovery walks
+    back one level per ``recovery_valid_cycles`` consecutive valid
+    cycles (hysteresis, so one good cycle amid a storm does not bounce
+    the posture).
+    """
+
+    enabled: bool = True
+    degraded_after_invalid_cycles: int = 3
+    safe_after_invalid_cycles: int = 6
+    recovery_valid_cycles: int = 5
+
+    def __post_init__(self) -> None:
+        if self.degraded_after_invalid_cycles < 1:
+            raise ConfigurationError(
+                "degraded escalation threshold must be >= 1 invalid cycle"
+            )
+        if self.safe_after_invalid_cycles <= self.degraded_after_invalid_cycles:
+            raise ConfigurationError(
+                "safe escalation threshold must exceed the degraded threshold"
+            )
+        if self.recovery_valid_cycles < 1:
+            raise ConfigurationError(
+                "recovery hysteresis must be >= 1 valid cycle"
+            )
+
+
+@dataclass(frozen=True)
+class CallPolicyConfig:
+    """Per-call resilience policy: deadline, retries, backoff.
+
+    Backoff delays follow ``base * multiplier**(retry-1)`` capped at
+    ``backoff_max_s`` with a deterministic jitter of up to
+    ``±jitter_fraction`` drawn from the simulation RNG, so two runs of
+    the same seed retry on the identical schedule.
+    """
+
+    deadline_s: float = 1.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 1.0
+    jitter_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ConfigurationError("call deadline must be positive")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff times cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter fraction must be within [0, 1)")
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Per-endpoint circuit-breaker thresholds.
+
+    The breaker trips on either ``consecutive_failure_threshold``
+    attempt failures in a row or a failure rate of at least
+    ``failure_rate_threshold`` over the last ``window_size`` attempts
+    (once ``min_samples`` have been seen).  While open it rejects calls
+    until ``open_duration_s`` elapses, then half-opens and lets one
+    probe through.  The default zero open window means the very next
+    call probes: a tripped endpoint loses its retry burst but recovery
+    is detected on the first post-repair call — the breaker never makes
+    a healed endpoint look dead.
+    """
+
+    consecutive_failure_threshold: int = 12
+    failure_rate_threshold: float = 0.6
+    window_size: int = 40
+    min_samples: int = 25
+    open_duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.consecutive_failure_threshold < 1:
+            raise ConfigurationError(
+                "consecutive failure threshold must be >= 1"
+            )
+        if not 0.0 < self.failure_rate_threshold <= 1.0:
+            raise ConfigurationError(
+                "failure rate threshold must be within (0, 1]"
+            )
+        if self.window_size < self.min_samples or self.min_samples < 1:
+            raise ConfigurationError(
+                "breaker window must hold at least min_samples (>= 1) attempts"
+            )
+        if self.open_duration_s < 0:
+            raise ConfigurationError("open duration cannot be negative")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The RPC resilience layer between controllers and the transport."""
+
+    enabled: bool = True
+    call: CallPolicyConfig = field(default_factory=CallPolicyConfig)
+    breaker: CircuitBreakerConfig = field(default_factory=CircuitBreakerConfig)
+    #: Quarantine an endpoint after this many full (closed → open)
+    #: breaker trips; 0 disables quarantining.
+    quarantine_after_opens: int = 3
+    quarantine_duration_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.quarantine_after_opens < 0:
+            raise ConfigurationError("quarantine trip count cannot be negative")
+        if self.quarantine_duration_s < 0:
+            raise ConfigurationError("quarantine duration cannot be negative")
+
+
+@dataclass(frozen=True)
 class ControllerConfig:
     """Timing and robustness parameters for Dynamo controllers."""
 
@@ -50,9 +169,16 @@ class ControllerConfig:
     upper_pull_interval_s: float = 9.0
     rpc_timeout_s: float = 1.0
     max_reading_failure_fraction: float = 0.20
+    #: Serve a cached last-known-good reading for a failed pull when it
+    #: is at most this old (stale-tolerant sensing); 0 disables the
+    #: cache and failed pulls go straight to neighbour estimation.
+    reading_cache_ttl_s: float = 0.0
     three_band: ThreeBandConfig = field(default_factory=ThreeBandConfig)
+    mode: OperatingModeConfig = field(default_factory=OperatingModeConfig)
 
     def __post_init__(self) -> None:
+        if self.reading_cache_ttl_s < 0:
+            raise ConfigurationError("reading cache TTL cannot be negative")
         if self.leaf_pull_interval_s <= 2.0:
             # Figure 9: RAPL takes ~2 s to settle; sampling faster than
             # that yields unstable readings.
@@ -136,6 +262,7 @@ class DynamoConfig:
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     bucket: BucketConfig = field(default_factory=BucketConfig)
     agent: AgentConfig = field(default_factory=AgentConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     # The paper skips rack-level controllers in the Facebook deployment
     # (footnote 2): leaf controllers sit at the RPP / PDU-breaker level.
     leaf_level: str = "rpp"

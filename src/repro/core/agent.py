@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.core.messages import CapRequest, CapResponse, PowerReading
 from repro.errors import AgentError, CappingError
 from repro.rpc.service import RpcService
-from repro.rpc.transport import RpcTransport
+from repro.rpc.transport import Transport
 from repro.server.server import Server
 
 
@@ -34,7 +34,7 @@ class DynamoAgent:
     def __init__(
         self,
         server: Server,
-        transport: RpcTransport,
+        transport: Transport,
         *,
         clock=None,
     ) -> None:

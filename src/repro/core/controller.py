@@ -39,6 +39,7 @@ import time
 from typing import Generic, Protocol, TypeVar, runtime_checkable
 
 from repro.config import ControllerConfig, ThreeBandConfig
+from repro.core.health import ModeStateMachine, OperatingMode
 from repro.core.three_band import BandAction, BandDecision, ThreeBandController
 from repro.core.thresholds import control_thresholds_w
 from repro.power.device import PowerDevice
@@ -189,6 +190,11 @@ class BaseController(abc.ABC, Generic[SenseT]):
         )
         # NOT `tracer or ...`: an empty shared TraceBuffer is falsy.
         self.tracer = TraceBuffer() if tracer is None else tracer
+        # Operating posture (NORMAL → DEGRADED → SAFE) driven by
+        # consecutive invalid cycles; see repro.core.health.
+        self.modes = ModeStateMachine(
+            self.config.mode, name=self.name, alerts=self.alerts
+        )
         self._contractual_limit_w: float | None = None
         self._last_aggregate_w: float | None = None
         # Telemetry for experiments.
@@ -267,8 +273,19 @@ class BaseController(abc.ABC, Generic[SenseT]):
             trace.valid = False
             trace.action = BandAction.HOLD.value
             trace.effective_limit_w = self.effective_limit_w
+            mode = self.modes.record_invalid_cycle(now_s)
+            trace.mode = mode.value
+            if mode is OperatingMode.SAFE:
+                # Flying blind for too long: cap conservatively at the
+                # capping target rather than trusting stale limits.
+                self.apply_fail_safe(now_s, trace)
             self.tracer.record(trace.finish())
             return BandAction.HOLD
+        previous_mode = self.modes.mode
+        mode = self.modes.record_valid_cycle(now_s)
+        trace.mode = mode.value
+        if previous_mode is OperatingMode.SAFE and mode is not OperatingMode.SAFE:
+            self.release_fail_safe(now_s)
         aggregate = self.aggregate(sensed, now_s, trace)
         self._last_aggregate_w = aggregate
         self.aggregate_series.append(now_s, aggregate)
@@ -312,9 +329,25 @@ class BaseController(abc.ABC, Generic[SenseT]):
         cap_at, target, uncap_at, limit = control_thresholds_w(
             self.band.config, self.device.rated_power_w, self._contractual_limit_w
         )
-        decision = self.band.decide_absolute(
-            aggregate_w, limit, cap_at, target, uncap_at
-        )
+        if (
+            self.modes.mode is not OperatingMode.NORMAL
+            and self.band.capping_active
+            and aggregate_w < uncap_at
+        ):
+            # DEGRADED/SAFE hold last limits: defer the uncap without
+            # running the policy, whose hysteresis state must keep the
+            # caps accounted for when NORMAL resumes.
+            self.modes.record_deferred_uncap()
+            decision = BandDecision(
+                action=BandAction.HOLD,
+                total_power_cut_w=0.0,
+                limit_w=limit,
+                aggregated_power_w=aggregate_w,
+            )
+        else:
+            decision = self.band.decide_absolute(
+                aggregate_w, limit, cap_at, target, uncap_at
+            )
         trace.aggregate_w = aggregate_w
         trace.effective_limit_w = limit
         trace.cap_at_w = cap_at
@@ -332,3 +365,22 @@ class BaseController(abc.ABC, Generic[SenseT]):
         trace: TraceBuilder,
     ) -> None:
         """Carry out the decision (cap fan-out / contractual limits)."""
+
+    # ------------------------------------------------------------------
+    # SAFE-posture hooks (overridden where actuation exists)
+    # ------------------------------------------------------------------
+
+    def apply_fail_safe(self, now_s: float, trace: TraceBuilder) -> None:
+        """Apply a conservative cap at the capping target while SAFE.
+
+        Called on every invalid SAFE tick, so implementations must be
+        idempotent.  The default is a no-op for controllers with nothing
+        to actuate.
+        """
+
+    def release_fail_safe(self, now_s: float) -> None:
+        """Withdraw the fail-safe cap on leaving SAFE.
+
+        Implementations must leave any caps the decision policy still
+        accounts for in force — only the fail-safe overlay goes.
+        """

@@ -17,13 +17,15 @@ from repro.core.hierarchy import (
     ControllerHierarchy,
     build_controller_hierarchy,
 )
+from repro.core.health import HealthRegistry
 from repro.core.leaf_controller import LeafPowerController
 from repro.core.upper_controller import UpperLevelPowerController
 from repro.core.priority import PriorityPolicy
 from repro.core.watchdog import AgentWatchdog
 from repro.fleet import Fleet
 from repro.power.topology import PowerTopology
-from repro.rpc.transport import FailureInjector, RpcTransport
+from repro.rpc.resilient import ResilientTransport
+from repro.rpc.transport import FailureInjector, RpcTransport, Transport
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import RngStreams
 from repro.telemetry.alerts import AlertSink
@@ -57,13 +59,36 @@ class Dynamo:
         self.transport = RpcTransport(
             rng_streams.stream("rpc"), injector=injector
         )
+        resilience = self.config.resilience
+        #: Per-endpoint success/failure/latency history plus quarantine
+        #: policy, fed by the resilient transport.
+        self.health = HealthRegistry(
+            quarantine_after_opens=resilience.quarantine_after_opens,
+            quarantine_duration_s=resilience.quarantine_duration_s,
+        )
+        self.resilient_transport: ResilientTransport | None = None
+        #: What controllers call through: the resilience layer (deadline,
+        #: retries, breakers) when enabled, the raw fabric otherwise.
+        #: Agents always register on the raw transport — registration is
+        #: pass-through either way.
+        self.controller_transport: Transport = self.transport
+        if resilience.enabled:
+            self.resilient_transport = ResilientTransport(
+                self.transport,
+                policy=resilience.call,
+                breaker=resilience.breaker,
+                health=self.health,
+                rng=rng_streams.stream("rpc.resilience"),
+                clock=engine.clock,
+            )
+            self.controller_transport = self.resilient_transport
         self.agents: dict[str, DynamoAgent] = {
             server_id: DynamoAgent(server, self.transport, clock=engine.clock)
             for server_id, server in fleet.servers.items()
         }
         self.hierarchy: ControllerHierarchy = build_controller_hierarchy(
             topology,
-            self.transport,
+            self.controller_transport,
             config=self.config,
             policy=self.policy,
             alerts=self.alerts,
@@ -116,7 +141,7 @@ class Dynamo:
             backup = LeafPowerController(
                 primary.device,
                 primary.server_ids,
-                self.transport,
+                self.controller_transport,
                 config=self.config.controller,
                 bucket=self.config.bucket,
                 policy=self.policy,
@@ -195,6 +220,49 @@ class Dynamo:
                 controller.name
             )
         return {suite: sorted(names) for suite, names in groups.items()}
+
+    def _controller_instances(self):
+        """Every concrete controller instance (both halves of a pair)."""
+        for controller in self.hierarchy.all_controllers:
+            if isinstance(controller, FailoverController):
+                yield controller.primary
+                yield controller.backup
+            else:
+                yield controller
+
+    def operating_modes(self) -> dict[str, str]:
+        """Current operating posture per controller (active instance)."""
+        modes: dict[str, str] = {}
+        for controller in self.hierarchy.all_controllers:
+            instance = (
+                controller.active
+                if isinstance(controller, FailoverController)
+                else controller
+            )
+            machine = getattr(instance, "modes", None)
+            if machine is not None:
+                modes[controller.name] = machine.mode.value
+        return modes
+
+    def safe_mode_entries(self) -> int:
+        """SAFE-mode entries across every controller instance."""
+        return sum(
+            machine.safe_entries
+            for machine in (
+                getattr(i, "modes", None) for i in self._controller_instances()
+            )
+            if machine is not None
+        )
+
+    def degraded_mode_entries(self) -> int:
+        """DEGRADED-mode entries across every controller instance."""
+        return sum(
+            machine.degraded_entries
+            for machine in (
+                getattr(i, "modes", None) for i in self._controller_instances()
+            )
+            if machine is not None
+        )
 
     def capped_server_count(self) -> int:
         """Servers currently under a RAPL cap, fleet-wide."""

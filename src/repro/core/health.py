@@ -1,0 +1,341 @@
+"""Endpoint health tracking and the degraded-mode state machine.
+
+Two robustness primitives the paper's abort-and-alert story stops short
+of, both motivated by running controllers over a lossy fabric:
+
+* :class:`HealthRegistry` — per-endpoint success/failure/latency
+  history fed by the resilient transport
+  (:class:`~repro.rpc.resilient.ResilientTransport`).  Persistently bad
+  endpoints — ones whose circuit breaker keeps tripping — are
+  quarantined: calls fail fast for a cooling-off window instead of
+  burning retries against a dead host every cycle.
+* :class:`ModeStateMachine` — a per-controller operating posture
+  (NORMAL → DEGRADED → SAFE) driven by consecutive invalid cycles.
+  The paper's rule is "abort and alert"; repeated aborts here
+  additionally harden the posture: DEGRADED defers uncapping (holds
+  last limits) and widens alerting, SAFE applies a conservative
+  fail-safe cap at the capping target.  Recovery hysteresis walks the
+  posture back one level per run of consecutive valid cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import OperatingModeConfig
+from repro.telemetry.alerts import AlertSink, Severity
+
+#: Latency samples retained per endpoint for the mean-latency view.
+_LATENCY_WINDOW = 64
+
+
+@dataclass
+class EndpointHealth:
+    """Success/failure/latency history for one RPC endpoint."""
+
+    endpoint: str
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    #: Attempts beyond the first within one logical call.
+    retries: int = 0
+    #: Logical calls that failed at least once but ultimately succeeded.
+    retry_successes: int = 0
+    #: Full (closed → open) circuit-breaker trips.
+    breaker_opens: int = 0
+    #: Calls rejected without touching the wire (open breaker/quarantine).
+    fast_fails: int = 0
+    consecutive_failures: int = 0
+    last_success_s: float | None = None
+    last_failure_s: float | None = None
+    backoff_waited_s: float = 0.0
+    quarantines: int = 0
+    quarantined_until_s: float | None = None
+    latencies: deque[float] = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW)
+    )
+
+    @property
+    def failure_rate(self) -> float:
+        """Lifetime attempt-failure fraction (0.0 before any attempt)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.failures / self.attempts
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean over the retained latency window."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def quarantined(self, now_s: float) -> bool:
+        """Whether the endpoint is quarantined at ``now_s``."""
+        return (
+            self.quarantined_until_s is not None
+            and now_s < self.quarantined_until_s
+        )
+
+    def render(self, now_s: float) -> str:
+        """Stable one-line form for the ``repro health`` CLI."""
+        state = "quarantined" if self.quarantined(now_s) else "ok"
+        return (
+            f"{self.endpoint} calls={self.successes}/{self.attempts}"
+            f" retries={self.retries}({self.retry_successes} won)"
+            f" opens={self.breaker_opens} fastfail={self.fast_fails}"
+            f" lat={1e3 * self.mean_latency_s:.2f}ms {state}"
+        )
+
+
+class HealthRegistry:
+    """Per-endpoint health fed by the resilient transport.
+
+    The registry is passive bookkeeping plus one policy: an endpoint
+    whose breaker has fully tripped ``quarantine_after_opens`` times is
+    quarantined for ``quarantine_duration_s`` — the caller fails fast
+    instead of re-probing a persistently bad host every cycle.
+    """
+
+    def __init__(
+        self,
+        *,
+        quarantine_after_opens: int = 3,
+        quarantine_duration_s: float = 120.0,
+    ) -> None:
+        self.quarantine_after_opens = quarantine_after_opens
+        self.quarantine_duration_s = quarantine_duration_s
+        self._endpoints: dict[str, EndpointHealth] = {}
+
+    def stats(self, endpoint: str) -> EndpointHealth | None:
+        """Health record for one endpoint, or None if never called."""
+        return self._endpoints.get(endpoint)
+
+    def _stats(self, endpoint: str) -> EndpointHealth:
+        stats = self._endpoints.get(endpoint)
+        if stats is None:
+            stats = self._endpoints[endpoint] = EndpointHealth(endpoint)
+        return stats
+
+    @property
+    def endpoints(self) -> list[str]:
+        """All endpoints with recorded history, sorted."""
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by ResilientTransport)
+    # ------------------------------------------------------------------
+
+    def record_success(
+        self, endpoint: str, now_s: float, latency_s: float, *, retried: bool
+    ) -> None:
+        """Account one successful attempt."""
+        stats = self._stats(endpoint)
+        stats.attempts += 1
+        stats.successes += 1
+        stats.consecutive_failures = 0
+        stats.last_success_s = now_s
+        stats.latencies.append(latency_s)
+        if retried:
+            stats.retry_successes += 1
+
+    def record_failure(self, endpoint: str, now_s: float) -> None:
+        """Account one failed attempt."""
+        stats = self._stats(endpoint)
+        stats.attempts += 1
+        stats.failures += 1
+        stats.consecutive_failures += 1
+        stats.last_failure_s = now_s
+
+    def record_retry(self, endpoint: str, backoff_s: float) -> None:
+        """Account one retry attempt and its backoff delay."""
+        stats = self._stats(endpoint)
+        stats.retries += 1
+        stats.backoff_waited_s += backoff_s
+
+    def record_fast_fail(self, endpoint: str) -> None:
+        """Account a call rejected by an open breaker or quarantine."""
+        self._stats(endpoint).fast_fails += 1
+
+    def record_breaker_open(self, endpoint: str, now_s: float) -> None:
+        """Account a full (closed → open) breaker trip; maybe quarantine."""
+        stats = self._stats(endpoint)
+        stats.breaker_opens += 1
+        if (
+            self.quarantine_after_opens > 0
+            and stats.breaker_opens >= self.quarantine_after_opens
+            and self.quarantine_duration_s > 0.0
+        ):
+            stats.quarantined_until_s = now_s + self.quarantine_duration_s
+            stats.quarantines += 1
+
+    def release(self, endpoint: str) -> None:
+        """Lift an endpoint's quarantine early (operator override)."""
+        stats = self._endpoints.get(endpoint)
+        if stats is not None:
+            stats.quarantined_until_s = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_quarantined(self, endpoint: str, now_s: float) -> bool:
+        """Whether calls to ``endpoint`` should fail fast at ``now_s``."""
+        stats = self._endpoints.get(endpoint)
+        return stats is not None and stats.quarantined(now_s)
+
+    def quarantined_endpoints(self, now_s: float) -> list[str]:
+        """Endpoints currently quarantined, sorted."""
+        return sorted(
+            e for e, s in self._endpoints.items() if s.quarantined(now_s)
+        )
+
+    @property
+    def total_retries(self) -> int:
+        """Retry attempts across all endpoints."""
+        return sum(s.retries for s in self._endpoints.values())
+
+    @property
+    def total_retry_successes(self) -> int:
+        """Logical calls rescued by a retry, across all endpoints."""
+        return sum(s.retry_successes for s in self._endpoints.values())
+
+    @property
+    def total_breaker_opens(self) -> int:
+        """Full breaker trips across all endpoints."""
+        return sum(s.breaker_opens for s in self._endpoints.values())
+
+    @property
+    def total_quarantines(self) -> int:
+        """Quarantine impositions across all endpoints."""
+        return sum(s.quarantines for s in self._endpoints.values())
+
+    def __repr__(self) -> str:
+        return f"HealthRegistry(endpoints={len(self._endpoints)})"
+
+
+# ---------------------------------------------------------------------------
+# Operating-mode state machine
+# ---------------------------------------------------------------------------
+
+
+class OperatingMode(enum.Enum):
+    """A controller's operating posture."""
+
+    NORMAL = "normal"
+    DEGRADED = "degraded"
+    SAFE = "safe"
+
+
+#: Escalation order; recovery steps one level left per hysteresis run.
+_MODE_ORDER = [OperatingMode.NORMAL, OperatingMode.DEGRADED, OperatingMode.SAFE]
+
+
+class ModeStateMachine:
+    """NORMAL → DEGRADED → SAFE escalation on consecutive invalid cycles.
+
+    Escalation is monotone within an outage: ``degraded_after`` invalid
+    cycles in a row enter DEGRADED, ``safe_after`` enter SAFE.  Any
+    valid cycle resets the invalid streak; ``recovery_valid_cycles``
+    valid cycles in a row step the posture down one level (SAFE →
+    DEGRADED → NORMAL), so recovery is deliberately slower than
+    escalation.  Disabled machines always report NORMAL.
+    """
+
+    def __init__(
+        self,
+        config: OperatingModeConfig | None = None,
+        *,
+        name: str = "",
+        alerts: AlertSink | None = None,
+    ) -> None:
+        self.config = config or OperatingModeConfig()
+        self.name = name
+        self.alerts = alerts
+        self.mode = OperatingMode.NORMAL
+        self.consecutive_invalid = 0
+        self.consecutive_valid = 0
+        #: (time_s, from_mode, to_mode) history, oldest first.
+        self.transitions: list[tuple[float, str, str]] = []
+        self.degraded_entries = 0
+        self.safe_entries = 0
+        #: UNCAP decisions deferred while not NORMAL.
+        self.deferred_uncaps = 0
+
+    def _alert(self, now_s: float, severity: Severity, message: str) -> None:
+        if self.alerts is not None:
+            self.alerts.raise_alert(now_s, severity, self.name, message)
+
+    def _transition(self, now_s: float, to: OperatingMode) -> None:
+        if to is self.mode:
+            return
+        previous = self.mode
+        self.mode = to
+        self.transitions.append((now_s, previous.value, to.value))
+        if to is OperatingMode.DEGRADED and previous is OperatingMode.NORMAL:
+            self.degraded_entries += 1
+            self._alert(
+                now_s,
+                Severity.WARNING,
+                f"entering DEGRADED after {self.consecutive_invalid} "
+                "consecutive invalid cycles; holding last limits",
+            )
+        elif to is OperatingMode.SAFE:
+            self.safe_entries += 1
+            self._alert(
+                now_s,
+                Severity.CRITICAL,
+                f"entering SAFE after {self.consecutive_invalid} consecutive "
+                "invalid cycles; applying fail-safe cap at the capping target",
+            )
+        else:
+            self._alert(
+                now_s,
+                Severity.INFO,
+                f"recovered from {previous.value} to {to.value} after "
+                f"{self.consecutive_valid} consecutive valid cycles",
+            )
+
+    def record_invalid_cycle(self, now_s: float) -> OperatingMode:
+        """One invalid cycle; escalate when thresholds are crossed."""
+        if not self.config.enabled:
+            return self.mode
+        self.consecutive_invalid += 1
+        self.consecutive_valid = 0
+        if self.consecutive_invalid >= self.config.safe_after_invalid_cycles:
+            self._transition(now_s, OperatingMode.SAFE)
+        elif (
+            self.consecutive_invalid
+            >= self.config.degraded_after_invalid_cycles
+        ):
+            if self.mode is OperatingMode.NORMAL:
+                self._transition(now_s, OperatingMode.DEGRADED)
+        return self.mode
+
+    def record_valid_cycle(self, now_s: float) -> OperatingMode:
+        """One valid cycle; step the posture down after a hysteresis run."""
+        if not self.config.enabled:
+            return self.mode
+        self.consecutive_invalid = 0
+        self.consecutive_valid += 1
+        if (
+            self.mode is not OperatingMode.NORMAL
+            and self.consecutive_valid >= self.config.recovery_valid_cycles
+        ):
+            step_down = _MODE_ORDER[_MODE_ORDER.index(self.mode) - 1]
+            self._transition(now_s, step_down)
+            # Each level of recovery needs its own full run of valid
+            # cycles — SAFE does not collapse straight to NORMAL.
+            self.consecutive_valid = 0
+        return self.mode
+
+    def record_deferred_uncap(self) -> None:
+        """Account an UNCAP decision deferred by a non-NORMAL posture."""
+        self.deferred_uncaps += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ModeStateMachine({self.name!r}, mode={self.mode.value}, "
+            f"invalid_streak={self.consecutive_invalid})"
+        )

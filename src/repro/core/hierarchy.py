@@ -19,7 +19,7 @@ from repro.core.upper_controller import UpperLevelPowerController
 from repro.errors import ConfigurationError
 from repro.power.device import DeviceLevel, PowerDevice
 from repro.power.topology import PowerTopology
-from repro.rpc.transport import RpcTransport
+from repro.rpc.transport import Transport
 from repro.telemetry.alerts import AlertSink
 from repro.telemetry.tracing import TraceBuffer
 
@@ -60,7 +60,7 @@ class ControllerHierarchy:
 
 def build_controller_hierarchy(
     topology: PowerTopology,
-    transport: RpcTransport,
+    transport: Transport,
     *,
     config: DynamoConfig | None = None,
     policy: PriorityPolicy | None = None,

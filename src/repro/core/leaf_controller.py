@@ -29,18 +29,20 @@ exists, estimated otherwise, exactly as the paper prescribes.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.config import BucketConfig, ControllerConfig
 from repro.core.capping_plan import CappingPlan, build_capping_plan
 from repro.core.controller import BaseController, DecisionPolicy
+from repro.core.health import OperatingMode
 from repro.core.messages import CapRequest, CapResponse, PowerReading
 from repro.core.priority import PriorityPolicy
 from repro.core.three_band import BandAction, BandDecision
+from repro.core.thresholds import control_thresholds_w
 from repro.errors import RpcError
 from repro.power.device import PowerDevice
-from repro.rpc.transport import RpcTransport
+from repro.rpc.transport import Transport
 from repro.telemetry.alerts import AlertSink, Severity
 from repro.telemetry.timeseries import TimeSeries
 from repro.telemetry.tracing import TraceBuffer, TraceBuilder
@@ -76,7 +78,7 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self,
         device: PowerDevice,
         server_ids: list[str],
-        transport: RpcTransport,
+        transport: Transport,
         *,
         config: ControllerConfig | None = None,
         bucket: BucketConfig | None = None,
@@ -96,6 +98,7 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._endpoint_prefix = endpoint_prefix
         self._last_readings: dict[str, PowerReading] = {}
         self._capped_servers: dict[str, float] = {}
+        self._fail_safe_engaged = False
         self._components: list[NonServerComponent] = []
         self._actuation_successes = 0
         self._actuation_failures = 0
@@ -122,22 +125,41 @@ class LeafPowerController(BaseController[list[PowerReading]]):
     def sense(
         self, now_s: float, trace: TraceBuilder
     ) -> list[PowerReading] | None:
-        """Pull every agent; estimate failures; None when >20% failed."""
+        """Pull every agent; cache/estimate failures; None when >20% failed.
+
+        A failed pull is served from the last-known-good reading cache
+        when that reading is at most ``reading_cache_ttl_s`` old (a real
+        measurement, merely stale, beats neighbour estimation); expired
+        or absent entries fall through to estimation.  Only pulls the
+        cache could not resolve count against the paper's 20%
+        invalid-aggregation rule.
+        """
         endpoints = [self._endpoint_prefix + s for s in self.server_ids]
         results, failures = self._transport.broadcast(
             endpoints, "read_power", None
         )
         trace.pulls_attempted = len(self.server_ids)
         trace.pulls_failed = len(failures)
+        ttl = self.config.reading_cache_ttl_s
+        stale_served: list[PowerReading] = []
+        unresolved: list[str] = []
+        for endpoint in failures:
+            server_id = endpoint[len(self._endpoint_prefix):]
+            last = self._last_readings.get(server_id)
+            if ttl > 0.0 and last is not None and now_s - last.time_s <= ttl:
+                stale_served.append(replace(last, stale=True))
+            else:
+                unresolved.append(server_id)
+        trace.pulls_stale = len(stale_served)
         if self.server_ids and (
-            len(failures) / len(self.server_ids)
+            len(unresolved) / len(self.server_ids)
             > self.config.max_reading_failure_fraction
         ):
             self.alerts.raise_alert(
                 now_s,
                 Severity.CRITICAL,
                 self.name,
-                f"power aggregation invalid: {len(failures)}/"
+                f"power aggregation invalid: {len(unresolved)}/"
                 f"{len(self.server_ids)} pulls failed; human intervention "
                 "required",
             )
@@ -148,12 +170,12 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             readings.append(reading)
             self._last_readings[reading.server_id] = reading
             by_service_power[reading.service].append(reading.power_w)
-        for endpoint in failures:
-            server_id = endpoint[len(self._endpoint_prefix):]
+        readings.extend(stale_served)
+        for server_id in unresolved:
             readings.append(
                 self._estimate_failed_reading(server_id, by_service_power, now_s)
             )
-        trace.pulls_estimated = len(failures)
+        trace.pulls_estimated = len(unresolved)
         return readings
 
     def _estimate_failed_reading(
@@ -219,6 +241,21 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             self._apply_plan(plan, now_s)
         elif decision.action is BandAction.UNCAP:
             self._uncap_all(now_s)
+        if (
+            self._fail_safe_engaged
+            and self.modes.mode is not OperatingMode.SAFE
+            and decision.action is not BandAction.CAP
+        ):
+            # A fail-safe release left unacknowledged uncaps behind (or
+            # never ran to completion): keep retiring them until none
+            # remain, so SAFE mode can never strand a cap.
+            if self.band.capping_active:
+                # The policy re-capped on top: it owns the limits now.
+                self._fail_safe_engaged = False
+            else:
+                self._uncap_all(now_s)
+                if not self._capped_servers:
+                    self._fail_safe_engaged = False
         trace.actuation_successes = self._actuation_successes
         trace.actuation_failures = self._actuation_failures
         trace.capped_after = len(self._capped_servers)
@@ -261,6 +298,61 @@ class LeafPowerController(BaseController[list[PowerReading]]):
                 self._actuation_failures += 1
                 still_capped[server_id] = self._capped_servers[server_id]
         self._capped_servers = still_capped
+
+    # ------------------------------------------------------------------
+    # SAFE-posture fail-safe capping
+    # ------------------------------------------------------------------
+
+    def apply_fail_safe(self, now_s: float, trace: TraceBuilder) -> None:
+        """Cap every server to an equal share of the capping target.
+
+        With sensing gone for long enough to reach SAFE, the aggregate
+        cannot be trusted, so the controller stops reasoning about
+        offenders and bounds the whole breaker: the capping target minus
+        overheads, split evenly.  Re-fanned out every SAFE tick, so
+        servers missed by a lossy fabric converge.
+        """
+        if not self.server_ids:
+            return
+        _, target, _, _ = control_thresholds_w(
+            self.band.config,
+            self.device.rated_power_w,
+            self._contractual_limit_w,
+        )
+        budget = target - self.device.fixed_overhead_w
+        budget -= sum(c.power_w() for c in self._components)
+        per_server_w = max(budget, 0.0) / len(self.server_ids)
+        for server_id in self.server_ids:
+            endpoint = self._endpoint_prefix + server_id
+            request = CapRequest(server_id=server_id, limit_w=per_server_w)
+            try:
+                response: CapResponse = self._transport.call(
+                    endpoint, "set_cap", request
+                )
+            except RpcError:
+                trace.actuation_failures += 1
+                continue
+            if response.success or response.message:
+                self._capped_servers[server_id] = per_server_w
+                trace.actuation_successes += 1
+        self._fail_safe_engaged = True
+        trace.detail = "fail-safe"
+        trace.capped_after = len(self._capped_servers)
+        self.capped_count_series.append(now_s, len(self._capped_servers))
+
+    def release_fail_safe(self, now_s: float) -> None:
+        """Withdraw fail-safe caps unless the policy has caps in force."""
+        if not self._fail_safe_engaged:
+            return
+        if self.band.capping_active:
+            # The decision policy believes caps are needed: leave every
+            # limit in place and let its own uncap path retire them.
+            self._fail_safe_engaged = False
+            return
+        self._uncap_all(now_s)
+        if not self._capped_servers:
+            self._fail_safe_engaged = False
+        self.capped_count_series.append(now_s, len(self._capped_servers))
 
     # ------------------------------------------------------------------
     # Validation against breaker readings

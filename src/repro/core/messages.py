@@ -20,6 +20,8 @@ class PowerReading:
             model rather than a sensor.
         service: the service running on the server (controller metadata).
         time_s: simulation time of the reading.
+        stale: True when the value was served from the controller's
+            last-known-good cache because this cycle's pull failed.
     """
 
     server_id: str
@@ -28,6 +30,7 @@ class PowerReading:
     service: str
     time_s: float
     breakdown: PowerBreakdown | None = None
+    stale: bool = False
 
 
 @dataclass(frozen=True)

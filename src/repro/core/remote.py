@@ -24,7 +24,7 @@ from __future__ import annotations
 from repro.errors import RpcError
 from repro.power.device import PowerDevice
 from repro.rpc.service import RpcService
-from repro.rpc.transport import RpcTransport
+from repro.rpc.transport import Transport
 
 
 def controller_endpoint(controller_name: str) -> str:
@@ -35,7 +35,7 @@ def controller_endpoint(controller_name: str) -> str:
 class ControllerEndpoint:
     """Serves a controller's parent-facing interface over RPC."""
 
-    def __init__(self, controller, transport: RpcTransport) -> None:
+    def __init__(self, controller, transport: Transport) -> None:
         self.controller = controller
         self._service = RpcService(
             transport, controller_endpoint(controller.name)
@@ -69,21 +69,25 @@ class RemoteChildController:
 
     RPC failures degrade gracefully: a failed ``get_aggregate`` shows
     the child as having no aggregation (the parent's missing-children
-    logic then applies), and failed contractual pushes are retried by
-    the parent's next cycle by construction (it re-sends limits while
-    capping is active).
+    logic then applies).  Contractual pushes follow a desired-state
+    model: the parent's latest intent (a limit, or None for clear) is
+    remembered, and a push that fails stays pending and is re-sent on
+    the parent's next sense of this child until acknowledged — a failed
+    ``clear_contractual`` can no longer strand the child capped forever.
     """
 
     def __init__(
         self,
         name: str,
         device: PowerDevice,
-        transport: RpcTransport,
+        transport: Transport,
     ) -> None:
         self._name = name
         self._device = device
         self._transport = transport
         self.rpc_failures = 0
+        self._desired_limit_w: float | None = None
+        self._pending_push = False
 
     @property
     def name(self) -> str:
@@ -96,8 +100,36 @@ class RemoteChildController:
         return self._device
 
     @property
+    def pending_push(self) -> bool:
+        """Whether a contractual set/clear is still unacknowledged."""
+        return self._pending_push
+
+    def _push_desired(self) -> bool:
+        """Send the desired contractual state once; True when acked."""
+        endpoint = controller_endpoint(self._name)
+        try:
+            if self._desired_limit_w is None:
+                self._transport.call(endpoint, "clear_contractual")
+            else:
+                self._transport.call(
+                    endpoint, "set_contractual", self._desired_limit_w
+                )
+        except RpcError:
+            self.rpc_failures += 1
+            self._pending_push = True
+            return False
+        self._pending_push = False
+        return True
+
+    @property
     def last_aggregate_power_w(self) -> float | None:
-        """Pull the child's aggregation over RPC; None on failure."""
+        """Pull the child's aggregation over RPC; None on failure.
+
+        Polled every parent cycle, so it doubles as the retry point for
+        an unacknowledged contractual push.
+        """
+        if self._pending_push:
+            self._push_desired()
         try:
             return self._transport.call(
                 controller_endpoint(self._name), "get_aggregate"
@@ -108,24 +140,16 @@ class RemoteChildController:
 
     def set_contractual_limit_w(self, limit_w: float) -> None:
         """Push a contractual limit; failures counted, not raised."""
-        try:
-            self._transport.call(
-                controller_endpoint(self._name), "set_contractual", limit_w
-            )
-        except RpcError:
-            self.rpc_failures += 1
+        self._desired_limit_w = float(limit_w)
+        self._push_desired()
 
     def clear_contractual_limit(self) -> None:
         """Release the contractual limit; failures counted, not raised."""
-        try:
-            self._transport.call(
-                controller_endpoint(self._name), "clear_contractual"
-            )
-        except RpcError:
-            self.rpc_failures += 1
+        self._desired_limit_w = None
+        self._push_desired()
 
 
-def distribute_hierarchy(hierarchy, transport: RpcTransport) -> list[ControllerEndpoint]:
+def distribute_hierarchy(hierarchy, transport: Transport) -> list[ControllerEndpoint]:
     """Expose every controller in a hierarchy over RPC and rewire parents.
 
     After this call, each upper controller reaches its children through

@@ -30,6 +30,7 @@ from repro.config import ControllerConfig
 from repro.core.controller import BaseController, DecisionPolicy, PowerController
 from repro.core.offender import ChildState, OffenderDecision, punish_offender_first
 from repro.core.three_band import BandAction, BandDecision
+from repro.core.thresholds import control_thresholds_w
 from repro.power.device import PowerDevice
 from repro.telemetry.alerts import AlertSink, Severity
 from repro.telemetry.tracing import TraceBuffer, TraceBuilder
@@ -184,6 +185,49 @@ class UpperLevelPowerController(BaseController[list[ChildState]]):
             if child is not None:
                 child.clear_contractual_limit()
         self._limited_children.clear()
+
+    # ------------------------------------------------------------------
+    # SAFE-posture fail-safe capping
+    # ------------------------------------------------------------------
+
+    def apply_fail_safe(self, now_s: float, trace: TraceBuilder) -> None:
+        """Limit every child to its quota share of the capping target.
+
+        With no child aggregations for long enough to reach SAFE there
+        are no offenders to punish, so the capping target (minus fixed
+        overhead) is divided quota-proportionally.  Existing contractual
+        limits only tighten, mirroring the capping-episode rule.
+        """
+        if not self.children:
+            return
+        _, target, _, _ = control_thresholds_w(
+            self.band.config,
+            self.device.rated_power_w,
+            self._contractual_limit_w,
+        )
+        budget = max(target - self.device.fixed_overhead_w, 0.0)
+        total_quota = sum(c.device.power_quota_w for c in self.children)
+        for child in self.children:
+            if total_quota > 0.0:
+                share = budget * child.device.power_quota_w / total_quota
+            else:
+                share = budget / len(self.children)
+            existing = self._limited_children.get(child.name)
+            if existing is not None:
+                share = min(share, existing)
+            child.set_contractual_limit_w(share)
+            self._limited_children[child.name] = share
+            trace.actuation_successes += 1
+        trace.detail = "fail-safe"
+        trace.capped_after = len(self._limited_children)
+
+    def release_fail_safe(self, now_s: float) -> None:
+        """Release fail-safe limits unless the policy has caps in force."""
+        if self.band.capping_active:
+            # The policy issued (some of) these limits: its own uncap
+            # path releases them when the device has earned power back.
+            return
+        self._uncap_children()
 
     @property
     def limited_children(self) -> list[str]:

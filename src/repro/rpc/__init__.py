@@ -6,14 +6,23 @@ fabric is simulated: calls are synchronous (their latency is tracked but
 is negligible against the 3 s control cycle), and an injector can fail or
 time out calls per-endpoint to exercise Dynamo's estimation and
 alerting paths.
+
+:mod:`repro.rpc.resilient` layers a call policy (deadline, bounded
+retries with deterministic backoff) and per-endpoint circuit breakers on
+top of any :class:`Transport`, feeding per-endpoint health history.
 """
 
+from repro.rpc.resilient import BreakerState, CircuitBreaker, ResilientTransport
 from repro.rpc.service import RequestHandler, RpcService
-from repro.rpc.transport import FailureInjector, RpcTransport
+from repro.rpc.transport import FailureInjector, RpcTransport, Transport
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "FailureInjector",
     "RequestHandler",
+    "ResilientTransport",
     "RpcService",
     "RpcTransport",
+    "Transport",
 ]

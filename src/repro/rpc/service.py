@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import RpcError
-from repro.rpc.transport import RpcTransport
+from repro.rpc.transport import Transport
 
 RequestHandler = Callable[[Any], Any]
 
@@ -17,7 +17,7 @@ RequestHandler = Callable[[Any], Any]
 class RpcService:
     """A named endpoint with method-level dispatch."""
 
-    def __init__(self, transport: RpcTransport, endpoint: str) -> None:
+    def __init__(self, transport: Transport, endpoint: str) -> None:
         self._transport = transport
         self.endpoint = endpoint
         self._methods: dict[str, RequestHandler] = {}

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -97,6 +97,11 @@ class FailureInjector:
             # surviving both the global and the endpoint-specific risk.
             timeout_p = 1.0 - (1.0 - timeout_p) * (1.0 - faults.timeout_probability)
             failure_p = 1.0 - (1.0 - failure_p) * (1.0 - faults.failure_probability)
+        # Layered chaos injections may push an individual rate outside
+        # [0, 1] (e.g. two faults both writing 0.8); the composed hazard
+        # handed to the RNG must stay a probability.
+        timeout_p = min(1.0, max(0.0, timeout_p))
+        failure_p = min(1.0, max(0.0, failure_p))
         if timeout_p > 0.0 and rng.random() < timeout_p:
             raise RpcTimeoutError(f"call to {endpoint!r} timed out")
         if failure_p > 0.0 and rng.random() < failure_p:
@@ -111,6 +116,42 @@ class FailureInjector:
 
 
 Handler = Callable[[str, Any], Any]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Structural surface shared by the raw and resilient transports.
+
+    Controllers, agents, and RPC services program against this so a
+    deployment can interpose :class:`~repro.rpc.resilient.ResilientTransport`
+    (retries, circuit breakers, health tracking) without any of them
+    changing.
+    """
+
+    injector: FailureInjector
+
+    @property
+    def endpoints(self) -> list[str]:
+        """All registered endpoint names."""
+        ...
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Register (or replace) the handler for ``endpoint``."""
+        ...
+
+    def unregister(self, endpoint: str) -> None:
+        """Remove an endpoint."""
+        ...
+
+    def call(self, endpoint: str, method: str, payload: Any = None) -> Any:
+        """Invoke ``method`` on ``endpoint``; may raise RpcError."""
+        ...
+
+    def broadcast(
+        self, endpoints: list[str], method: str, payload: Any = None
+    ) -> tuple[dict[str, Any], dict[str, Exception]]:
+        """Call every endpoint; collect successes and failures."""
+        ...
 
 
 class RpcTransport:
@@ -138,6 +179,10 @@ class RpcTransport:
         self.calls_made = 0
         self.calls_failed = 0
         self.total_latency_s = 0.0
+        #: Latency drawn for the most recent call — the resilience
+        #: layer's deadline check reads this, since calls are
+        #: synchronous and simulation time does not advance.
+        self.last_call_latency_s = 0.0
 
     def register(self, endpoint: str, handler: Handler) -> None:
         """Register (or replace) the handler for ``endpoint``."""
@@ -160,8 +205,10 @@ class RpcTransport:
             RpcTimeoutError: injected timeout.
         """
         self.calls_made += 1
-        self.total_latency_s += self._rng.exponential(self._mean_latency_s)
-        self.total_latency_s += self.injector.extra_latency_s(endpoint, self._rng)
+        latency = self._rng.exponential(self._mean_latency_s)
+        latency += self.injector.extra_latency_s(endpoint, self._rng)
+        self.last_call_latency_s = float(latency)
+        self.total_latency_s += latency
         try:
             self.injector.check(endpoint, self._rng)
             handler = self._handlers.get(endpoint)

@@ -53,6 +53,10 @@ class TickTrace:
     decide_duration_s: float
     actuate_duration_s: float
     detail: str = ""
+    #: Failed pulls served from the last-known-good reading cache.
+    pulls_stale: int = 0
+    #: The controller's operating posture when the tick ran.
+    mode: str = "normal"
 
     @property
     def duration_s(self) -> float:
@@ -73,6 +77,10 @@ class TickTrace:
             else f"{self.effective_limit_w:.1f}"
         )
         flags = "ok" if self.valid else "invalid"
+        # Resilience annotations appear only when they carry signal, so
+        # legacy (and golden-fingerprint) renders stay byte-identical.
+        stale = f" stale={self.pulls_stale}" if self.pulls_stale else ""
+        mode = f" mode={self.mode}" if self.mode != "normal" else ""
         return (
             f"{self.time_s:.3f} {self.controller} [{self.kind}] {self.action}"
             f" {flags} pulls={self.pulls_attempted - self.pulls_failed}"
@@ -80,7 +88,7 @@ class TickTrace:
             f" agg={aggregate}W limit={limit}W"
             f" cut={self.cut_requested_w:.1f}/{self.cut_allocated_w:.1f}W"
             f" act={self.actuation_successes}+{self.actuation_failures}f"
-            f" capped={self.capped_after}"
+            f" capped={self.capped_after}{stale}{mode}"
         )
 
 
@@ -111,6 +119,8 @@ class TraceBuilder:
     decide_duration_s: float = 0.0
     actuate_duration_s: float = 0.0
     detail: str = ""
+    pulls_stale: int = 0
+    mode: str = "normal"
 
     def finish(self) -> TickTrace:
         """Freeze the draft into an immutable :class:`TickTrace`."""
@@ -138,6 +148,8 @@ class TraceBuilder:
             decide_duration_s=self.decide_duration_s,
             actuate_duration_s=self.actuate_duration_s,
             detail=self.detail,
+            pulls_stale=self.pulls_stale,
+            mode=self.mode,
         )
 
 
@@ -153,6 +165,7 @@ class TraceMetrics:
     pulls_attempted: int = 0
     pulls_failed: int = 0
     pulls_estimated: int = 0
+    pulls_stale: int = 0
     cut_requested_w: float = 0.0
     cut_allocated_w: float = 0.0
     actuation_successes: int = 0
@@ -178,6 +191,7 @@ class TraceMetrics:
                 f"{self.pulls_attempted - self.pulls_failed}"
                 f"/{self.pulls_failed}/{self.pulls_estimated}",
             ),
+            ("stale reads served", str(self.pulls_stale)),
             (
                 "watts requested vs allocated",
                 f"{self.cut_requested_w:.1f} / {self.cut_allocated_w:.1f}",
@@ -263,6 +277,7 @@ class TraceBuffer:
             pulls_attempted=sum(t.pulls_attempted for t in traces),
             pulls_failed=sum(t.pulls_failed for t in traces),
             pulls_estimated=sum(t.pulls_estimated for t in traces),
+            pulls_stale=sum(t.pulls_stale for t in traces),
             cut_requested_w=sum(t.cut_requested_w for t in traces),
             cut_allocated_w=sum(t.cut_allocated_w for t in traces),
             actuation_successes=sum(t.actuation_successes for t in traces),

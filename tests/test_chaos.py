@@ -214,6 +214,58 @@ class TestSbOutageRideThrough:
         assert "survived" in text
 
 
+class TestFlakyFabricRecovery:
+    """The resilience acceptance scenario: a 30% flaky fabric, ridden out
+    by retries without a single breaker trip or stranded cap."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        scenario = CHAOS_SCENARIOS["flaky-fabric-recovery"](seed=7)
+        scenario.run()
+        return scenario
+
+    def test_retries_rescue_the_fabric(self, run):
+        score = build_scorecard(run)
+        assert score.rpc_retries > 0
+        assert score.rpc_retry_successes > 0
+
+    def test_no_breaker_trips_or_quarantines(self, run):
+        # 30% flaky is unpleasant, not dead: the circuit breakers must
+        # hold closed and nothing gets quarantined.
+        score = build_scorecard(run)
+        assert score.circuit_breaker_opens == 0
+        assert score.endpoint_quarantines == 0
+        assert score.survived
+
+    def test_no_stranded_contractual_limits(self, run):
+        # Bounded recovery: once the fabric heals, no child is left
+        # holding a limit its parent tried to clear, no cap is stuck,
+        # and no proxy still owes a push.
+        assert run.dynamo.capped_server_count() == 0
+        for controller in run.dynamo.hierarchy.all_controllers:
+            for child in getattr(controller, "children", []):
+                assert not getattr(child, "pending_push", False)
+
+    def test_aggregation_aborts_never_feed_breakers(self, run):
+        # An upper controller seeing a child abort its aggregation gets
+        # a clean "no reading" — not an RPC failure that could trip the
+        # child's breaker.
+        score = build_scorecard(run)
+        assert score.circuit_breaker_opens == 0
+
+    def test_modes_recovered_to_normal(self, run):
+        assert all(
+            mode == "normal"
+            for mode in run.dynamo.operating_modes().values()
+        )
+
+    def test_scorecard_shows_resilience_rows(self, run):
+        text = render_scorecard(build_scorecard(run))
+        assert "rpc retry successes" in text
+        assert "circuit-breaker opens" in text
+        assert "safe-mode entries" in text
+
+
 class TestScenarioRegistry:
     def test_all_scenarios_buildable(self):
         for name, builder in CHAOS_SCENARIOS.items():

@@ -96,6 +96,45 @@ class TestChaosCommand:
         assert "invalid ticks" in out
 
 
+class TestHealthCommand:
+    def test_health_quickstart_leaf(self, capsys):
+        code = main(["health", "rpp0.0.0", "--duration-h", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rpp0.0.0: mode=normal" in out
+        assert "endpoint health" in out
+        assert "breaker=closed" in out
+
+    def test_health_upper_controller_lists_children(self, capsys):
+        code = main(["health", "sb0.0", "--duration-h", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ctrl:" in out
+
+    def test_health_chaos_scenario(self, capsys):
+        code = main(
+            [
+                "health",
+                "rpp0",
+                "--scenario",
+                "flaky-fabric-recovery",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retries=" in out
+        assert "opens=0" in out
+
+    def test_health_unknown_device_lists_known(self, capsys):
+        code = main(["health", "nonsense", "--duration-h", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no controller" in out
+        assert "rpp0.0.0" in out
+
+
 class TestTraceCommand:
     def test_trace_quickstart_prints_ticks_and_metrics(self, capsys):
         code = main(

@@ -78,6 +78,39 @@ class TestEndpointAndProxy:
         self.endpoint.shutdown()
         assert self.proxy.last_aggregate_power_w is None
 
+    def test_failed_clear_resent_until_acked(self):
+        # Regression: a clear lost to a dead endpoint used to strand the
+        # child on its old contractual limit forever.
+        self.proxy.set_contractual_limit_w(5_000.0)
+        self.transport.injector.take_down(controller_endpoint("stub"))
+        self.proxy.clear_contractual_limit()
+        assert self.controller.contractual == 5_000.0  # stranded for now
+        assert self.proxy.pending_push
+        self.transport.injector.restore(controller_endpoint("stub"))
+        # The next sense pass flushes the pending desired state first.
+        assert self.proxy.last_aggregate_power_w == 1234.0
+        assert self.controller.contractual is None
+        assert not self.proxy.pending_push
+
+    def test_failed_set_resent_until_acked(self):
+        self.transport.injector.take_down(controller_endpoint("stub"))
+        self.proxy.set_contractual_limit_w(4_000.0)
+        assert self.controller.contractual is None
+        assert self.proxy.pending_push
+        self.transport.injector.restore(controller_endpoint("stub"))
+        self.proxy.last_aggregate_power_w
+        assert self.controller.contractual == 4_000.0
+        assert not self.proxy.pending_push
+
+    def test_newer_desired_state_supersedes_pending(self):
+        self.transport.injector.take_down(controller_endpoint("stub"))
+        self.proxy.set_contractual_limit_w(4_000.0)
+        self.proxy.set_contractual_limit_w(3_000.0)
+        self.transport.injector.restore(controller_endpoint("stub"))
+        self.proxy.last_aggregate_power_w
+        # Only the latest desired limit is delivered, not the history.
+        assert self.controller.contractual == 3_000.0
+
 
 class TestDistributedUpper:
     def test_upper_controller_over_rpc(self):

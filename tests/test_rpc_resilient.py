@@ -1,0 +1,352 @@
+"""Tests for the resilient RPC layer (call policy + circuit breakers)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CallPolicyConfig, CircuitBreakerConfig
+from repro.core.health import HealthRegistry
+from repro.errors import RpcError, RpcTimeoutError
+from repro.rpc.resilient import BreakerState, CircuitBreaker, ResilientTransport
+from repro.rpc.transport import RpcTransport
+
+
+class FakeClock:
+    """A settable simulation clock (the transport reads ``.now``)."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def make_resilient(
+    *, policy=None, breaker=None, health=None, rng=None, clock=None, seed=0
+):
+    inner = RpcTransport(np.random.default_rng(seed))
+    resilient = ResilientTransport(
+        inner,
+        policy=policy,
+        breaker=breaker,
+        health=health,
+        rng=rng,
+        clock=clock,
+    )
+    return resilient, inner
+
+
+class TestHappyPath:
+    def test_call_passes_through(self):
+        resilient, _ = make_resilient()
+        resilient.register("echo", lambda method, payload: (method, payload))
+        assert resilient.call("echo", "ping", 42) == ("ping", 42)
+
+    def test_one_inner_call_per_success(self):
+        resilient, inner = make_resilient()
+        resilient.register("x", lambda m, p: 1)
+        for _ in range(10):
+            resilient.call("x", "ping")
+        assert inner.calls_made == 10
+
+    def test_no_rng_draws_on_success(self):
+        # The parity contract: the jitter stream is untouched unless a
+        # retry actually happens, so a clean run is byte-identical with
+        # and without the resilience layer.
+        rng = np.random.default_rng(7)
+        resilient, _ = make_resilient(rng=rng)
+        resilient.register("x", lambda m, p: 1)
+        for _ in range(25):
+            resilient.call("x", "ping")
+        assert rng.random() == np.random.default_rng(7).random()
+
+    def test_delegation_surface(self):
+        resilient, inner = make_resilient()
+        resilient.register("x", lambda m, p: 1)
+        assert resilient.endpoints == ["x"]
+        assert resilient.inner is inner
+        assert resilient.injector is inner.injector
+        resilient.unregister("x")
+        assert resilient.endpoints == []
+
+    def test_broadcast_routes_through_resilient_path(self):
+        resilient, _ = make_resilient()
+        resilient.register("a", lambda m, p: "A")
+        resilient.register("b", lambda m, p: "B")
+        resilient.injector.take_down("b")
+        results, failures = resilient.broadcast(["a", "b"], "ping")
+        assert results == {"a": "A"}
+        assert set(failures) == {"b"}
+
+
+class TestBackoffSchedule:
+    def test_same_seed_same_delays(self):
+        a, _ = make_resilient(rng=np.random.default_rng(3))
+        b, _ = make_resilient(rng=np.random.default_rng(3))
+        delays_a = [a.backoff_delay_s(i) for i in range(1, 6)]
+        delays_b = [b.backoff_delay_s(i) for i in range(1, 6)]
+        assert delays_a == delays_b
+
+    def test_jitter_bounded_around_exponential_schedule(self):
+        policy = CallPolicyConfig(
+            backoff_base_s=0.05,
+            backoff_multiplier=2.0,
+            backoff_max_s=1.0,
+            jitter_fraction=0.5,
+        )
+        resilient, _ = make_resilient(
+            policy=policy, rng=np.random.default_rng(11)
+        )
+        for i in range(1, 8):
+            pure = min(1.0, 0.05 * 2.0 ** (i - 1))
+            delay = resilient.backoff_delay_s(i)
+            assert pure * 0.5 <= delay <= pure * 1.5
+
+    def test_no_rng_means_pure_exponential(self):
+        policy = CallPolicyConfig(
+            backoff_base_s=0.1, backoff_multiplier=3.0, backoff_max_s=10.0
+        )
+        resilient, _ = make_resilient(policy=policy, rng=None)
+        assert resilient.backoff_delay_s(1) == pytest.approx(0.1)
+        assert resilient.backoff_delay_s(2) == pytest.approx(0.3)
+        assert resilient.backoff_delay_s(3) == pytest.approx(0.9)
+
+    def test_backoff_capped_at_max(self):
+        policy = CallPolicyConfig(
+            backoff_base_s=0.5,
+            backoff_multiplier=4.0,
+            backoff_max_s=1.0,
+            jitter_fraction=0.0,
+        )
+        resilient, _ = make_resilient(
+            policy=policy, rng=np.random.default_rng(0)
+        )
+        assert resilient.backoff_delay_s(5) == pytest.approx(1.0)
+
+
+class TestRetries:
+    def test_retry_rescues_transient_failure(self):
+        resilient, inner = make_resilient(
+            policy=CallPolicyConfig(max_attempts=3)
+        )
+        failures_left = [2]
+
+        def handler(method, payload):
+            if failures_left[0] > 0:
+                failures_left[0] -= 1
+                raise RpcError("transient")
+            return "ok"
+
+        resilient.register("x", handler)
+        assert resilient.call("x", "ping") == "ok"
+        assert inner.calls_made == 3
+        stats = resilient.health.stats("x")
+        assert stats.retries == 2
+        assert stats.retry_successes == 1
+        assert stats.failures == 2
+        assert stats.successes == 1
+
+    def test_exhausted_retries_raise_last_error(self):
+        resilient, inner = make_resilient(
+            policy=CallPolicyConfig(max_attempts=3)
+        )
+        resilient.register("x", lambda m, p: 1)
+        resilient.injector.take_down("x")
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        assert inner.calls_made == 3
+        assert resilient.health.stats("x").failures == 3
+
+    def test_backoff_time_accounted(self):
+        resilient, _ = make_resilient(
+            policy=CallPolicyConfig(max_attempts=2, jitter_fraction=0.0)
+        )
+        resilient.register("x", lambda m, p: 1)
+        resilient.injector.take_down("x")
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        assert resilient.backoff_waited_s == pytest.approx(0.05)
+
+
+class TestDeadline:
+    def test_slow_reply_is_a_timeout(self):
+        # A deadline below any plausible latency draw: every attempt's
+        # reply comes back "too late" and the call times out.
+        resilient, inner = make_resilient(
+            policy=CallPolicyConfig(deadline_s=1e-12, max_attempts=2)
+        )
+        resilient.register("x", lambda m, p: 1)
+        with pytest.raises(RpcTimeoutError):
+            resilient.call("x", "ping")
+        assert inner.calls_made == 2
+        # The handler ran (side effects stand) but the call failed.
+        assert resilient.health.stats("x").failures == 2
+
+    def test_generous_deadline_passes(self):
+        resilient, _ = make_resilient(
+            policy=CallPolicyConfig(deadline_s=1e9)
+        )
+        resilient.register("x", lambda m, p: 1)
+        assert resilient.call("x", "ping") == 1
+
+
+class TestCircuitBreakerUnit:
+    def test_consecutive_failures_trip(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(consecutive_failure_threshold=3)
+        )
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.0) is True
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(consecutive_failure_threshold=3)
+        )
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failure_rate_trips_without_consecutive_run(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(
+                consecutive_failure_threshold=100,
+                failure_rate_threshold=0.5,
+                window_size=10,
+                min_samples=10,
+            )
+        )
+        # Alternate success/failure: never 2 in a row, but 50% over the
+        # 10-sample window once it fills.
+        for _ in range(5):
+            breaker.record_success(0.0)
+            tripped = breaker.record_failure(0.0)
+        assert tripped is True
+        assert breaker.state is BreakerState.OPEN
+
+    def test_open_rejects_until_duration_elapses(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(
+                consecutive_failure_threshold=1, open_duration_s=10.0
+            )
+        )
+        breaker.record_failure(100.0)
+        assert not breaker.allow(105.0)
+        assert breaker.allow(110.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(
+                consecutive_failure_threshold=1, open_duration_s=10.0
+            )
+        )
+        breaker.record_failure(0.0)
+        breaker.allow(10.0)
+        breaker.record_success(10.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.opened_at_s is None
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(
+                consecutive_failure_threshold=1, open_duration_s=10.0
+            )
+        )
+        breaker.record_failure(0.0)
+        breaker.allow(10.0)
+        # A re-open is not a full trip: opens stays 1.
+        assert breaker.record_failure(10.0) is False
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+        assert breaker.reopens == 1
+        assert not breaker.allow(15.0)
+
+    def test_zero_open_duration_probes_immediately(self):
+        breaker = CircuitBreaker(
+            CircuitBreakerConfig(
+                consecutive_failure_threshold=1, open_duration_s=0.0
+            )
+        )
+        breaker.record_failure(5.0)
+        assert breaker.allow(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestBreakerInTransport:
+    def make_tripping(self, clock, **registry_kwargs):
+        health = HealthRegistry(**registry_kwargs) if registry_kwargs else None
+        resilient, inner = make_resilient(
+            policy=CallPolicyConfig(max_attempts=2),
+            breaker=CircuitBreakerConfig(
+                consecutive_failure_threshold=2, open_duration_s=60.0
+            ),
+            health=health,
+            clock=clock,
+        )
+        resilient.register("x", lambda m, p: 1)
+        return resilient, inner
+
+    def test_open_breaker_fails_fast(self):
+        clock = FakeClock()
+        resilient, inner = self.make_tripping(clock)
+        resilient.injector.take_down("x")
+        # Both attempts fail; the second trips the breaker mid-call.
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        assert resilient.breaker_state("x") == "open"
+        made = inner.calls_made
+        with pytest.raises(RpcError, match="circuit open"):
+            resilient.call("x", "ping")
+        # Fast-fail: the wire was never touched.
+        assert inner.calls_made == made
+        assert resilient.health.stats("x").fast_fails == 1
+
+    def test_half_open_gets_single_probe_then_reopens(self):
+        clock = FakeClock()
+        resilient, inner = self.make_tripping(clock)
+        resilient.injector.take_down("x")
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        clock.now = 60.0
+        made = inner.calls_made
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        # One probe, not a retry burst — and the breaker re-opened.
+        assert inner.calls_made == made + 1
+        assert resilient.breaker_state("x") == "open"
+        assert resilient.breaker("x").reopens == 1
+
+    def test_successful_probe_closes_breaker(self):
+        clock = FakeClock()
+        resilient, inner = self.make_tripping(clock)
+        resilient.injector.take_down("x")
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        resilient.injector.restore("x")
+        clock.now = 60.0
+        assert resilient.call("x", "ping") == 1
+        assert resilient.breaker_state("x") == "closed"
+
+    def test_quarantine_fails_fast_and_expires(self):
+        clock = FakeClock()
+        resilient, inner = self.make_tripping(
+            clock, quarantine_after_opens=1, quarantine_duration_s=300.0
+        )
+        resilient.injector.take_down("x")
+        with pytest.raises(RpcError):
+            resilient.call("x", "ping")
+        assert resilient.health.is_quarantined("x", clock.now)
+        made = inner.calls_made
+        with pytest.raises(RpcError, match="quarantined"):
+            resilient.call("x", "ping")
+        assert inner.calls_made == made
+        # Quarantine expires with the clock; the breaker then probes.
+        resilient.injector.restore("x")
+        clock.now = 300.0
+        assert resilient.call("x", "ping") == 1
+
+    def test_breaker_state_defaults_closed(self):
+        resilient, _ = make_resilient()
+        assert resilient.breaker_state("never-called") == "closed"

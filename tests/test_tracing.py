@@ -269,3 +269,18 @@ class TestTickTraceRender:
         rendered = trace.render()
         assert "0.123" not in rendered
         assert "rpp0" in rendered
+
+    def test_stale_and_mode_suffixes_only_when_nondefault(self):
+        # Parity contract: the default render is byte-identical to the
+        # pre-resilience format; the new fields only show when set.
+        plain = TraceBuilder(
+            time_s=3.0, controller="rpp0", kind="leaf"
+        ).finish()
+        assert " stale=" not in plain.render()
+        assert " mode=" not in plain.render()
+        tagged = TraceBuilder(
+            time_s=3.0, controller="rpp0", kind="leaf",
+            pulls_stale=2, mode="degraded",
+        ).finish()
+        assert "stale=2" in tagged.render()
+        assert "mode=degraded" in tagged.render()
