@@ -1,0 +1,87 @@
+"""Benchmarks the snapshot subsystem: warm-start sweeps vs cold starts.
+
+The economic argument for fork-from-snapshot is that a warmed-up world
+is expensive to reach (long warm-up horizon) and cheap to clone.  This
+bench measures exactly that trade: N cold runs each pay the full
+warm-up + horizon, while a warm-start sweep pays the warm-up once at
+capture time and then only the horizon per branch.  Results land in
+``BENCH_snapshot.json`` via the session reporter in ``conftest.py``.
+"""
+
+import time
+
+from repro.state import (
+    SnapshotRegistry,
+    WorldSnapshot,
+    build_quickstart_world,
+    run_sweep,
+)
+
+WARMUP_S = 1800.0
+HORIZON_S = 60.0
+BRANCHES = 8
+SEED = 3
+
+
+def test_bench_warm_start_sweep_vs_cold_runs(once, bench_report, tmp_path):
+    registry = SnapshotRegistry()
+    path = tmp_path / "warm.json"
+
+    def experiment():
+        # Capture the warm asset (charged to the warm side).  Sweep
+        # assets drop per-tick traces: branches only need the control
+        # state, and the slim file loads faster in every worker.
+        t0 = time.perf_counter()
+        world = build_quickstart_world(seed=SEED)
+        world.run_until(WARMUP_S)
+        registry.capture(world, include_traces=False).save(path)
+        capture_s = time.perf_counter() - t0
+
+        # Warm: fork the asset per branch, run only the horizon.
+        t0 = time.perf_counter()
+        results = run_sweep(
+            path, branches=BRANCHES, horizon_s=HORIZON_S, workers=1
+        )
+        sweep_s = time.perf_counter() - t0
+
+        # Cold: every branch pays warm-up + horizon from scratch.
+        t0 = time.perf_counter()
+        for index in range(BRANCHES):
+            cold = build_quickstart_world(seed=SEED + index)
+            cold.run_until(WARMUP_S + HORIZON_S)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        snapshot = WorldSnapshot.load(path)
+        load_s = time.perf_counter() - t0
+        restore_start = time.perf_counter()
+        registry.restore(snapshot)
+        restore_s = time.perf_counter() - restore_start
+
+        return {
+            "branches": BRANCHES,
+            "warmup_s": WARMUP_S,
+            "horizon_s": HORIZON_S,
+            "cold_runs_wall_s": round(cold_s, 3),
+            "warm_sweep_wall_s": round(sweep_s, 3),
+            "capture_and_save_wall_s": round(capture_s, 3),
+            "warm_total_wall_s": round(capture_s + sweep_s, 3),
+            "speedup_sweep_only": round(cold_s / sweep_s, 2),
+            "speedup_including_capture": round(
+                cold_s / (capture_s + sweep_s), 2
+            ),
+            "snapshot_load_wall_s": round(load_s, 4),
+            "snapshot_restore_wall_s": round(restore_s, 4),
+            "snapshot_file_bytes": path.stat().st_size,
+            "sweep_throughput_branches_per_s": round(BRANCHES / sweep_s, 2),
+            "branch_fingerprints_distinct": len(
+                {r.fingerprint for r in results}
+            ),
+        }
+
+    report = once(experiment)
+    # The acceptance bar: a warm-start sweep beats N cold runs by >= 2x
+    # even when the one-time capture cost is charged against it.
+    assert report["speedup_including_capture"] >= 2.0
+    assert report["branch_fingerprints_distinct"] == BRANCHES
+    bench_report("snapshot", report)

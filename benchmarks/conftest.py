@@ -6,6 +6,9 @@ of the result (who wins, orderings, crossovers) rather than absolute
 numbers — our substrate is a simulator, not Facebook's fleet.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 
@@ -22,3 +25,33 @@ def once(benchmark):
         return run_once(benchmark, fn)
 
     return runner
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable reports
+# ---------------------------------------------------------------------------
+
+_REPORTS: dict[str, dict] = {}
+
+
+@pytest.fixture
+def bench_report():
+    """Collect a named report payload; written as ``BENCH_<name>.json``.
+
+    Reports accumulate across the session and are flushed once at exit,
+    so a bench module can contribute several measurements to one file.
+    """
+
+    def record(name: str, payload: dict) -> None:
+        _REPORTS.setdefault(name, {}).update(payload)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush collected reports next to the invocation directory."""
+    for name, payload in _REPORTS.items():
+        Path(f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

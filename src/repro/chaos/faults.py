@@ -28,13 +28,17 @@ kind                effect
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
 from repro.core.agent import agent_endpoint
 from repro.errors import ConfigurationError
 from repro.server.sensor import PowerBreakdown, PowerSensor
-from repro.workloads.events import TrafficSurgeEvent
+from repro.workloads.events import (
+    TrafficSurgeEvent,
+    decode_modifier,
+    encode_modifier,
+)
 
 
 @dataclass(frozen=True)
@@ -102,6 +106,22 @@ class Fault:
         """Revert the fault; returns a stable detail string."""
         raise NotImplementedError
 
+    # Snapshot support --------------------------------------------------
+
+    def snapshot_state(self, ctx) -> dict:
+        """Serializable mid-flight state; stateless faults return ``{}``.
+
+        Faults that swap objects out of the live world (saved sensors,
+        surge modifiers, original breaker ratings) must capture enough
+        to rebuild their save-lists against a recipe-rebuilt world; the
+        world-side effects themselves (injector tables, agent health,
+        device ratings) are captured by the owning components.
+        """
+        return {}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Rebuild mid-flight state against a recipe-rebuilt world."""
+
     # Helpers shared by the concrete faults ----------------------------
 
     def _server_ids(self, ctx) -> list[str]:
@@ -153,6 +173,38 @@ class SensorDropoutFault(Fault):
         self._saved.clear()
         return f"restored {restored} sensors"
 
+    def snapshot_state(self, ctx) -> dict:
+        """Which servers hold a hidden sensor, plus its noise-RNG state.
+
+        The hidden sensor is detached from its server while the fault is
+        live, so :class:`~repro.server.server.Server` cannot capture it;
+        its RNG state rides here instead.
+        """
+        return {
+            "saved": [
+                {
+                    "server_id": server_id,
+                    "rng": (
+                        None
+                        if sensor is None
+                        else sensor._rng.bit_generator.state
+                    ),
+                }
+                for server_id, sensor in self._saved.items()
+            ],
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Re-detach sensors from the rebuilt world's servers."""
+        self._saved.clear()
+        for entry in state["saved"]:
+            server = ctx.fleet.servers[entry["server_id"]]
+            sensor = server.sensor
+            if sensor is not None and entry["rng"] is not None:
+                sensor._rng.bit_generator.state = entry["rng"]
+            self._saved[entry["server_id"]] = sensor
+            server.sensor = None
+
 
 class SensorStuckFault(Fault):
     """Sensors freeze at the reading taken at injection time."""
@@ -181,6 +233,37 @@ class SensorStuckFault(Fault):
         restored = len(self._saved)
         self._saved.clear()
         return f"unfroze {restored} sensors"
+
+    def snapshot_state(self, ctx) -> dict:
+        """Frozen readings plus the hidden real sensors' RNG states.
+
+        ``_saved`` holds the real sensors; the frozen breakdowns sit on
+        the :class:`_StuckSensor` replacements currently installed on
+        the servers, reached through ``ctx``.
+        """
+        saved = []
+        for server_id, sensor in self._saved.items():
+            stuck = ctx.fleet.servers[server_id].sensor
+            assert isinstance(stuck, _StuckSensor)
+            saved.append(
+                {
+                    "server_id": server_id,
+                    "rng": sensor._rng.bit_generator.state,
+                    "frozen": asdict(stuck._frozen),
+                }
+            )
+        return {"saved": saved}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Re-freeze the rebuilt world's sensors at the captured readings."""
+        self._saved.clear()
+        for entry in state["saved"]:
+            server = ctx.fleet.servers[entry["server_id"]]
+            sensor = server.sensor
+            assert isinstance(sensor, PowerSensor)
+            sensor._rng.bit_generator.state = entry["rng"]
+            self._saved[entry["server_id"]] = sensor
+            server.sensor = _StuckSensor(PowerBreakdown(**entry["frozen"]))
 
 
 class AgentCrashFault(Fault):
@@ -341,6 +424,27 @@ class PowerSurgeFault(Fault):
         self._modifiers.clear()
         return f"released {released} servers"
 
+    def snapshot_state(self, ctx) -> dict:
+        """The surge modifiers handed out, by value.
+
+        The workloads capture their own modifier lists; this records
+        which instance to ``remove_modifier`` at recovery (frozen
+        dataclass equality makes a rebuilt equal instance removable).
+        """
+        return {
+            "modifiers": [
+                {"server_id": server_id, "modifier": encode_modifier(surge)}
+                for server_id, surge in self._modifiers.items()
+            ],
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Rebuild the recovery ledger (workloads restore the effects)."""
+        self._modifiers = {
+            entry["server_id"]: decode_modifier(entry["modifier"])
+            for entry in state["modifiers"]
+        }
+
 
 class BreakerDeratingFault(Fault):
     """A device's rating is temporarily derated (maintenance, heat)."""
@@ -372,6 +476,16 @@ class BreakerDeratingFault(Fault):
         restored = ",".join(sorted(self._saved))
         self._saved.clear()
         return f"restored ratings: {restored}"
+
+    def snapshot_state(self, ctx) -> dict:
+        """The pre-derating ratings (current ones live on the devices)."""
+        return {"saved": dict(self._saved)}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Rebuild the original-rating ledger."""
+        self._saved = {
+            name: float(rating) for name, rating in state["saved"].items()
+        }
 
 
 FAULT_TYPES: dict[str, type[Fault]] = {

@@ -108,6 +108,9 @@ def default_health_probe(run: ChaosRun) -> Callable[[ChaosContext], bool]:
         state["invalid"] = invalid
         return ok
 
+    # Exposed so a snapshot can capture/restore the probe's memory of
+    # the last-seen invalid-cycle count.
+    healthy.probe_state = state  # type: ignore[attr-defined]
     return healthy
 
 

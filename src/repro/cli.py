@@ -10,6 +10,11 @@ Usage::
     python -m repro run cascade
     python -m repro chaos list
     python -m repro chaos run sb-outage --seed 7
+    python -m repro chaos run --resume mid-campaign.json
+    python -m repro snapshot save --scenario sb-outage --at 900 --out s.json
+    python -m repro snapshot restore s.json --until 1800
+    python -m repro snapshot diff a.json b.json
+    python -m repro snapshot sweep s.json --branches 8 --horizon 300
     python -m repro trace rpp0.0 --scenario quickstart --last 10
     python -m repro trace sb0.0 --scenario sb-outage --seed 7
     python -m repro health rpp0 --scenario flaky-fabric-recovery --seed 7
@@ -42,35 +47,11 @@ SCENARIOS = ("quickstart", "ashburn", "altoona", "hadoop", "mixedrow", "cascade"
 
 def _quickstart_deployment(seed: int, duration_h: float):
     """Build, run, and return the quickstart deployment pieces."""
-    from repro import (
-        DataCenterSpec,
-        Dynamo,
-        FleetDriver,
-        RngStreams,
-        ServiceAllocation,
-        SimulationEngine,
-        build_datacenter,
-        plan_quotas,
-        populate_fleet,
-    )
+    from repro.state.worlds import build_quickstart_world
 
-    engine = SimulationEngine()
-    topology = build_datacenter(
-        DataCenterSpec(msb_count=1, sbs_per_msb=2, rpps_per_sb=2, racks_per_rpp=3)
-    )
-    plan_quotas(topology)
-    rng = RngStreams(seed)
-    fleet = populate_fleet(
-        topology,
-        [ServiceAllocation("web", 24), ServiceAllocation("cache", 12)],
-        rng,
-    )
-    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
-    driver = FleetDriver(engine, topology, fleet)
-    driver.start()
-    dynamo.start()
-    engine.run_until(hours(duration_h))
-    return dynamo, driver, topology
+    world = build_quickstart_world(seed=seed)
+    world.run_until(hours(duration_h))
+    return world.dynamo, world.driver, world.topology
 
 
 def _run_quickstart(args: argparse.Namespace) -> int:
@@ -174,6 +155,11 @@ def _run_chaos(args: argparse.Namespace) -> int:
             print(name)
         return 0
 
+    if args.resume is not None:
+        return _resume_chaos(args)
+    if args.scenario is None:
+        print("chaos run: a scenario name or --resume <snapshot> is required")
+        return 2
     builder = CHAOS_SCENARIOS[args.scenario]
     fingerprints: list[str] = []
     score = None
@@ -194,6 +180,133 @@ def _run_chaos(args: argparse.Namespace) -> int:
             print("--- run 1 ---", fingerprints[0], sep="\n")
             print("--- run 2 ---", fingerprints[1], sep="\n")
     return 0 if (deterministic and score.breaker_trips == 0) else 1
+
+
+def _resume_chaos(args: argparse.Namespace) -> int:
+    """Continue a seeded chaos campaign from a mid-campaign snapshot."""
+    from repro.chaos import build_scorecard, render_scorecard
+    from repro.state import SnapshotRegistry, WorldSnapshot
+
+    snapshot = WorldSnapshot.load(args.resume)
+    if snapshot.builder != "chaos":
+        print(
+            f"{args.resume} captures a {snapshot.builder!r} world, not a "
+            "chaos campaign; take it with "
+            "'snapshot save --scenario <chaos-scenario>'"
+        )
+        return 2
+    scenario = snapshot.recipe["kwargs"]["scenario"]
+    if args.scenario is not None and args.scenario != scenario:
+        print(
+            f"snapshot captures scenario {scenario!r}, not {args.scenario!r}"
+        )
+        return 2
+    world = SnapshotRegistry().restore(snapshot)
+    run = world.extras["chaos_run"]
+    print(
+        f"resumed {scenario!r} (seed {snapshot.recipe['kwargs']['seed']}) "
+        f"at t={snapshot.time_s:.1f}s, running to t={run.end_s:.1f}s"
+    )
+    world.run_until(run.end_s)
+    score = build_scorecard(run)
+    print(render_scorecard(score))
+    return 0 if score.breaker_trips == 0 else 1
+
+
+def _run_snapshot(args: argparse.Namespace) -> int:
+    from repro.state import (
+        SnapshotRegistry,
+        WorldSnapshot,
+        build_chaos_world,
+        build_quickstart_world,
+        fingerprint,
+        run_sweep,
+        state_digest,
+    )
+
+    registry = SnapshotRegistry()
+    if args.snapshot_command == "save":
+        if args.scenario == "quickstart":
+            world = build_quickstart_world(seed=args.seed)
+        else:
+            world = build_chaos_world(args.scenario, seed=args.seed)
+        world.run_until(args.at)
+        snapshot = registry.capture(
+            world, include_traces=not args.no_traces
+        )
+        path = snapshot.save(args.out)
+        print(
+            f"saved {args.scenario!r} world at t={snapshot.time_s:.1f}s "
+            f"to {path} ({snapshot.integrity()})"
+        )
+        return 0
+    if args.snapshot_command == "restore":
+        snapshot = WorldSnapshot.load(args.path)
+        world = registry.restore(snapshot)
+        end_s = snapshot.time_s if args.until is None else args.until
+        world.run_until(end_s)
+        state = registry.capture(world).state
+        print(
+            f"restored {snapshot.builder!r} world at "
+            f"t={snapshot.time_s:.1f}s, ran to t={world.now_s:.1f}s"
+        )
+        print(f"fingerprint: {fingerprint(state)}")
+        return 0
+    if args.snapshot_command == "diff":
+        left = WorldSnapshot.load(args.a)
+        right = WorldSnapshot.load(args.b)
+        identical = (
+            left.recipe == right.recipe
+            and left.integrity() == right.integrity()
+        )
+        print(f"a: {left.builder!r} t={left.time_s:.1f}s {left.integrity()}")
+        print(
+            f"b: {right.builder!r} t={right.time_s:.1f}s {right.integrity()}"
+        )
+        if left.recipe != right.recipe:
+            print(f"recipes differ: {left.recipe} vs {right.recipe}")
+        for key in sorted(set(left.state) | set(right.state)):
+            a_digest = (
+                state_digest(left.state[key]) if key in left.state else "absent"
+            )
+            b_digest = (
+                state_digest(right.state[key])
+                if key in right.state
+                else "absent"
+            )
+            marker = "  " if a_digest == b_digest else "* "
+            print(f"{marker}{key}: {'identical' if a_digest == b_digest else 'differs'}")
+        print("snapshots identical" if identical else "snapshots differ")
+        return 0 if identical else 1
+    if args.snapshot_command == "sweep":
+        results = run_sweep(
+            args.path,
+            branches=args.branches,
+            horizon_s=args.horizon,
+            workers=args.workers,
+        )
+        print(
+            f"{'branch':>6} {'peak_kw':>8} {'caps':>5} {'uncaps':>6} "
+            f"{'trips':>5}  fingerprint"
+        )
+        for result in results:
+            print(
+                f"{result.branch:>6} "
+                f"{to_kilowatts(result.peak_power_w):>8.1f} "
+                f"{result.cap_events:>5} {result.uncap_events:>6} "
+                f"{result.trips:>5}  {result.fingerprint}"
+            )
+        if args.json is not None:
+            import json as json_module
+            from pathlib import Path
+
+            payload = [result.to_dict() for result in results]
+            Path(args.json).write_text(
+                json_module.dumps(payload, indent=1), encoding="utf-8"
+            )
+            print(f"wrote {args.json}")
+        return 1 if any(result.trips for result in results) else 0
+    raise AssertionError(f"unknown snapshot command {args.snapshot_command!r}")
 
 
 def _run_trace(args: argparse.Namespace) -> int:
@@ -322,12 +435,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     from repro.chaos.scenarios import CHAOS_SCENARIOS
 
-    chaos_run.add_argument("scenario", choices=sorted(CHAOS_SCENARIOS))
+    chaos_run.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        choices=sorted(CHAOS_SCENARIOS),
+        help="scenario to run (optional with --resume)",
+    )
     chaos_run.add_argument("--seed", type=int, default=7)
     chaos_run.add_argument(
         "--once",
         action="store_true",
         help="single run, skipping the replay-determinism check",
+    )
+    chaos_run.add_argument(
+        "--resume",
+        metavar="SNAPSHOT",
+        default=None,
+        help="continue a campaign from a mid-campaign snapshot file",
+    )
+    snapshot = sub.add_parser(
+        "snapshot", help="world checkpoint/restore and fork sweeps"
+    )
+    snapshot_sub = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snap_save = snapshot_sub.add_parser(
+        "save", help="run a world to a point in time and checkpoint it"
+    )
+    snap_save.add_argument(
+        "--scenario",
+        default="quickstart",
+        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+    )
+    snap_save.add_argument("--seed", type=int, default=0)
+    snap_save.add_argument(
+        "--at", type=float, default=60.0, help="capture time (sim seconds)"
+    )
+    snap_save.add_argument("--out", required=True, help="snapshot file path")
+    snap_save.add_argument(
+        "--no-traces",
+        action="store_true",
+        help="drop per-tick traces for a smaller file (fingerprints of "
+        "resumed runs then differ in the trace section)",
+    )
+    snap_restore = snapshot_sub.add_parser(
+        "restore", help="restore a snapshot, optionally run further"
+    )
+    snap_restore.add_argument("path")
+    snap_restore.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        help="run to this absolute sim time after restoring",
+    )
+    snap_diff = snapshot_sub.add_parser(
+        "diff", help="compare two snapshots section by section"
+    )
+    snap_diff.add_argument("a")
+    snap_diff.add_argument("b")
+    snap_sweep = snapshot_sub.add_parser(
+        "sweep", help="fork a snapshot into divergent branches and run them"
+    )
+    snap_sweep.add_argument("path")
+    snap_sweep.add_argument("--branches", type=int, default=8)
+    snap_sweep.add_argument(
+        "--horizon", type=float, default=300.0, help="sim seconds per branch"
+    )
+    snap_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (0 or 1 = serial)",
+    )
+    snap_sweep.add_argument(
+        "--json", default=None, help="also write results to this JSON file"
     )
     trace = sub.add_parser(
         "trace", help="per-tick control-cycle traces for one controller"
@@ -369,6 +551,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "snapshot":
+        return _run_snapshot(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "health":

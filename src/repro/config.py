@@ -256,6 +256,26 @@ class AgentConfig:
 
 
 @dataclass(frozen=True)
+class SnapshotConfig:
+    """World checkpoint/restore behaviour.
+
+    ``include_traces`` controls whether per-tick control-cycle traces
+    ride along in a snapshot.  Dropping them keeps snapshot files small
+    for fork sweeps but makes resumed-run fingerprints differ from an
+    uninterrupted run in the trace section, so bit-exact verification
+    keeps it on.  ``fork_stream`` names the RNG namespace branch seeds
+    are derived from in :func:`repro.state.fork.fork_world`.
+    """
+
+    include_traces: bool = True
+    fork_stream: str = "branch"
+
+    def __post_init__(self) -> None:
+        if not self.fork_stream:
+            raise ConfigurationError("fork stream name cannot be empty")
+
+
+@dataclass(frozen=True)
 class DynamoConfig:
     """Top-level configuration for a Dynamo deployment."""
 
@@ -263,6 +283,7 @@ class DynamoConfig:
     bucket: BucketConfig = field(default_factory=BucketConfig)
     agent: AgentConfig = field(default_factory=AgentConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    snapshot: SnapshotConfig = field(default_factory=SnapshotConfig)
     # The paper skips rack-level controllers in the Facebook deployment
     # (footnote 2): leaf controllers sit at the RPP / PDU-breaker level.
     leaf_level: str = "rpp"

@@ -130,3 +130,23 @@ class DynamoAgent:
     def shutdown(self) -> None:
         """Deregister from the transport (decommission)."""
         self._service.shutdown()
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable agent health and request counters."""
+        return {
+            "healthy": self._healthy,
+            "reads_served": self.reads_served,
+            "caps_applied": self.caps_applied,
+            "uncaps_applied": self.uncaps_applied,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore agent health and request counters in place."""
+        self._healthy = bool(state["healthy"])
+        self.reads_served = int(state["reads_served"])
+        self.caps_applied = int(state["caps_applied"])
+        self.uncaps_applied = int(state["uncaps_applied"])

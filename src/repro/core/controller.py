@@ -257,6 +257,49 @@ class BaseController(abc.ABC, Generic[SenseT]):
         return self.tracer.last_trace(self.name)
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable controller state; subclasses extend the dict.
+
+        Covers everything the template mutates: decision-policy
+        hysteresis, operating posture, contractual limit, the last
+        aggregation and its series, and the event counters.  The shared
+        trace ring is captured once at the deployment level, not per
+        controller.
+        """
+        band_state = None
+        if hasattr(self.band, "snapshot_state"):
+            band_state = self.band.snapshot_state()
+        return {
+            "band": band_state,
+            "modes": self.modes.snapshot_state(),
+            "contractual_limit_w": self._contractual_limit_w,
+            "last_aggregate_w": self._last_aggregate_w,
+            "aggregate_series": self.aggregate_series.snapshot_state(),
+            "cap_events": self.cap_events,
+            "uncap_events": self.uncap_events,
+            "invalid_cycles": self.invalid_cycles,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore template-owned state in place; subclasses extend."""
+        if state["band"] is not None and hasattr(self.band, "restore_state"):
+            self.band.restore_state(state["band"])
+        self.modes.restore_state(state["modes"])
+        limit = state["contractual_limit_w"]
+        self._contractual_limit_w = None if limit is None else float(limit)
+        aggregate = state["last_aggregate_w"]
+        self._last_aggregate_w = (
+            None if aggregate is None else float(aggregate)
+        )
+        self.aggregate_series.restore_state(state["aggregate_series"])
+        self.cap_events = int(state["cap_events"])
+        self.uncap_events = int(state["uncap_events"])
+        self.invalid_cycles = int(state["invalid_cycles"])
+
+    # ------------------------------------------------------------------
     # The control cycle template
     # ------------------------------------------------------------------
 

@@ -121,6 +121,11 @@ class ControllerCoordinator:
         return self._started
 
     @property
+    def processes(self) -> list[PeriodicProcess]:
+        """Every controller schedule (for snapshot capture/re-arming)."""
+        return list(self._processes)
+
+    @property
     def thread_count(self) -> int:
         """Number of controller 'threads' in the consolidated binary."""
         return len(self._processes)

@@ -65,6 +65,22 @@ class FailoverController:
         return self.primary if self._primary_healthy else self.backup
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Pair-level state; instance state is captured per controller."""
+        return {
+            "primary_healthy": self._primary_healthy,
+            "failovers": self.failovers,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore pair-level state in place."""
+        self._primary_healthy = bool(state["primary_healthy"])
+        self.failovers = int(state["failovers"])
+
+    # ------------------------------------------------------------------
     # Uniform controller interface
     # ------------------------------------------------------------------
 

@@ -88,6 +88,44 @@ class EndpointHealth:
             f" lat={1e3 * self.mean_latency_s:.2f}ms {state}"
         )
 
+    def snapshot_state(self) -> dict:
+        """Serializable counters plus the retained latency window."""
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retries": self.retries,
+            "retry_successes": self.retry_successes,
+            "breaker_opens": self.breaker_opens,
+            "fast_fails": self.fast_fails,
+            "consecutive_failures": self.consecutive_failures,
+            "last_success_s": self.last_success_s,
+            "last_failure_s": self.last_failure_s,
+            "backoff_waited_s": self.backoff_waited_s,
+            "quarantines": self.quarantines,
+            "quarantined_until_s": self.quarantined_until_s,
+            "latencies": list(self.latencies),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore counters and latency window in place."""
+        self.attempts = int(state["attempts"])
+        self.successes = int(state["successes"])
+        self.failures = int(state["failures"])
+        self.retries = int(state["retries"])
+        self.retry_successes = int(state["retry_successes"])
+        self.breaker_opens = int(state["breaker_opens"])
+        self.fast_fails = int(state["fast_fails"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.last_success_s = state["last_success_s"]
+        self.last_failure_s = state["last_failure_s"]
+        self.backoff_waited_s = float(state["backoff_waited_s"])
+        self.quarantines = int(state["quarantines"])
+        self.quarantined_until_s = state["quarantined_until_s"]
+        self.latencies = deque(
+            (float(v) for v in state["latencies"]), maxlen=_LATENCY_WINDOW
+        )
+
 
 class HealthRegistry:
     """Per-endpoint health fed by the resilient transport.
@@ -211,6 +249,23 @@ class HealthRegistry:
         """Quarantine impositions across all endpoints."""
         return sum(s.quarantines for s in self._endpoints.values())
 
+    def snapshot_state(self) -> dict:
+        """Serializable per-endpoint histories (insertion order kept)."""
+        return {
+            "endpoints": {
+                endpoint: stats.snapshot_state()
+                for endpoint, stats in self._endpoints.items()
+            }
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild endpoint histories from a snapshot."""
+        self._endpoints = {}
+        for endpoint, stats_state in state["endpoints"].items():
+            stats = EndpointHealth(endpoint)
+            stats.restore_state(stats_state)
+            self._endpoints[endpoint] = stats
+
     def __repr__(self) -> str:
         return f"HealthRegistry(endpoints={len(self._endpoints)})"
 
@@ -333,6 +388,30 @@ class ModeStateMachine:
     def record_deferred_uncap(self) -> None:
         """Account an UNCAP decision deferred by a non-NORMAL posture."""
         self.deferred_uncaps += 1
+
+    def snapshot_state(self) -> dict:
+        """Serializable posture, streaks, and transition history."""
+        return {
+            "mode": self.mode.value,
+            "consecutive_invalid": self.consecutive_invalid,
+            "consecutive_valid": self.consecutive_valid,
+            "transitions": [list(t) for t in self.transitions],
+            "degraded_entries": self.degraded_entries,
+            "safe_entries": self.safe_entries,
+            "deferred_uncaps": self.deferred_uncaps,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore posture and counters in place (no alerts raised)."""
+        self.mode = OperatingMode(state["mode"])
+        self.consecutive_invalid = int(state["consecutive_invalid"])
+        self.consecutive_valid = int(state["consecutive_valid"])
+        self.transitions = [
+            (float(t), str(a), str(b)) for t, a, b in state["transitions"]
+        ]
+        self.degraded_entries = int(state["degraded_entries"])
+        self.safe_entries = int(state["safe_entries"])
+        self.deferred_uncaps = int(state["deferred_uncaps"])
 
     def __repr__(self) -> str:
         return (

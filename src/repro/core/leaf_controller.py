@@ -355,6 +355,76 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self.capped_count_series.append(now_s, len(self._capped_servers))
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Template state plus the reading cache and cap bookkeeping."""
+        state = super().snapshot_state()
+        state["last_readings"] = {
+            server_id: {
+                "server_id": r.server_id,
+                "power_w": r.power_w,
+                "estimated": r.estimated,
+                "service": r.service,
+                "time_s": r.time_s,
+                "stale": r.stale,
+                "breakdown": (
+                    None
+                    if r.breakdown is None
+                    else {
+                        "total_w": r.breakdown.total_w,
+                        "cpu_w": r.breakdown.cpu_w,
+                        "memory_w": r.breakdown.memory_w,
+                        "other_w": r.breakdown.other_w,
+                        "ac_dc_loss_w": r.breakdown.ac_dc_loss_w,
+                    }
+                ),
+            }
+            for server_id, r in self._last_readings.items()
+        }
+        state["capped_servers"] = dict(self._capped_servers)
+        state["fail_safe_engaged"] = self._fail_safe_engaged
+        state["actuation_successes"] = self._actuation_successes
+        state["actuation_failures"] = self._actuation_failures
+        state["capped_count_series"] = self.capped_count_series.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore template state plus leaf-local caches in place."""
+        from repro.server.sensor import PowerBreakdown
+
+        super().restore_state(state)
+        self._last_readings = {}
+        for server_id, r in state["last_readings"].items():
+            breakdown = None
+            if r["breakdown"] is not None:
+                breakdown = PowerBreakdown(
+                    total_w=float(r["breakdown"]["total_w"]),
+                    cpu_w=float(r["breakdown"]["cpu_w"]),
+                    memory_w=float(r["breakdown"]["memory_w"]),
+                    other_w=float(r["breakdown"]["other_w"]),
+                    ac_dc_loss_w=float(r["breakdown"]["ac_dc_loss_w"]),
+                )
+            self._last_readings[server_id] = PowerReading(
+                server_id=r["server_id"],
+                power_w=float(r["power_w"]),
+                estimated=bool(r["estimated"]),
+                service=r["service"],
+                time_s=float(r["time_s"]),
+                breakdown=breakdown,
+                stale=bool(r["stale"]),
+            )
+        self._capped_servers = {
+            server_id: float(cap)
+            for server_id, cap in state["capped_servers"].items()
+        }
+        self._fail_safe_engaged = bool(state["fail_safe_engaged"])
+        self._actuation_successes = int(state["actuation_successes"])
+        self._actuation_failures = int(state["actuation_failures"])
+        self.capped_count_series.restore_state(state["capped_count_series"])
+
+    # ------------------------------------------------------------------
     # Validation against breaker readings
     # ------------------------------------------------------------------
 

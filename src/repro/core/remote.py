@@ -148,6 +148,21 @@ class RemoteChildController:
         self._desired_limit_w = None
         self._push_desired()
 
+    def snapshot_state(self) -> dict:
+        """Serializable proxy state (desired-state push machinery)."""
+        return {
+            "rpc_failures": self.rpc_failures,
+            "desired_limit_w": self._desired_limit_w,
+            "pending_push": self._pending_push,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore proxy state in place."""
+        self.rpc_failures = int(state["rpc_failures"])
+        desired = state["desired_limit_w"]
+        self._desired_limit_w = None if desired is None else float(desired)
+        self._pending_push = bool(state["pending_push"])
+
 
 def distribute_hierarchy(hierarchy, transport: Transport) -> list[ControllerEndpoint]:
     """Expose every controller in a hierarchy over RPC and rewire parents.

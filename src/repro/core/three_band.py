@@ -125,3 +125,11 @@ class ThreeBandController:
     def reset(self) -> None:
         """Forget capping state (controller restart)."""
         self._capping_active = False
+
+    def snapshot_state(self) -> dict:
+        """Serializable hysteresis state."""
+        return {"capping_active": self._capping_active}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore hysteresis state in place."""
+        self._capping_active = bool(state["capping_active"])

@@ -229,6 +229,30 @@ class UpperLevelPowerController(BaseController[list[ChildState]]):
             return
         self._uncap_children()
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Template state plus the contractual-limit ledger.
+
+        ``last_decision`` is introspection-only (it never feeds a later
+        tick), so it is not captured; a restored controller reports None
+        until its next capping episode.
+        """
+        state = super().snapshot_state()
+        state["limited_children"] = dict(self._limited_children)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore template state plus the contractual-limit ledger."""
+        super().restore_state(state)
+        self._limited_children = {
+            name: float(limit)
+            for name, limit in state["limited_children"].items()
+        }
+        self.last_decision = None
+
     @property
     def limited_children(self) -> list[str]:
         """Children currently under a contractual limit from here."""

@@ -123,6 +123,67 @@ class AgentWatchdog:
                 )
             )
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable backoff ladders, budgets, and restart history."""
+        return {
+            "states": {
+                server_id: {
+                    "consecutive_restarts": s.consecutive_restarts,
+                    "next_restart_s": s.next_restart_s,
+                    "window_start_s": s.window_start_s,
+                    "window_restarts": s.window_restarts,
+                }
+                for server_id, s in self._states.items()
+            },
+            "restarts": self.restarts,
+            "restarts_suppressed": self.restarts_suppressed,
+            "backoff_deferrals": self.backoff_deferrals,
+            "restart_log": [
+                {
+                    "time_s": r.time_s,
+                    "server_id": r.server_id,
+                    "attempt": r.attempt,
+                }
+                for r in self.restart_log
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore watchdog bookkeeping.
+
+        The sweep schedule itself (a :class:`PeriodicProcess`) is
+        re-armed separately by the snapshot registry, which replays all
+        pending events in original-sequence order.
+        """
+        self._states = {
+            server_id: _WatchState(
+                consecutive_restarts=int(s["consecutive_restarts"]),
+                next_restart_s=float(s["next_restart_s"]),
+                window_start_s=float(s["window_start_s"]),
+                window_restarts=int(s["window_restarts"]),
+            )
+            for server_id, s in state["states"].items()
+        }
+        self.restarts = int(state["restarts"])
+        self.restarts_suppressed = int(state["restarts_suppressed"])
+        self.backoff_deferrals = int(state["backoff_deferrals"])
+        self.restart_log = [
+            RestartRecord(
+                time_s=float(r["time_s"]),
+                server_id=str(r["server_id"]),
+                attempt=int(r["attempt"]),
+            )
+            for r in state["restart_log"]
+        ]
+    @property
+    def process(self) -> PeriodicProcess:
+        """The sweep schedule (for snapshot capture/re-arming)."""
+        return self._process
+
     def consecutive_restarts(self, server_id: str) -> int:
         """Restarts of ``server_id`` since it was last seen healthy."""
         state = self._states.get(server_id)

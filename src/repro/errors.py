@@ -77,3 +77,28 @@ class AggregationInvalidError(ReproError):
 
 class ControllerError(ReproError):
     """A power controller encountered an unrecoverable condition."""
+
+
+class SnapshotError(ReproError):
+    """A world snapshot could not be captured, saved, loaded, or restored."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A snapshot file's content hash does not match its envelope."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot was written with an incompatible schema version.
+
+    Attributes:
+        found: the schema version in the file.
+        supported: the version this library reads and writes.
+    """
+
+    def __init__(self, found: int, supported: int) -> None:
+        super().__init__(
+            f"snapshot schema version {found} is incompatible with the "
+            f"supported version {supported}; re-capture the snapshot"
+        )
+        self.found = found
+        self.supported = supported

@@ -192,3 +192,32 @@ class FleetDriver:
     def tripped(self) -> bool:
         """Whether any breaker has tripped so far."""
         return bool(self.trips)
+
+    @property
+    def process(self) -> PeriodicProcess:
+        """The stepping schedule (for snapshot capture/re-arming)."""
+        return self._process
+
+    def snapshot_state(self) -> dict:
+        """Serializable trip history (the schedule is captured apart)."""
+        return {
+            "trips": [
+                {
+                    "time_s": t.time_s,
+                    "device_name": t.device_name,
+                    "level": t.level,
+                }
+                for t in self.trips
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore trip history in place."""
+        self.trips = [
+            BreakerTrip(
+                time_s=float(t["time_s"]),
+                device_name=str(t["device_name"]),
+                level=str(t["level"]),
+            )
+            for t in state["trips"]
+        ]

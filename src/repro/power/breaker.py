@@ -175,6 +175,23 @@ class CircuitBreaker:
         self._tripped = False
         self._trip_time = None
 
+    def snapshot_state(self) -> dict:
+        """Serializable thermal state plus the (deratable) rating."""
+        return {
+            "rated_power_w": self.rated_power_w,
+            "stress": self._stress,
+            "tripped": self._tripped,
+            "trip_time": self._trip_time,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore thermal accumulator, trip latch, and rating in place."""
+        self.rated_power_w = float(state["rated_power_w"])
+        self._stress = float(state["stress"])
+        self._tripped = bool(state["tripped"])
+        trip = state["trip_time"]
+        self._trip_time = None if trip is None else float(trip)
+
     def __repr__(self) -> str:
         state = "TRIPPED" if self._tripped else f"stress={self._stress:.2f}"
         return f"CircuitBreaker(rated={self.rated_power_w:.0f}W, {state})"

@@ -144,6 +144,30 @@ class PowerDevice:
         return self.power_w() / self.rated_power_w
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state: rating, quota, breaker thermals.
+
+        Structure (children, loads, loss model) is rebuilt by the world
+        recipe, not captured here.
+        """
+        return {
+            "rated_power_w": self.rated_power_w,
+            "power_quota_w": self.power_quota_w,
+            "fixed_overhead_w": self.fixed_overhead_w,
+            "breaker": self.breaker.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore mutable device state in place."""
+        self.rated_power_w = float(state["rated_power_w"])
+        self.power_quota_w = float(state["power_quota_w"])
+        self.fixed_overhead_w = float(state["fixed_overhead_w"])
+        self.breaker.restore_state(state["breaker"])
+
+    # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
 

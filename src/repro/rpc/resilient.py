@@ -123,6 +123,30 @@ class CircuitBreaker:
             failures / len(self._window) >= self.config.failure_rate_threshold
         )
 
+    def snapshot_state(self) -> dict:
+        """Serializable breaker state including the attempt window."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at_s": self.opened_at_s,
+            "opens": self.opens,
+            "reopens": self.reopens,
+            "window": list(self._window),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore breaker state in place."""
+        self.state = BreakerState(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        opened = state["opened_at_s"]
+        self.opened_at_s = None if opened is None else float(opened)
+        self.opens = int(state["opens"])
+        self.reopens = int(state["reopens"])
+        self._window = deque(
+            (bool(ok) for ok in state["window"]),
+            maxlen=self.config.window_size,
+        )
+
     def __repr__(self) -> str:
         return (
             f"CircuitBreaker({self.name!r}, state={self.state.value}, "
@@ -298,6 +322,39 @@ class ResilientTransport:
             except RpcError as exc:
                 failures[endpoint] = exc
         return results, failures
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable resilience state.
+
+        Captures the jitter RNG (a world-internal stream not reachable
+        through the root :class:`~repro.simulation.rng.RngStreams`),
+        per-endpoint breakers in insertion order, and the backoff
+        accounting.  The :class:`~repro.core.health.HealthRegistry` is
+        captured separately (it is shared with the controllers).
+        """
+        return {
+            "rng": (
+                None if self._rng is None else self._rng.bit_generator.state
+            ),
+            "backoff_waited_s": self.backoff_waited_s,
+            "breakers": {
+                endpoint: breaker.snapshot_state()
+                for endpoint, breaker in self._breakers.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore resilience state; breakers are recreated lazily."""
+        if self._rng is not None and state["rng"] is not None:
+            self._rng.bit_generator.state = state["rng"]
+        self.backoff_waited_s = float(state["backoff_waited_s"])
+        self._breakers = {}
+        for endpoint, breaker_state in state["breakers"].items():
+            self.breaker(endpoint).restore_state(breaker_state)
 
     def __repr__(self) -> str:
         return (

@@ -241,3 +241,63 @@ class RpcTransport:
         if self.calls_made == 0:
             return 0.0
         return self.total_latency_s / self.calls_made
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable transport state.
+
+        Captures the latency RNG in place (this generator is forked off
+        the world's internal stream family and is not reachable through
+        the root :class:`~repro.simulation.rng.RngStreams`), the call
+        counters, and the failure injector's live fault tables.  The
+        handler registry is wiring, rebuilt by the world recipe.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "calls_made": self.calls_made,
+            "calls_failed": self.calls_failed,
+            "total_latency_s": self.total_latency_s,
+            "last_call_latency_s": self.last_call_latency_s,
+            "injector": {
+                "failure_probability": self.injector.failure_probability,
+                "timeout_probability": self.injector.timeout_probability,
+                "down_endpoints": sorted(self.injector.down_endpoints),
+                "endpoint_faults": {
+                    endpoint: {
+                        "failure_probability": faults.failure_probability,
+                        "timeout_probability": faults.timeout_probability,
+                        "extra_latency_mean_s": faults.extra_latency_mean_s,
+                    }
+                    for endpoint, faults in sorted(
+                        self.injector.endpoint_faults.items()
+                    )
+                },
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore transport counters, RNG state, and fault tables."""
+        self._rng.bit_generator.state = state["rng"]
+        self.calls_made = int(state["calls_made"])
+        self.calls_failed = int(state["calls_failed"])
+        self.total_latency_s = float(state["total_latency_s"])
+        self.last_call_latency_s = float(state["last_call_latency_s"])
+        injector = state["injector"]
+        self.injector.failure_probability = float(
+            injector["failure_probability"]
+        )
+        self.injector.timeout_probability = float(
+            injector["timeout_probability"]
+        )
+        self.injector.down_endpoints = set(injector["down_endpoints"])
+        self.injector.endpoint_faults = {
+            endpoint: EndpointFaults(
+                failure_probability=float(faults["failure_probability"]),
+                timeout_probability=float(faults["timeout_probability"]),
+                extra_latency_mean_s=float(faults["extra_latency_mean_s"]),
+            )
+            for endpoint, faults in injector["endpoint_faults"].items()
+        }

@@ -98,6 +98,34 @@ class PowerEstimator:
         estimate += self._network_coeff_w * network_traffic
         return max(0.0, estimate)
 
+    def snapshot_state(self) -> dict:
+        """Serializable fit parameters.
+
+        Needed because :meth:`recalibrate` replaces the whole instance:
+        a snapshot must capture the *current* calibration, not the one
+        the world builder produced.
+        """
+        return {
+            "intercept_w": self._fit.intercept_w,
+            "slope_w": self._fit.slope_w,
+            "residual_rms_w": self._fit.residual_rms_w,
+            "memory_coeff_w": self._memory_coeff_w,
+            "network_coeff_w": self._network_coeff_w,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "PowerEstimator":
+        """Rebuild an estimator from :meth:`snapshot_state` output."""
+        return cls(
+            LinearPowerFit(
+                intercept_w=float(state["intercept_w"]),
+                slope_w=float(state["slope_w"]),
+                residual_rms_w=float(state["residual_rms_w"]),
+            ),
+            memory_coeff_w=float(state["memory_coeff_w"]),
+            network_coeff_w=float(state["network_coeff_w"]),
+        )
+
     def recalibrate(self, scale: float) -> "PowerEstimator":
         """Return a copy with outputs scaled by ``scale``.
 

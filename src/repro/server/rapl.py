@@ -102,3 +102,20 @@ class RaplModule:
     def settled(self, demand_w: float, tolerance_w: float = 2.0) -> bool:
         """Whether enforcement is within ``tolerance_w`` of its target."""
         return abs(self._enforced_power_w - self.target_power_w(demand_w)) <= tolerance_w
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state (the active limit and lag state)."""
+        return {
+            "limit_w": self._limit_w,
+            "enforced_power_w": self._enforced_power_w,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the active limit and first-order lag state in place."""
+        limit = state["limit_w"]
+        self._limit_w = None if limit is None else float(limit)
+        self._enforced_power_w = float(state["enforced_power_w"])

@@ -60,6 +60,19 @@ class PowerSensor:
         noise = self._rng.normal(0.0, self._noise_fraction)
         return max(0.0, true_power_w * (1.0 + noise))
 
+    def snapshot_state(self) -> dict:
+        """Serializable generator state (the only mutable part)."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the noise generator in place.
+
+        Matters even when the generator is a shared named stream: surge
+        worlds build sensors with a private fallback generator that no
+        :class:`~repro.simulation.rng.RngStreams` capture covers.
+        """
+        self._rng.bit_generator.state = state["rng"]
+
     def read_breakdown(self, true_power_w: float) -> PowerBreakdown:
         """A noisy sample with the component breakdown."""
         total = self.read(true_power_w)

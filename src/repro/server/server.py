@@ -55,6 +55,14 @@ class ConstantWorkload:
         """Change the fixed demand level."""
         self._utilization = float(utilization)
 
+    def snapshot_state(self) -> dict:
+        """Serializable state (the fixed level can change via setter)."""
+        return {"utilization": self._utilization}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the fixed demand level."""
+        self._utilization = float(state["utilization"])
+
 
 class Server:
     """One server in the fleet."""
@@ -191,6 +199,66 @@ class Server:
         self._demanded_work = 0.0
         self._delivered_work = 0.0
         self._energy_j = 0.0
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state, including sub-modules.
+
+        The sensor entry covers only a directly attached
+        :class:`PowerSensor`; a sensor swapped out by a chaos fault is
+        captured (and re-swapped) by the fault's own snapshot state.
+        """
+        workload = self.workload
+        return {
+            "current_power_w": self._current_power_w,
+            "current_utilization": self._current_utilization,
+            "demanded_work": self._demanded_work,
+            "delivered_work": self._delivered_work,
+            "energy_j": self._energy_j,
+            "online": self._online,
+            "last_step_s": self._last_step_s,
+            "turbo_enabled": self.turbo.enabled,
+            "rapl": self.rapl.snapshot_state(),
+            "estimator": self.estimator.snapshot_state(),
+            "sensor": (
+                self.sensor.snapshot_state()
+                if isinstance(self.sensor, PowerSensor)
+                else None
+            ),
+            "workload": (
+                workload.snapshot_state()
+                if hasattr(workload, "snapshot_state")
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore mutable state in place on a freshly built server."""
+        self._current_power_w = float(state["current_power_w"])
+        self._current_utilization = float(state["current_utilization"])
+        self._demanded_work = float(state["demanded_work"])
+        self._delivered_work = float(state["delivered_work"])
+        self._energy_j = float(state["energy_j"])
+        self._online = bool(state["online"])
+        last = state["last_step_s"]
+        self._last_step_s = None if last is None else float(last)
+        if state["turbo_enabled"]:
+            self.turbo.enable()
+        else:
+            self.turbo.disable()
+        self.rapl.restore_state(state["rapl"])
+        self.estimator = PowerEstimator.from_snapshot(state["estimator"])
+        if state["sensor"] is not None and isinstance(
+            self.sensor, PowerSensor
+        ):
+            self.sensor.restore_state(state["sensor"])
+        if state["workload"] is not None and hasattr(
+            self.workload, "restore_state"
+        ):
+            self.workload.restore_state(state["workload"])
 
     def __repr__(self) -> str:
         cap = (

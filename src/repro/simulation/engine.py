@@ -30,6 +30,7 @@ class SimulationEngine:
         self._sequence = 0
         self._running = False
         self._events_executed = 0
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -59,6 +60,7 @@ class SimulationEngine:
             sequence=self._sequence,
             action=action,
             label=label,
+            on_cancel=self._note_cancelled,
         )
         self._sequence += 1
         heapq.heappush(self._queue, event)
@@ -85,8 +87,8 @@ class SimulationEngine:
 
     @property
     def pending_count(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, non-cancelled events.  O(1)."""
+        return len(self._queue) - self._cancelled_pending
 
     @property
     def events_executed(self) -> int:
@@ -101,15 +103,17 @@ class SimulationEngine:
         return self._queue[0].time
 
     def step(self) -> bool:
-        """Execute the single next event.  Returns False if none remain."""
-        self._discard_cancelled()
-        if not self._queue:
-            return False
-        event = heapq.heappop(self._queue)
-        self.clock.advance_to(event.time)
-        event.action()
-        self._events_executed += 1
-        return True
+        """Execute the single next event.  Returns False if none remain.
+
+        Shares the re-entrancy guard with :meth:`run_until` and
+        :meth:`run_all`: an event action must not drive its own engine.
+        """
+        self._guard_entry("step")
+        self._running = True
+        try:
+            return self._execute_next()
+        finally:
+            self._running = False
 
     def run_until(self, end_time: float) -> None:
         """Run all events with ``time <= end_time`` then set the clock there.
@@ -117,8 +121,7 @@ class SimulationEngine:
         Re-entrant calls are rejected: an event action must not invoke
         ``run_until`` on its own engine.
         """
-        if self._running:
-            raise SimulationError("run_until is not re-entrant")
+        self._guard_entry("run_until")
         if end_time < self.clock.now:
             raise SimulationError(
                 f"end time {end_time:.6f} is before now {self.clock.now:.6f}"
@@ -129,10 +132,7 @@ class SimulationEngine:
                 self._discard_cancelled()
                 if not self._queue or self._queue[0].time > end_time:
                     break
-                event = heapq.heappop(self._queue)
-                self.clock.advance_to(event.time)
-                event.action()
-                self._events_executed += 1
+                self._execute_head()
             self.clock.advance_to(end_time)
         finally:
             self._running = False
@@ -144,19 +144,93 @@ class SimulationEngine:
             SimulationError: if more than ``max_events`` execute, which
                 almost always means a runaway periodic process.
         """
+        self._guard_entry("run_all")
+        self._running = True
         executed = 0
-        while self.step():
-            executed += 1
-            if executed > max_events:
-                raise SimulationError(
-                    f"run_all exceeded {max_events} events; "
-                    "likely a runaway periodic process"
-                )
+        try:
+            while self._execute_next():
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"run_all exceeded {max_events} events; "
+                        "likely a runaway periodic process"
+                    )
+        finally:
+            self._running = False
 
     def drain_labels(self) -> Iterable[str]:
         """Labels of pending events (diagnostic helper for tests)."""
         return [e.label for e in sorted(self._queue) if not e.cancelled]
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def clear_pending(self) -> int:
+        """Cancel every queued event; returns how many were live.
+
+        Snapshot restore uses this to disarm a freshly built world before
+        re-registering the schedules recorded in the snapshot.
+        """
+        live = self.pending_count
+        for event in self._queue:
+            event.cancel()
+        self._queue.clear()
+        self._cancelled_pending = 0
+        return live
+
+    def snapshot_state(self) -> dict:
+        """Serializable scheduler counters (the queue is captured by the
+        snapshot registry as re-registerable schedules, not here)."""
+        return {
+            "now": self.clock.now,
+            "events_executed": self._events_executed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore clock position and counters on a fresh engine.
+
+        Must run before any schedules are re-registered; the queue must
+        be empty (use :meth:`clear_pending` on a built world first).
+        """
+        if self._queue:
+            raise SimulationError(
+                "restore_state requires an empty event queue; "
+                "call clear_pending() first"
+            )
+        self.clock.advance_to(float(state["now"]))
+        self._events_executed = int(state["events_executed"])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _guard_entry(self, caller: str) -> None:
+        if self._running:
+            raise SimulationError(
+                f"{caller} is not re-entrant: an event action must not "
+                "drive its own engine"
+            )
+
+    def _execute_next(self) -> bool:
+        self._discard_cancelled()
+        if not self._queue:
+            return False
+        self._execute_head()
+        return True
+
+    def _execute_head(self) -> None:
+        event = heapq.heappop(self._queue)
+        # A handle kept past execution must not skew the cancelled count.
+        event.on_cancel = None
+        self.clock.advance_to(event.time)
+        event.action()
+        self._events_executed += 1
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+
     def _discard_cancelled(self) -> None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1

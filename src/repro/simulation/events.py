@@ -22,7 +22,18 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Engine bookkeeping hook, invoked exactly once on first cancel while
+    #: the event is still queued (the engine clears it on dequeue).  Lets
+    #: the scheduler keep an O(1) pending-event count.
+    on_cancel: Callable[[], None] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when dequeued."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
+            self.on_cancel = None

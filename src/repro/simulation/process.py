@@ -50,6 +50,11 @@ class PeriodicProcess:
         return self._interval
 
     @property
+    def label(self) -> str:
+        """The schedule label (snapshot registries key processes by it)."""
+        return self._label
+
+    @property
     def running(self) -> bool:
         """Whether the process is currently scheduled."""
         return not self._stopped
@@ -77,6 +82,49 @@ class PeriodicProcess:
         if interval_s <= 0:
             raise SimulationError(f"interval must be positive, got {interval_s}")
         self._interval = float(interval_s)
+
+    def snapshot_state(self) -> dict:
+        """Serializable schedule state.
+
+        The pending tick is recorded as an absolute fire time plus its
+        original scheduler sequence number — the closure itself is never
+        serialized; restore re-registers ``_run_once`` instead.
+        """
+        return {
+            "running": not self._stopped,
+            "tick_count": self.tick_count,
+            "interval_s": self._interval,
+            "next_fire_s": (
+                None if self._pending is None else self._pending.time
+            ),
+            "sequence": (
+                None if self._pending is None else self._pending.sequence
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-arm the process from a snapshot.
+
+        Any pending tick is cancelled first, so this works both on a
+        never-started process and on one armed by a world builder.  Call
+        in ascending original-sequence order across all processes so the
+        fresh sequence numbers preserve relative tie-break ordering.
+        """
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.tick_count = int(state["tick_count"])
+        self._interval = float(state["interval_s"])
+        if not state["running"] or state["next_fire_s"] is None:
+            self._stopped = True
+            return
+        self._stopped = False
+        self._pending = self._engine.schedule_at(
+            float(state["next_fire_s"]),
+            self._run_once,
+            priority=self._priority,
+            label=self._label,
+        )
 
     def _run_once(self) -> None:
         if self._stopped:

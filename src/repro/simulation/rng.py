@@ -45,3 +45,30 @@ class RngStreams:
         """Derive an independent child stream family (e.g. per server)."""
         digest = hashlib.sha256(f"{self._seed}:{name}".encode("utf-8")).digest()
         return RngStreams(int.from_bytes(digest[8:16], "little"))
+
+    def snapshot_state(self) -> dict:
+        """Serializable state of every stream created so far.
+
+        ``bit_generator.state`` is a plain dict of ints/strings, so the
+        result round-trips through JSON losslessly.
+        """
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: gen.bit_generator.state
+                for name, gen in self._streams.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore stream states in place.
+
+        Generator objects are mutated (not replaced), so components
+        holding a reference to a stream see the restored state too.
+        Streams in the snapshot that were never drawn here are created
+        first; streams created here but absent from the snapshot keep
+        their derived state (they are at their origin by construction).
+        """
+        self._seed = int(state["seed"])
+        for name, gen_state in state["streams"].items():
+            self.stream(name).bit_generator.state = gen_state

@@ -1,0 +1,141 @@
+"""Recipe-built worlds: the unit a snapshot captures and restores.
+
+A snapshot never serializes object graphs or event closures — it stores
+a *recipe* (builder name + kwargs) that deterministically rebuilds the
+world's structure, and restore then overwrites the rebuilt components'
+mutable state.  Anything a builder wires (topology, servers, agents,
+controller hierarchy, armed schedules) therefore never needs to be in
+the snapshot; only what time and randomness have changed does.
+
+Builders:
+
+* ``quickstart`` — the CLI's default deployment: a 1-MSB datacenter,
+  36 web/cache servers, Dynamo started, fleet driver running.
+* ``chaos`` — any named scenario from
+  :data:`repro.chaos.scenarios.CHAOS_SCENARIOS`, fully armed (fault
+  schedule + health probe) and started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chaos.orchestrator import ChaosOrchestrator
+from repro.core.dynamo import Dynamo
+from repro.errors import SnapshotError
+from repro.fleet import Fleet, FleetDriver
+from repro.power.topology import PowerTopology
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+
+@dataclass
+class World:
+    """One built, armed deployment plus the recipe that rebuilds it."""
+
+    recipe: dict
+    engine: SimulationEngine
+    topology: PowerTopology
+    fleet: Fleet
+    dynamo: Dynamo
+    driver: FleetDriver
+    rng: RngStreams
+    orchestrator: ChaosOrchestrator | None = None
+    extras: dict = field(default_factory=dict)
+
+    def run_until(self, end_s: float) -> None:
+        """Advance the world to ``end_s``."""
+        self.engine.run_until(end_s)
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self.engine.clock.now
+
+
+def build_quickstart_world(seed: int = 0) -> World:
+    """The CLI quickstart deployment, armed at t=0."""
+    from repro.fleet import ServiceAllocation, populate_fleet
+    from repro.power.builder import DataCenterSpec, build_datacenter
+    from repro.power.oversubscription import plan_quotas
+
+    engine = SimulationEngine()
+    topology = build_datacenter(
+        DataCenterSpec(
+            msb_count=1, sbs_per_msb=2, rpps_per_sb=2, racks_per_rpp=3
+        )
+    )
+    plan_quotas(topology)
+    rng = RngStreams(seed)
+    fleet = populate_fleet(
+        topology,
+        [ServiceAllocation("web", 24), ServiceAllocation("cache", 12)],
+        rng,
+    )
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    driver = FleetDriver(engine, topology, fleet)
+    driver.start()
+    dynamo.start()
+    return World(
+        recipe={"builder": "quickstart", "kwargs": {"seed": seed}},
+        engine=engine,
+        topology=topology,
+        fleet=fleet,
+        dynamo=dynamo,
+        driver=driver,
+        rng=rng,
+    )
+
+
+def build_chaos_world(scenario: str, seed: int = 7) -> World:
+    """A named chaos scenario, armed and started at t=0.
+
+    The underlying :class:`~repro.chaos.scenarios.ChaosRun` rides in
+    ``extras["chaos_run"]`` so the scorecard can be built after a
+    resumed campaign finishes.
+    """
+    from repro.chaos.scenarios import CHAOS_SCENARIOS
+
+    try:
+        builder = CHAOS_SCENARIOS[scenario]
+    except KeyError:
+        known = ", ".join(sorted(CHAOS_SCENARIOS))
+        raise SnapshotError(
+            f"unknown chaos scenario {scenario!r}; known: {known}"
+        ) from None
+    run = builder(seed=seed)
+    run.start()
+    return World(
+        recipe={
+            "builder": "chaos",
+            "kwargs": {"scenario": scenario, "seed": seed},
+        },
+        engine=run.engine,
+        topology=run.topology,
+        fleet=run.fleet,
+        dynamo=run.dynamo,
+        driver=run.driver,
+        rng=run.rng,
+        orchestrator=run.orchestrator,
+        extras={"chaos_run": run, "end_s": run.end_s},
+    )
+
+
+WORLD_BUILDERS: dict[str, Callable[..., World]] = {
+    "quickstart": build_quickstart_world,
+    "chaos": build_chaos_world,
+}
+
+
+def build_world(recipe: dict) -> World:
+    """Rebuild a world from a snapshot recipe."""
+    try:
+        builder = WORLD_BUILDERS[str(recipe["builder"])]
+    except KeyError:
+        known = ", ".join(sorted(WORLD_BUILDERS))
+        raise SnapshotError(
+            f"unknown world builder {recipe.get('builder')!r}; "
+            f"known: {known}"
+        ) from None
+    return builder(**recipe.get("kwargs", {}))

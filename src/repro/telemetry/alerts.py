@@ -65,6 +65,32 @@ class AlertSink:
         """Total alerts raised."""
         return len(self._alerts)
 
+    def snapshot_state(self) -> dict:
+        """Serializable alert list (order preserved)."""
+        return {
+            "alerts": [
+                {
+                    "time_s": a.time_s,
+                    "severity": a.severity.value,
+                    "source": a.source,
+                    "message": a.message,
+                }
+                for a in self._alerts
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace contents with the snapshot's alerts."""
+        self._alerts = [
+            Alert(
+                time_s=float(a["time_s"]),
+                severity=Severity(a["severity"]),
+                source=a["source"],
+                message=a["message"],
+            )
+            for a in state["alerts"]
+        ]
+
     def clear(self) -> None:
         """Drop all recorded alerts."""
         self._alerts.clear()

@@ -71,6 +71,32 @@ class EventLog:
         """
         return "\n".join(e.render() for e in self._events)
 
+    def snapshot_state(self) -> dict:
+        """Serializable event list (order preserved)."""
+        return {
+            "events": [
+                {
+                    "time_s": e.time_s,
+                    "source": e.source,
+                    "kind": e.kind,
+                    "detail": e.detail,
+                }
+                for e in self._events
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace contents with the snapshot's events."""
+        self._events = [
+            TelemetryEvent(
+                time_s=float(e["time_s"]),
+                source=e["source"],
+                kind=e["kind"],
+                detail=e["detail"],
+            )
+            for e in state["events"]
+        ]
+
     def clear(self) -> None:
         """Drop all recorded events."""
         self._events.clear()

@@ -125,6 +125,15 @@ class TimeSeries:
             out._values.append(pending[1])
         return out
 
+    def snapshot_state(self) -> dict:
+        """Serializable sample arrays."""
+        return {"times": list(self._times), "values": list(self._values)}
+
+    def restore_state(self, state: dict) -> None:
+        """Replace contents with the snapshot's samples."""
+        self._times = [float(t) for t in state["times"]]
+        self._values = [float(v) for v in state["values"]]
+
     def to_csv(self, path) -> None:
         """Write ``time_s,value`` rows (with header) to ``path``."""
         with open(path, "w") as f:

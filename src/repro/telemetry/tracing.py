@@ -21,7 +21,7 @@ the same seeded run.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError
 
@@ -67,6 +67,15 @@ class TickTrace:
             + self.decide_duration_s
             + self.actuate_duration_s
         )
+
+    def to_dict(self) -> dict:
+        """Serializable field dict (snapshot format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "TickTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        return cls(**state)
 
     def render(self) -> str:
         """Stable one-line form (durations excluded: they are wall-clock)."""
@@ -285,6 +294,39 @@ class TraceBuffer:
             mean_tick_duration_s=sum(durations) / len(durations),
             max_tick_duration_s=max(durations),
         )
+
+    def snapshot_state(self, *, include_traces: bool = True) -> dict:
+        """Serializable ring contents and lifetime counter.
+
+        Stage durations are wall-clock measurements, so they are zeroed
+        in the snapshot: a snapshot's bytes must not depend on host
+        timing.  Renders (and therefore trace fingerprints) are
+        unaffected — durations are excluded from :meth:`TickTrace.render`.
+        With ``include_traces=False`` only the counter is captured and
+        restore clears the ring (the documented truncation option).
+        """
+        traces: list[dict] = []
+        if include_traces:
+            for trace in self._traces:
+                state = trace.to_dict()
+                state["sense_duration_s"] = 0.0
+                state["aggregate_duration_s"] = 0.0
+                state["decide_duration_s"] = 0.0
+                state["actuate_duration_s"] = 0.0
+                traces.append(state)
+        return {
+            "capacity": self.capacity,
+            "recorded": self._recorded,
+            "traces": traces,
+            "truncated": not include_traces,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore ring contents (bounded by this buffer's capacity)."""
+        self._traces.clear()
+        for trace_state in state["traces"]:
+            self._traces.append(TickTrace.from_dict(trace_state))
+        self._recorded = int(state["recorded"])
 
     def clear(self) -> None:
         """Drop all retained traces (the lifetime counter survives)."""

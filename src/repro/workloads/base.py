@@ -69,6 +69,17 @@ class OrnsteinUhlenbeckNoise:
             self._last_time = now_s
         return self._value
 
+    def snapshot_state(self) -> dict:
+        """Serializable process state (the generator is captured by its
+        owning :class:`~repro.simulation.rng.RngStreams` / sensor)."""
+        return {"value": self._value, "last_time": self._last_time}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the OU excursion and query clock in place."""
+        self._value = float(state["value"])
+        last = state["last_time"]
+        self._last_time = None if last is None else float(last)
+
 
 class PoissonBursts:
     """Occasional rectangular bursts with exponential inter-arrival times.
@@ -114,6 +125,24 @@ class PoissonBursts:
         if now_s < self._active_until:
             return self._active_magnitude
         return 0.0
+
+    def snapshot_state(self) -> dict:
+        """Serializable burst schedule state (``-inf`` maps to None)."""
+        return {
+            "next_start": self._next_start,
+            "active_until": (
+                None if self._active_until == -math.inf else self._active_until
+            ),
+            "active_magnitude": self._active_magnitude,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the pre-drawn burst schedule in place."""
+        nxt = state["next_start"]
+        self._next_start = None if nxt is None else float(nxt)
+        until = state["active_until"]
+        self._active_until = -math.inf if until is None else float(until)
+        self._active_magnitude = float(state["active_magnitude"])
 
 
 class StochasticWorkload:
@@ -163,3 +192,26 @@ class StochasticWorkload:
         for modifier in self._modifiers:
             value = modifier.apply(now_s, value)
         return min(1.0, max(0.0, value))
+
+    def snapshot_state(self) -> dict:
+        """Serializable workload phase: noise, bursts, and modifiers.
+
+        Modifiers are serialized by value through the codec in
+        :mod:`repro.workloads.events`; an unknown modifier type raises so
+        a snapshot never silently drops part of the workload stimulus.
+        """
+        from repro.workloads.events import encode_modifier
+
+        return {
+            "noise": self._noise.snapshot_state(),
+            "bursts": self._bursts.snapshot_state(),
+            "modifiers": [encode_modifier(m) for m in self._modifiers],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore workload phase in place, rebuilding modifiers by value."""
+        from repro.workloads.events import decode_modifier
+
+        self._noise.restore_state(state["noise"])
+        self._bursts.restore_state(state["bursts"])
+        self._modifiers = [decode_modifier(m) for m in state["modifiers"]]

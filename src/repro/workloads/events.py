@@ -176,3 +176,83 @@ class SiteOutageRecoveryEvent:
     def apply(self, now_s: float, utilization: float) -> float:
         """WorkloadModifier interface: scale demand by the trace."""
         return utilization * self.multiplier(now_s)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot codec
+# ---------------------------------------------------------------------------
+#
+# Workload modifiers are pure functions of their constructor parameters,
+# so snapshots serialize them by value and rebuild equal instances on
+# restore.  Equality-by-value matters: a chaos fault's ``recover`` calls
+# ``remove_modifier`` with its own (reconstructed) instance and relies on
+# dataclass equality to find the one attached to the workload.
+
+
+def encode_modifier(modifier: object) -> dict:
+    """Serialize a known workload modifier to a tagged dict.
+
+    Raises:
+        ConfigurationError: for a modifier type the codec does not know —
+            a snapshot must never silently drop stimulus.
+    """
+    if isinstance(modifier, LoadTestEvent):
+        return {
+            "type": "load_test",
+            "start_s": modifier.start_s,
+            "end_s": modifier.end_s,
+            "magnitude": modifier.magnitude,
+            "ramp_s": modifier.ramp_s,
+        }
+    if isinstance(modifier, TrafficSurgeEvent):
+        return {
+            "type": "traffic_surge",
+            "start_s": modifier.start_s,
+            "end_s": modifier.end_s,
+            "multiplier": modifier.multiplier,
+            "ramp_s": modifier.ramp_s,
+        }
+    if isinstance(modifier, SiteOutageRecoveryEvent):
+        return {
+            "type": "site_outage_recovery",
+            "outage_start_s": modifier.outage_start_s,
+            "drop_duration_s": modifier.drop_duration_s,
+            "outage_floor": modifier.outage_floor,
+            "oscillation_duration_s": modifier.oscillation_duration_s,
+            "surge_multiplier": modifier.surge_multiplier,
+            "surge_duration_s": modifier.surge_duration_s,
+            "surge_decay_s": modifier.surge_decay_s,
+        }
+    raise ConfigurationError(
+        f"cannot serialize workload modifier {type(modifier).__name__}"
+    )
+
+
+def decode_modifier(state: dict) -> object:
+    """Rebuild a workload modifier from :func:`encode_modifier` output."""
+    kind = state["type"]
+    if kind == "load_test":
+        return LoadTestEvent(
+            start_s=state["start_s"],
+            end_s=state["end_s"],
+            magnitude=state["magnitude"],
+            ramp_s=state["ramp_s"],
+        )
+    if kind == "traffic_surge":
+        return TrafficSurgeEvent(
+            start_s=state["start_s"],
+            end_s=state["end_s"],
+            multiplier=state["multiplier"],
+            ramp_s=state["ramp_s"],
+        )
+    if kind == "site_outage_recovery":
+        return SiteOutageRecoveryEvent(
+            state["outage_start_s"],
+            drop_duration_s=state["drop_duration_s"],
+            outage_floor=state["outage_floor"],
+            oscillation_duration_s=state["oscillation_duration_s"],
+            surge_multiplier=state["surge_multiplier"],
+            surge_duration_s=state["surge_duration_s"],
+            surge_decay_s=state["surge_decay_s"],
+        )
+    raise ConfigurationError(f"unknown workload modifier type {kind!r}")

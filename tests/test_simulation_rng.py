@@ -1,6 +1,10 @@
 """Tests for named RNG streams."""
 
+import json
+
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.simulation.rng import RngStreams
 
@@ -52,3 +56,76 @@ def test_fork_differs_from_parent():
 
 def test_seed_property():
     assert RngStreams(42).seed == 42
+
+
+# ---------------------------------------------------------------------------
+# Snapshot round-trips (property-based)
+# ---------------------------------------------------------------------------
+
+_NAMES = ("workload.web", "sensor.0", "chaos.campaign", "rpc")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    plan=st.lists(
+        st.tuples(
+            st.sampled_from(_NAMES), st.integers(min_value=1, max_value=6)
+        ),
+        max_size=24,
+    ),
+    probe=st.integers(min_value=1, max_value=8),
+)
+def test_snapshot_roundtrip_reproduces_next_draws(seed, plan, probe):
+    """save → load reproduces the exact next-draw sequence per stream.
+
+    Draws are interleaved across named streams and a fork before the
+    snapshot, and the state passes through JSON (the on-disk format) to
+    prove nothing is lost in serialization.
+    """
+    streams = RngStreams(seed)
+    fork = streams.fork("child")
+    for name, count in plan:
+        streams.stream(name).random(count)
+        fork.stream(name).random(count)
+
+    root_state = json.loads(json.dumps(streams.snapshot_state()))
+    fork_state = json.loads(json.dumps(fork.snapshot_state()))
+
+    expected = {
+        name: streams.stream(name).random(probe).tolist() for name in _NAMES
+    }
+    expected_fork = {
+        name: fork.stream(name).random(probe).tolist() for name in _NAMES
+    }
+
+    restored = RngStreams(0)
+    restored.restore_state(root_state)
+    restored_fork = RngStreams(0)
+    restored_fork.restore_state(fork_state)
+    for name in _NAMES:
+        assert restored.stream(name).random(probe).tolist() == expected[name]
+        assert (
+            restored_fork.stream(name).random(probe).tolist()
+            == expected_fork[name]
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    drawn=st.integers(min_value=0, max_value=32),
+)
+def test_restore_untouched_stream_matches_origin(seed, drawn):
+    """Streams absent from a snapshot stay at their derived origin."""
+    streams = RngStreams(seed)
+    if drawn:
+        streams.stream("drawn").random(drawn)
+    state = streams.snapshot_state()
+    restored = RngStreams(seed)
+    restored.restore_state(state)
+    # "fresh" was never created before the snapshot: both sides derive
+    # it from (seed, name) and must agree from the origin.
+    a = streams.stream("fresh").random(4)
+    b = restored.stream("fresh").random(4)
+    assert np.array_equal(a, b)

@@ -1,0 +1,261 @@
+"""Tests for the snapshot subsystem: bit-exact checkpoint/restore.
+
+The correctness bar is byte-identity: run-to-T → snapshot → restore →
+run-to-2T must produce the same state fingerprint as an uninterrupted
+run-to-2T — for a plain fleet, a fleet mid-capping-event, a fleet under
+an active chaos fault, and controllers in SAFE posture.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.failover import FailoverController
+from repro.errors import (
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+)
+from repro.state import (
+    SnapshotRegistry,
+    WorldSnapshot,
+    build_chaos_world,
+    build_quickstart_world,
+    fingerprint,
+)
+
+
+def world_fingerprint(world) -> str:
+    return fingerprint(SnapshotRegistry().capture(world).state)
+
+
+def resumed_fingerprint(build, snapshot_s: float, end_s: float) -> str:
+    """Build, run to ``snapshot_s``, snapshot, restore, run to ``end_s``."""
+    registry = SnapshotRegistry()
+    world = build()
+    world.run_until(snapshot_s)
+    snapshot = registry.capture(world)
+    resumed = registry.restore(snapshot)
+    assert resumed.now_s == pytest.approx(snapshot_s)
+    resumed.run_until(end_s)
+    return world_fingerprint(resumed)
+
+
+def uninterrupted_fingerprint(build, end_s: float) -> str:
+    world = build()
+    world.run_until(end_s)
+    return world_fingerprint(world)
+
+
+class TestBitExactResume:
+    def test_plain_fleet(self):
+        build = lambda: build_quickstart_world(seed=0)  # noqa: E731
+        assert resumed_fingerprint(build, 60.0, 120.0) == (
+            uninterrupted_fingerprint(build, 120.0)
+        )
+
+    def test_mid_capping_event(self):
+        # sb-outage holds rpp0/rpp1/sb0 in active capping through
+        # t=600 s; the snapshot lands in the middle of the episode.
+        build = lambda: build_chaos_world("sb-outage", seed=7)  # noqa: E731
+        registry = SnapshotRegistry()
+        world = build()
+        world.run_until(600.0)
+        snapshot = registry.capture(world)
+        capping = [
+            c.name
+            for c in world.dynamo.hierarchy.all_controllers
+            if getattr(
+                getattr(getattr(c, "active", c), "band", None),
+                "capping_active",
+                False,
+            )
+        ]
+        assert capping, "snapshot must land mid-capping-event"
+        resumed = registry.restore(snapshot)
+        resumed.run_until(900.0)
+        world.run_until(900.0)
+        assert world_fingerprint(resumed) == world_fingerprint(world)
+
+    def test_under_active_chaos_fault(self):
+        # At t=900 s the sb-outage fault is injected and not yet
+        # recovered: the snapshot must carry the armed recovery timer
+        # and the fault's saved world state.
+        build = lambda: build_chaos_world("sb-outage", seed=7)  # noqa: E731
+        registry = SnapshotRegistry()
+        world = build()
+        world.run_until(900.0)
+        snapshot = registry.capture(world)
+        faults = snapshot.state["orchestrator"]["faults"]
+        assert any(f["injected"] and not f["recovered"] for f in faults)
+        resumed = registry.restore(snapshot)
+        end_s = world.extras["end_s"]
+        resumed.run_until(end_s)
+        world.run_until(end_s)
+        assert world_fingerprint(resumed) == world_fingerprint(world)
+
+    def test_in_safe_mode(self):
+        # The partition scenario drives leaf controllers into SAFE
+        # posture around t=150-300 s; snapshot inside that window.
+        build = lambda: build_chaos_world("partition", seed=7)  # noqa: E731
+        registry = SnapshotRegistry()
+        world = build()
+        world.run_until(210.0)
+        postures = {
+            getattr(getattr(c, "active", c), "modes").mode.value
+            for c in world.dynamo.hierarchy.all_controllers
+            if getattr(getattr(c, "active", c), "modes", None) is not None
+        }
+        assert "safe" in postures
+        snapshot = registry.capture(world)
+        resumed = registry.restore(snapshot)
+        resumed.run_until(450.0)
+        world.run_until(450.0)
+        assert world_fingerprint(resumed) == world_fingerprint(world)
+
+    def test_restore_in_fresh_process(self, tmp_path):
+        # The snapshot must be self-contained: a brand-new interpreter
+        # loading the file continues the exact trajectory.
+        registry = SnapshotRegistry()
+        world = build_quickstart_world(seed=11)
+        world.run_until(60.0)
+        path = tmp_path / "warm.json"
+        registry.capture(world).save(path)
+        world.run_until(120.0)
+        expected = world_fingerprint(world)
+        script = (
+            "from repro.state import SnapshotRegistry, WorldSnapshot, fingerprint\n"
+            "registry = SnapshotRegistry()\n"
+            f"world = registry.restore(WorldSnapshot.load({str(path)!r}))\n"
+            "world.run_until(120.0)\n"
+            "print(fingerprint(registry.capture(world).state))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert result.stdout.strip() == expected
+
+
+class TestChaosCampaignResume:
+    def test_scorecard_matches_uninterrupted_run(self, tmp_path):
+        from repro.chaos import build_scorecard
+
+        registry = SnapshotRegistry()
+        baseline = build_chaos_world("watchdog-restart", seed=7)
+        end_s = baseline.extras["end_s"]
+        baseline.run_until(end_s)
+        baseline_run = baseline.extras["chaos_run"]
+        baseline_score = build_scorecard(baseline_run)
+
+        world = build_chaos_world("watchdog-restart", seed=7)
+        world.run_until(end_s / 2)
+        path = tmp_path / "campaign.json"
+        registry.capture(world).save(path)
+        resumed = registry.restore(WorldSnapshot.load(path))
+        resumed.run_until(end_s)
+        resumed_run = resumed.extras["chaos_run"]
+        assert (
+            resumed_run.orchestrator.timeline_fingerprint()
+            == baseline_run.orchestrator.timeline_fingerprint()
+        )
+        assert build_scorecard(resumed_run) == baseline_score
+
+    def test_cli_resume_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "campaign.json"
+        registry = SnapshotRegistry()
+        world = build_chaos_world("watchdog-restart", seed=7)
+        world.run_until(300.0)
+        registry.capture(world).save(path)
+        assert main(["chaos", "run", "--resume", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 'watchdog-restart'" in out
+        assert "Robustness scorecard" in out
+
+    def test_cli_resume_rejects_non_chaos_snapshot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "quickstart.json"
+        world = build_quickstart_world(seed=0)
+        world.run_until(30.0)
+        SnapshotRegistry().capture(world).save(path)
+        assert main(["chaos", "run", "--resume", str(path)]) == 2
+
+
+class TestEnvelope:
+    def make_snapshot(self, tmp_path) -> Path:
+        world = build_quickstart_world(seed=0)
+        world.run_until(30.0)
+        path = tmp_path / "world.json"
+        SnapshotRegistry().capture(world).save(path)
+        return path
+
+    def test_round_trip(self, tmp_path):
+        path = self.make_snapshot(tmp_path)
+        snapshot = WorldSnapshot.load(path)
+        assert snapshot.builder == "quickstart"
+        assert snapshot.time_s == pytest.approx(30.0)
+        assert snapshot.integrity().startswith("sha256:")
+
+    def test_incompatible_version_is_rejected(self, tmp_path):
+        path = self.make_snapshot(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = 999
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotVersionError) as excinfo:
+            WorldSnapshot.load(path)
+        assert excinfo.value.found == 999
+
+    def test_tampered_state_is_rejected(self, tmp_path):
+        path = self.make_snapshot(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["state"]["engine"]["now"] += 1.0
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotIntegrityError):
+            WorldSnapshot.load(path)
+
+    def test_arbitrary_json_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SnapshotError):
+            WorldSnapshot.load(path)
+
+    def test_missing_file_is_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            WorldSnapshot.load(tmp_path / "absent.json")
+
+
+class TestCaptureGuards:
+    def test_unknown_pending_event_is_rejected(self):
+        world = build_quickstart_world(seed=0)
+        world.run_until(10.0)
+        world.engine.schedule_at(99.0, lambda: None, label="custom")
+        with pytest.raises(SnapshotError, match="pending events"):
+            SnapshotRegistry().capture(world)
+
+    def test_failover_pairs_round_trip(self):
+        world = build_chaos_world("upper-controller-crash", seed=7)
+        world.run_until(world.extras["end_s"] / 2)
+        snapshot = SnapshotRegistry().capture(world)
+        assert snapshot.state["failover_devices"]
+        resumed = SnapshotRegistry().restore(snapshot)
+        pairs = [
+            c
+            for c in dict(
+                resumed.dynamo.hierarchy.upper_controllers
+            ).values()
+            if isinstance(c, FailoverController)
+        ]
+        assert pairs
