@@ -1,0 +1,120 @@
+"""Vectorized vs scalar fleet physics at production fleet sizes.
+
+Times the physics inner loop alone (server stepping, not breakers or
+controllers) on identically seeded fleets, at 1 000 and 10 000 servers,
+and reports per-tick latency plus the vectorized speedup to
+``BENCH_vector_fleet.json``.  The two backends are also cross-checked:
+the packed-array reduction must equal the scalar power sum exactly,
+because the SoA stepper is bit-identical by contract, not approximately
+equivalent.
+"""
+
+import time
+
+from repro.fleet import Fleet, ServiceAllocation, populate_fleet
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.oversubscription import plan_quotas
+from repro.server.vectorized import VectorizedFleetStepper
+from repro.simulation.rng import RngStreams
+
+#: Mixed-service composition mirroring the paper's rows (Figure 15):
+#: one quarter batch, the rest latency-sensitive web/cache/feed tiers.
+_MIX = (
+    ("web", 0.35),
+    ("cache", 0.20),
+    ("newsfeed", 0.15),
+    ("database", 0.15),
+    ("hadoop", 0.15),
+)
+
+
+def _build_fleet(n: int, seed: int) -> Fleet:
+    topology = build_datacenter(
+        DataCenterSpec(
+            msb_count=2,
+            sbs_per_msb=2,
+            rpps_per_sb=4,
+            racks_per_rpp=4,
+        )
+    )
+    plan_quotas(topology)
+    allocations = [
+        ServiceAllocation(service, int(n * share))
+        for service, share in _MIX
+    ]
+    placed = sum(a.count for a in allocations)
+    if placed < n:
+        allocations[0] = ServiceAllocation("web", allocations[0].count + n - placed)
+    return populate_fleet(topology, allocations, RngStreams(seed))
+
+
+def _time_backend(n: int, ticks: int, *, vectorized: bool) -> tuple[float, float]:
+    """Per-tick seconds and final total power for one backend."""
+    fleet = _build_fleet(n, seed=0)
+    stepper = (
+        VectorizedFleetStepper(fleet) if vectorized else None
+    )
+    servers = list(fleet.servers.values())
+
+    def run(count: int, start: int) -> None:
+        for k in range(count):
+            now = float(start + k + 1)
+            if stepper is not None:
+                stepper.step(now, 1.0)
+            else:
+                for server in servers:
+                    server.step(now, 1.0)
+
+    run(3, 0)  # warm-up: JIT-free but primes caches and burst state
+    t0 = time.perf_counter()
+    run(ticks, 3)
+    elapsed = time.perf_counter() - t0
+    if stepper is not None:
+        total = stepper.total_power()
+    else:
+        total = sum(s.power_w() for s in servers)
+    return elapsed / ticks, total
+
+
+def _measure(n: int, ticks: int) -> dict:
+    scalar_s, scalar_power = _time_backend(n, ticks, vectorized=False)
+    vector_s, vector_power = _time_backend(n, ticks, vectorized=True)
+    assert vector_power == scalar_power, (
+        "backends diverged: the vectorized stepper must be bit-identical"
+    )
+    return {
+        "servers": n,
+        "ticks": ticks,
+        "scalar_ms_per_tick": 1e3 * scalar_s,
+        "vectorized_ms_per_tick": 1e3 * vector_s,
+        "speedup": scalar_s / vector_s,
+        "total_power_w": scalar_power,
+    }
+
+
+def test_vector_fleet_speedup_1k(once, bench_report):
+    result = once(lambda: _measure(1_000, ticks=60))
+    bench_report("vector_fleet", {"fleet_1k": result})
+    print(
+        f"\n1k servers: scalar {result['scalar_ms_per_tick']:.2f} ms/tick, "
+        f"vectorized {result['vectorized_ms_per_tick']:.2f} ms/tick, "
+        f"speedup {result['speedup']:.1f}x"
+    )
+    assert result["speedup"] >= 5.0, (
+        f"vectorized backend only {result['speedup']:.1f}x faster at 1k "
+        "servers; the SoA stepper should clear 5x"
+    )
+
+
+def test_vector_fleet_speedup_10k(once, bench_report):
+    result = once(lambda: _measure(10_000, ticks=15))
+    bench_report("vector_fleet", {"fleet_10k": result})
+    print(
+        f"\n10k servers: scalar {result['scalar_ms_per_tick']:.2f} ms/tick, "
+        f"vectorized {result['vectorized_ms_per_tick']:.2f} ms/tick, "
+        f"speedup {result['speedup']:.1f}x"
+    )
+    assert result["speedup"] >= 10.0, (
+        f"vectorized backend only {result['speedup']:.1f}x faster at 10k "
+        "servers; batching should amortise better as the fleet grows"
+    )

@@ -125,13 +125,20 @@ def build_chaos_run(
     end_s: float = 1800.0,
     monitored_device: str = "sb0",
     probe_interval_s: float = 3.0,
+    physics_backend: str = "scalar",
 ) -> ChaosRun:
     """Wire a chaos experiment: world + Dynamo + orchestrator + probe."""
     engine, topology, fleet, rng = build_surge_world(
         n_servers=n_servers, level=level, rpp_count=rpp_count, seed=seed
     )
     dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
-    driver = FleetDriver(engine, topology, fleet, step_interval_s=1.0)
+    driver = FleetDriver(
+        engine,
+        topology,
+        fleet,
+        step_interval_s=1.0,
+        physics_backend=physics_backend,
+    )
     ctx = ChaosContext(
         engine=engine,
         dynamo=dynamo,
@@ -165,7 +172,7 @@ def build_chaos_run(
 # Named scenarios
 # ---------------------------------------------------------------------------
 
-def sb_outage(seed: int = 7) -> ChaosRun:
+def sb_outage(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
     """Figure 12 ride-through: outage-recovery surge against the SB."""
     specs = [
         FaultSpec(
@@ -175,10 +182,18 @@ def sb_outage(seed: int = 7) -> ChaosRun:
             params={"multiplier": 1.6, "ramp_s": 120.0},
         )
     ]
-    return build_chaos_run("sb-outage", specs, seed=seed, end_s=1800.0)
+    return build_chaos_run(
+        "sb-outage",
+        specs,
+        seed=seed,
+        end_s=1800.0,
+        physics_backend=physics_backend,
+    )
 
 
-def watchdog_restart(seed: int = 7) -> ChaosRun:
+def watchdog_restart(
+    seed: int = 7, *, physics_backend: str = "scalar"
+) -> ChaosRun:
     """A quarter of the agents crash; the watchdog repairs them."""
     # Targets are fixed by position so the schedule itself is static;
     # only fault *consequences* vary with the seed.
@@ -186,10 +201,18 @@ def watchdog_restart(seed: int = 7) -> ChaosRun:
     del engine, topology
     victims = tuple(sorted(fleet.servers)[::4])
     specs = [FaultSpec(kind="agent-crash", start_s=120.0, targets=victims)]
-    return build_chaos_run("watchdog-restart", specs, seed=seed, end_s=600.0)
+    return build_chaos_run(
+        "watchdog-restart",
+        specs,
+        seed=seed,
+        end_s=600.0,
+        physics_backend=physics_backend,
+    )
 
 
-def leaf_controller_crash(seed: int = 7) -> ChaosRun:
+def leaf_controller_crash(
+    seed: int = 7, *, physics_backend: str = "scalar"
+) -> ChaosRun:
     """A leaf controller primary dies; its backup takes over."""
     specs = [
         FaultSpec(
@@ -200,11 +223,17 @@ def leaf_controller_crash(seed: int = 7) -> ChaosRun:
         )
     ]
     return build_chaos_run(
-        "leaf-controller-crash", specs, seed=seed, end_s=900.0
+        "leaf-controller-crash",
+        specs,
+        seed=seed,
+        end_s=900.0,
+        physics_backend=physics_backend,
     )
 
 
-def upper_controller_crash(seed: int = 7) -> ChaosRun:
+def upper_controller_crash(
+    seed: int = 7, *, physics_backend: str = "scalar"
+) -> ChaosRun:
     """The SB-level controller primary dies; its backup takes over."""
     specs = [
         FaultSpec(
@@ -215,11 +244,15 @@ def upper_controller_crash(seed: int = 7) -> ChaosRun:
         )
     ]
     return build_chaos_run(
-        "upper-controller-crash", specs, seed=seed, end_s=900.0
+        "upper-controller-crash",
+        specs,
+        seed=seed,
+        end_s=900.0,
+        physics_backend=physics_backend,
     )
 
 
-def rpc_storm(seed: int = 7) -> ChaosRun:
+def rpc_storm(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
     """Flaky fabric plus a latency spike across every agent endpoint."""
     specs = [
         FaultSpec(
@@ -235,10 +268,18 @@ def rpc_storm(seed: int = 7) -> ChaosRun:
             params={"mean_s": 0.050},
         ),
     ]
-    return build_chaos_run("rpc-storm", specs, seed=seed, end_s=900.0)
+    return build_chaos_run(
+        "rpc-storm",
+        specs,
+        seed=seed,
+        end_s=900.0,
+        physics_backend=physics_backend,
+    )
 
 
-def flaky_fabric_recovery(seed: int = 7) -> ChaosRun:
+def flaky_fabric_recovery(
+    seed: int = 7, *, physics_backend: str = "scalar"
+) -> ChaosRun:
     """Fabric-wide flakiness ramps up to 30%, peaks, and subsides.
 
     Runs the fully *distributed* hierarchy (controller endpoints on the
@@ -259,7 +300,11 @@ def flaky_fabric_recovery(seed: int = 7) -> ChaosRun:
         for start_s, rate in windows
     ]
     run = build_chaos_run(
-        "flaky-fabric-recovery", specs, seed=seed, end_s=900.0
+        "flaky-fabric-recovery",
+        specs,
+        seed=seed,
+        end_s=900.0,
+        physics_backend=physics_backend,
     )
     # Distribute after wiring so the ctrl: endpoints exist on the fabric
     # before the first injection resolves its endpoint set.
@@ -269,7 +314,7 @@ def flaky_fabric_recovery(seed: int = 7) -> ChaosRun:
     return run
 
 
-def partition(seed: int = 7) -> ChaosRun:
+def partition(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
     """Partition >20% of one row's agents: aggregation must abort."""
     engine, topology, fleet, _ = build_surge_world(n_servers=40, seed=seed)
     rpp0_ids = sorted(topology.device("rpp0").load_ids)
@@ -283,10 +328,18 @@ def partition(seed: int = 7) -> ChaosRun:
             targets=victims,
         )
     ]
-    return build_chaos_run("partition", specs, seed=seed, end_s=900.0)
+    return build_chaos_run(
+        "partition",
+        specs,
+        seed=seed,
+        end_s=900.0,
+        physics_backend=physics_backend,
+    )
 
 
-def breaker_derate(seed: int = 7) -> ChaosRun:
+def breaker_derate(
+    seed: int = 7, *, physics_backend: str = "scalar"
+) -> ChaosRun:
     """The SB rating is derated mid-run; capping pulls load under it."""
     specs = [
         FaultSpec(
@@ -297,7 +350,13 @@ def breaker_derate(seed: int = 7) -> ChaosRun:
             params={"fraction": 0.82},
         )
     ]
-    return build_chaos_run("breaker-derate", specs, seed=seed, end_s=1200.0)
+    return build_chaos_run(
+        "breaker-derate",
+        specs,
+        seed=seed,
+        end_s=1200.0,
+        physics_backend=physics_backend,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -371,14 +430,22 @@ def random_campaign_specs(
     return specs
 
 
-def campaign(seed: int = 7, *, n_faults: int = 6) -> ChaosRun:
+def campaign(
+    seed: int = 7, *, n_faults: int = 6, physics_backend: str = "scalar"
+) -> ChaosRun:
     """A seeded random campaign over the fault catalogue."""
     engine, topology, fleet, rng = build_surge_world(n_servers=40, seed=seed)
     del engine, topology
     specs = random_campaign_specs(
         rng, list(fleet.servers), n_faults=n_faults, horizon_s=900.0
     )
-    return build_chaos_run("campaign", specs, seed=seed, end_s=1500.0)
+    return build_chaos_run(
+        "campaign",
+        specs,
+        seed=seed,
+        end_s=1500.0,
+        physics_backend=physics_backend,
+    )
 
 
 CHAOS_SCENARIOS: dict[str, Callable[..., ChaosRun]] = {

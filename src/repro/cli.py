@@ -18,6 +18,8 @@ Usage::
     python -m repro trace rpp0.0 --scenario quickstart --last 10
     python -m repro trace sb0.0 --scenario sb-outage --seed 7
     python -m repro health rpp0 --scenario flaky-fabric-recovery --seed 7
+    python -m repro profile quickstart --physics-backend vectorized
+    python -m repro profile sb-outage --top 10
 
 Each scenario prints a short report; exit code is 0 when the run's
 safety invariant (no breaker trips) holds.  ``chaos run`` additionally
@@ -34,6 +36,7 @@ import argparse
 import sys
 
 from repro.analysis.multidc import build_region
+from repro.config import PHYSICS_BACKENDS
 from repro.analysis.scenarios import (
     altoona_outage_recovery,
     ashburn_load_test,
@@ -45,18 +48,20 @@ from repro.units import hours, to_kilowatts
 SCENARIOS = ("quickstart", "ashburn", "altoona", "hadoop", "mixedrow", "cascade")
 
 
-def _quickstart_deployment(seed: int, duration_h: float):
+def _quickstart_deployment(
+    seed: int, duration_h: float, physics_backend: str = "scalar"
+):
     """Build, run, and return the quickstart deployment pieces."""
     from repro.state.worlds import build_quickstart_world
 
-    world = build_quickstart_world(seed=seed)
+    world = build_quickstart_world(seed=seed, physics_backend=physics_backend)
     world.run_until(hours(duration_h))
     return world.dynamo, world.driver, world.topology
 
 
 def _run_quickstart(args: argparse.Namespace) -> int:
     dynamo, driver, topology = _quickstart_deployment(
-        args.seed, args.duration_h
+        args.seed, args.duration_h, args.physics_backend
     )
     print(
         f"ran {args.duration_h} h: power {to_kilowatts(topology.total_power_w()):.1f} KW, "
@@ -227,9 +232,15 @@ def _run_snapshot(args: argparse.Namespace) -> int:
     registry = SnapshotRegistry()
     if args.snapshot_command == "save":
         if args.scenario == "quickstart":
-            world = build_quickstart_world(seed=args.seed)
+            world = build_quickstart_world(
+                seed=args.seed, physics_backend=args.physics_backend
+            )
         else:
-            world = build_chaos_world(args.scenario, seed=args.seed)
+            world = build_chaos_world(
+                args.scenario,
+                seed=args.seed,
+                physics_backend=args.physics_backend,
+            )
         world.run_until(args.at)
         snapshot = registry.capture(
             world, include_traces=not args.no_traces
@@ -334,6 +345,65 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    """Profile one scenario: per-phase wall-time + cProfile hot spots.
+
+    The phase breakdown splits the run's wall-clock between the fleet
+    physics step (``FleetDriver.physics_wall_s``) and the four control
+    stages, whose durations every :class:`TickTrace` already records;
+    everything else (event dispatch, RPC fabric, telemetry) lands in
+    ``other``.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time as time_module
+
+    from repro.state.worlds import build_chaos_world, build_quickstart_world
+
+    if args.scenario == "quickstart":
+        world = build_quickstart_world(
+            seed=args.seed, physics_backend=args.physics_backend
+        )
+        end_s = hours(args.duration_h)
+    else:
+        world = build_chaos_world(
+            args.scenario, seed=args.seed, physics_backend=args.physics_backend
+        )
+        end_s = world.extras["end_s"]
+    profiler = cProfile.Profile()
+    t0 = time_module.perf_counter()
+    profiler.enable()
+    world.run_until(end_s)
+    profiler.disable()
+    wall_s = time_module.perf_counter() - t0
+    print(
+        f"profiled {args.scenario!r} ({args.physics_backend} backend) "
+        f"to t={world.now_s:.1f}s: wall {wall_s:.3f} s"
+    )
+    print()
+    traces = world.dynamo.traces.latest()
+    phases = [
+        ("physics", world.driver.physics_wall_s),
+        ("sense", sum(t.sense_duration_s for t in traces)),
+        ("aggregate", sum(t.aggregate_duration_s for t in traces)),
+        ("decide", sum(t.decide_duration_s for t in traces)),
+        ("actuate", sum(t.actuate_duration_s for t in traces)),
+    ]
+    phases.append(("other", max(wall_s - sum(w for _, w in phases), 0.0)))
+    print(f"{'phase':<10} {'wall_s':>8} {'share':>7}")
+    for name, phase_wall in phases:
+        share = 100.0 * phase_wall / wall_s if wall_s > 0 else 0.0
+        print(f"{name:<10} {phase_wall:>8.3f} {share:>6.1f}%")
+    print()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(f"top {args.top} functions by cumulative time:")
+    print(stream.getvalue().rstrip())
+    return 0
+
+
 def _run_health(args: argparse.Namespace) -> int:
     from repro.chaos import CHAOS_SCENARIOS
     from repro.core.agent import agent_endpoint
@@ -427,6 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cascade scenario only: run without Dynamo",
     )
+    run.add_argument(
+        "--physics-backend",
+        default="scalar",
+        choices=PHYSICS_BACKENDS,
+        help="quickstart scenario only: fleet physics implementation",
+    )
     chaos = sub.add_parser("chaos", help="fault-injection scenarios")
     chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
     chaos_sub.add_parser("list", help="list chaos scenarios")
@@ -473,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--at", type=float, default=60.0, help="capture time (sim seconds)"
     )
     snap_save.add_argument("--out", required=True, help="snapshot file path")
+    snap_save.add_argument(
+        "--physics-backend",
+        default="scalar",
+        choices=PHYSICS_BACKENDS,
+        help="fleet physics implementation baked into the recipe",
+    )
     snap_save.add_argument(
         "--no-traces",
         action="store_true",
@@ -526,6 +608,36 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--last", type=int, default=20, help="show the most recent N ticks"
     )
+    profile = sub.add_parser(
+        "profile",
+        help="per-phase wall-time breakdown and cProfile hot spots",
+    )
+    profile.add_argument(
+        "scenario",
+        nargs="?",
+        default="quickstart",
+        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+        help="scenario to profile (default: quickstart)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--duration-h",
+        type=float,
+        default=0.25,
+        help="quickstart scenario only: simulated duration",
+    )
+    profile.add_argument(
+        "--physics-backend",
+        default="scalar",
+        choices=PHYSICS_BACKENDS,
+        help="fleet physics implementation to profile",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="cProfile rows to print (cumulative-time order)",
+    )
     health = sub.add_parser(
         "health",
         help="operating mode and endpoint health for one controller",
@@ -555,6 +667,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_snapshot(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "health":
         return _run_health(args)
     return _RUNNERS[args.scenario](args)

@@ -255,6 +255,40 @@ class AgentConfig:
             raise ConfigurationError("watchdog budget window must be positive")
 
 
+#: Physics backends the fleet driver can step servers with.
+PHYSICS_BACKENDS = ("scalar", "vectorized")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet physics stepping behaviour.
+
+    ``physics_backend`` selects how the driver advances server state
+    each tick: ``"scalar"`` steps each :class:`~repro.server.server.Server`
+    object in Python (the reference implementation), ``"vectorized"``
+    packs per-server state into structure-of-arrays and advances the
+    whole fleet with numpy ops.  The two backends are bit-identical by
+    contract (enforced by the parity tests); vectorized is faster from a
+    few hundred servers up.  ``prefetch_draws`` is the per-server block
+    size of pre-drawn workload-noise normals in the vectorized backend;
+    it trades refill frequency against rewind cost on foreign draws and
+    has no effect on results.
+    """
+
+    physics_backend: str = "scalar"
+    prefetch_draws: int = 64
+
+    def __post_init__(self) -> None:
+        if self.physics_backend not in PHYSICS_BACKENDS:
+            known = ", ".join(PHYSICS_BACKENDS)
+            raise ConfigurationError(
+                f"unknown physics backend {self.physics_backend!r}; "
+                f"known: {known}"
+            )
+        if self.prefetch_draws < 1:
+            raise ConfigurationError("prefetch block must hold >= 1 draw")
+
+
 @dataclass(frozen=True)
 class SnapshotConfig:
     """World checkpoint/restore behaviour.
@@ -284,6 +318,7 @@ class DynamoConfig:
     agent: AgentConfig = field(default_factory=AgentConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     snapshot: SnapshotConfig = field(default_factory=SnapshotConfig)
+    fleet: FleetConfig = field(default_factory=FleetConfig)
     # The paper skips rack-level controllers in the Facebook deployment
     # (footnote 2): leaf controllers sit at the RPP / PDU-breaker level.
     leaf_level: str = "rpp"

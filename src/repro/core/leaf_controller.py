@@ -96,6 +96,13 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._bucket = bucket or BucketConfig()
         self.policy = policy or PriorityPolicy()
         self._endpoint_prefix = endpoint_prefix
+        # Broadcast endpoints are rebuilt only when membership changes;
+        # the per-pull sense buffers are reused across cycles (readings
+        # never outlive a tick — see BaseController.control_cycle).
+        self._endpoint_cache: list[str] = []
+        self._endpoint_cache_key: tuple[str, ...] | None = None
+        self._readings_buf: list[PowerReading] = []
+        self._by_service_buf: defaultdict[str, list[float]] = defaultdict(list)
         self._last_readings: dict[str, PowerReading] = {}
         self._capped_servers: dict[str, float] = {}
         self._fail_safe_engaged = False
@@ -108,6 +115,14 @@ class LeafPowerController(BaseController[list[PowerReading]]):
     def capped_server_ids(self) -> list[str]:
         """Servers currently holding a cap from this controller."""
         return list(self._capped_servers)
+
+    def _endpoints(self) -> list[str]:
+        """Downstream agent endpoints, cached until membership changes."""
+        key = tuple(self.server_ids)
+        if key != self._endpoint_cache_key:
+            self._endpoint_cache = [self._endpoint_prefix + s for s in key]
+            self._endpoint_cache_key = key
+        return self._endpoint_cache
 
     def add_component(self, component: NonServerComponent) -> None:
         """Register a monitored non-server load on this breaker."""
@@ -134,9 +149,8 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         cache could not resolve count against the paper's 20%
         invalid-aggregation rule.
         """
-        endpoints = [self._endpoint_prefix + s for s in self.server_ids]
         results, failures = self._transport.broadcast(
-            endpoints, "read_power", None
+            self._endpoints(), "read_power", None
         )
         trace.pulls_attempted = len(self.server_ids)
         trace.pulls_failed = len(failures)
@@ -164,8 +178,11 @@ class LeafPowerController(BaseController[list[PowerReading]]):
                 "required",
             )
             return None
-        readings: list[PowerReading] = []
-        by_service_power: dict[str, list[float]] = defaultdict(list)
+        readings = self._readings_buf
+        readings.clear()
+        by_service_power = self._by_service_buf
+        for values in by_service_power.values():
+            values.clear()
         for endpoint, reading in results.items():
             readings.append(reading)
             self._last_readings[reading.server_id] = reading
@@ -322,8 +339,7 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         budget = target - self.device.fixed_overhead_w
         budget -= sum(c.power_w() for c in self._components)
         per_server_w = max(budget, 0.0) / len(self.server_ids)
-        for server_id in self.server_ids:
-            endpoint = self._endpoint_prefix + server_id
+        for server_id, endpoint in zip(self.server_ids, self._endpoints()):
             request = CapRequest(server_id=server_id, limit_w=per_server_w)
             try:
                 response: CapResponse = self._transport.call(

@@ -8,15 +8,18 @@ whatever controllers are (or are not) running.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
-from repro.config import AgentConfig
+from repro.config import PHYSICS_BACKENDS, AgentConfig
 from repro.core.coordinator import PRIORITY_FLEET_STEP
 from repro.errors import ConfigurationError
 from repro.power.device import DeviceLevel, PowerDevice
 from repro.power.topology import PowerTopology
 from repro.server.platform import HASWELL_2015, ServerPlatform
+from repro.server.rapl import RaplModule
 from repro.server.server import Server
+from repro.server.vectorized import VectorizedFleetStepper
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.process import PeriodicProcess
 from repro.simulation.rng import RngStreams
@@ -39,13 +42,38 @@ class ServiceAllocation:
 
 @dataclass
 class Fleet:
-    """All servers of a deployment, indexed by id."""
+    """All servers of a deployment, indexed by id.
+
+    Lookups that used to scan every server — ``by_service``,
+    ``capped_servers``, ``total_power_w`` — are served from indexes:
+    a lazily built service map, a capped set maintained by RAPL
+    limit-change listeners, and (on the vectorized backend) a reduction
+    over the packed power array.  The indexes guard on fleet size so
+    worlds that assemble ``servers`` by direct dict assignment stay
+    correct; they are rebuilt on the first query after membership
+    changes.
+    """
 
     servers: dict[str, Server] = field(default_factory=dict)
 
+    # Index state (plain class attributes, not dataclass fields).
+    _service_index = None
+    _service_index_len = -1
+    _capped_ids = None
+    _capped_ids_len = -1
+    #: Set by the driver when the vectorized backend is active.
+    _stepper = None
+
     def by_service(self, service: str) -> list[Server]:
         """Servers running one service."""
-        return [s for s in self.servers.values() if s.service == service]
+        index = self._service_index
+        if index is None or self._service_index_len != len(self.servers):
+            index = {}
+            for s in self.servers.values():
+                index.setdefault(s.service, []).append(s)
+            self._service_index = index
+            self._service_index_len = len(self.servers)
+        return list(index.get(service, ()))
 
     def server(self, server_id: str) -> Server:
         """Look up one server."""
@@ -61,11 +89,38 @@ class Fleet:
 
     def total_power_w(self) -> float:
         """Instantaneous fleet power."""
+        if self._stepper is not None and len(self.servers) == self._stepper._n:
+            return self._stepper.total_power()
         return sum(s.power_w() for s in self.servers.values())
 
     def capped_servers(self) -> list[Server]:
-        """Servers currently holding a RAPL limit."""
-        return [s for s in self.servers.values() if s.rapl.capped]
+        """Servers currently holding a RAPL limit (cap-time order)."""
+        capped = self._capped_ids
+        if capped is None or self._capped_ids_len != len(self.servers):
+            capped = {}
+            for sid, s in self.servers.items():
+                rapl = s.rapl
+                if getattr(rapl, "_fleet_capped_owner", None) is not self:
+                    rapl._fleet_capped_owner = self
+
+                    def _hook(r: RaplModule, sid: str = sid) -> None:
+                        self._on_limit_change(sid, r)
+
+                    rapl.add_limit_listener(_hook)
+                if rapl.capped:
+                    capped[sid] = None
+            self._capped_ids = capped
+            self._capped_ids_len = len(self.servers)
+        return [self.servers[sid] for sid in capped]
+
+    def _on_limit_change(self, server_id: str, rapl: RaplModule) -> None:
+        capped = self._capped_ids
+        if capped is None:
+            return
+        if rapl.capped:
+            capped[server_id] = None
+        else:
+            capped.pop(server_id, None)
 
 
 def populate_fleet(
@@ -153,13 +208,31 @@ class FleetDriver:
         fleet: Fleet,
         *,
         step_interval_s: float = 1.0,
+        physics_backend: str = "scalar",
+        prefetch_draws: int = 64,
     ) -> None:
         if step_interval_s <= 0:
             raise ConfigurationError("step interval must be positive")
+        if physics_backend not in PHYSICS_BACKENDS:
+            known = ", ".join(PHYSICS_BACKENDS)
+            raise ConfigurationError(
+                f"unknown physics backend {physics_backend!r}; known: {known}"
+            )
         self._topology = topology
         self._fleet = fleet
         self._dt = step_interval_s
         self.trips: list[BreakerTrip] = []
+        #: Wall-clock seconds spent stepping server physics (feeds the
+        #: per-phase breakdown of ``python -m repro profile``).
+        self.physics_wall_s = 0.0
+        self._backend = physics_backend
+        self._stepper: VectorizedFleetStepper | None = None
+        if physics_backend == "vectorized":
+            self._stepper = VectorizedFleetStepper(
+                fleet, prefetch_draws=prefetch_draws
+            )
+            self._stepper.install_device_caches(topology)
+            fleet._stepper = self._stepper
         self._process = PeriodicProcess(
             engine,
             step_interval_s,
@@ -167,6 +240,20 @@ class FleetDriver:
             label="fleet-driver",
             priority=PRIORITY_FLEET_STEP,
         )
+
+    @property
+    def physics_backend(self) -> str:
+        """Which stepping implementation this driver uses."""
+        return self._backend
+
+    def sync_physics(self) -> None:
+        """Flush any speculative RNG prefetch to the logical position.
+
+        Must run before generator states are read externally (snapshot
+        capture); a no-op on the scalar backend.
+        """
+        if self._stepper is not None:
+            self._stepper.sync()
 
     def start(self, phase: float = 0.0) -> None:
         """Begin stepping the world."""
@@ -177,8 +264,13 @@ class FleetDriver:
         self._process.stop()
 
     def _step(self, now_s: float) -> None:
-        for server in self._fleet.servers.values():
-            server.step(now_s, self._dt)
+        t0 = time.perf_counter()
+        if self._stepper is not None:
+            self._stepper.step(now_s, self._dt)
+        else:
+            for server in self._fleet.servers.values():
+                server.step(now_s, self._dt)
+        self.physics_wall_s += time.perf_counter() - t0
         for device in self._topology.observe_breakers(self._dt, now_s):
             self.trips.append(
                 BreakerTrip(

@@ -47,6 +47,13 @@ class PowerDevice:
     switches) plus distribution losses, if a loss model is attached.
     """
 
+    #: Fast direct-load sum installed by the vectorized fleet backend
+    #: (an indexed reduction over the packed power array).  ``None``
+    #: means the scalar generator sum below; membership changes clear
+    #: the cache and notify the hook so it can be reinstalled.
+    _load_power_cache: Callable[[], float] | None = None
+    _load_membership_hook: Callable[["PowerDevice"], None] | None = None
+
     def __init__(
         self,
         name: str,
@@ -103,12 +110,18 @@ class PowerDevice:
         if load_id in self._loads:
             raise TopologyError(f"load {load_id!r} already attached to {self.name!r}")
         self._loads[load_id] = source
+        self._load_power_cache = None
+        if self._load_membership_hook is not None:
+            self._load_membership_hook(self)
 
     def detach_load(self, load_id: str) -> None:
         """Remove a direct load (e.g. a decommissioned server)."""
         if load_id not in self._loads:
             raise TopologyError(f"load {load_id!r} not attached to {self.name!r}")
         del self._loads[load_id]
+        self._load_power_cache = None
+        if self._load_membership_hook is not None:
+            self._load_membership_hook(self)
 
     @property
     def load_ids(self) -> list[str]:
@@ -121,6 +134,9 @@ class PowerDevice:
 
     def direct_load_power_w(self) -> float:
         """Instantaneous power of loads attached directly to this device."""
+        cache = self._load_power_cache
+        if cache is not None:
+            return cache()
         return sum(source() for source in self._loads.values())
 
     def power_w(self) -> float:

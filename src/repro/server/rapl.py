@@ -16,13 +16,23 @@ the output reaches ~95% of a step within the settling time.
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 from repro.config import RaplConfig
 from repro.errors import CappingError
+from repro.simulation.soa import ArraySlot, array_backed
 
 
 class RaplModule:
     """Per-server power limit with first-order settling dynamics."""
+
+    #: Structure-of-arrays slot when bound by the vectorized backend.
+    _soa: ArraySlot | None = None
+
+    #: The enforced power tracks the target in the packed array when
+    #: bound; the limit is hand-rolled below because ``None`` encodes as
+    #: ``+inf`` (min(demand, inf) == demand) and writes notify listeners.
+    _enforced_power_w = array_backed("rapl_enforced")
 
     def __init__(
         self,
@@ -33,10 +43,42 @@ class RaplModule:
     ) -> None:
         self.config = config or RaplConfig()
         self._min_cap_w = max(min_cap_w, self.config.min_limit_w)
-        self._limit_w: float | None = None
+        self._limit_listeners: tuple[Callable[[RaplModule], None], ...] = ()
+        self._limit_w = None
         self._enforced_power_w = float(initial_power_w)
         # First-order time constant: ~95% settled at 3 * tau.
         self._tau_s = self.config.settling_time_s / 3.0
+
+    @property
+    def _limit_w(self) -> float | None:
+        slot = self._soa
+        if slot is None:
+            return self._soa_shadow_limit
+        value = float(slot.arrays.rapl_limit[slot.index])
+        return None if value == math.inf else value
+
+    @_limit_w.setter
+    def _limit_w(self, value: float | None) -> None:
+        slot = self._soa
+        if slot is None:
+            self._soa_shadow_limit = value
+        else:
+            slot.arrays.rapl_limit[slot.index] = (
+                math.inf if value is None else value
+            )
+        for listener in self._limit_listeners:
+            listener(self)
+
+    def add_limit_listener(
+        self, listener: Callable[["RaplModule"], None]
+    ) -> None:
+        """Call ``listener(self)`` after every limit set/clear/restore.
+
+        Used by :class:`~repro.fleet.Fleet` to keep its capped-server
+        index current without scanning, and safe to call more than once
+        with distinct listeners.
+        """
+        self._limit_listeners = (*self._limit_listeners, listener)
 
     # ------------------------------------------------------------------
     # Limit management

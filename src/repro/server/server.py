@@ -28,6 +28,7 @@ from repro.server.power_model import PowerModel
 from repro.server.rapl import RaplModule
 from repro.server.sensor import PowerSensor
 from repro.server.turbo import TurboBoost
+from repro.simulation.soa import ArraySlot, array_backed
 
 
 class Workload(Protocol):
@@ -66,6 +67,18 @@ class ConstantWorkload:
 
 class Server:
     """One server in the fleet."""
+
+    #: Structure-of-arrays slot when bound by the vectorized backend.
+    #: Bound or not, reads and writes go through these properties, so
+    #: agents, chaos faults, and snapshots see one source of truth.
+    _soa: ArraySlot | None = None
+    _current_power_w = array_backed("power")
+    _current_utilization = array_backed("util")
+    _demanded_work = array_backed("demanded")
+    _delivered_work = array_backed("delivered")
+    _energy_j = array_backed("energy")
+    _online = array_backed("online", kind="bool")
+    _last_step_s = array_backed("last_step", kind="nan_none")
 
     def __init__(
         self,

@@ -13,10 +13,14 @@ per server (or per cluster) and the power/performance models pick it up.
 from __future__ import annotations
 
 from repro.server.platform import ServerPlatform
+from repro.simulation.soa import ArraySlot, array_backed
 
 
 class TurboBoost:
     """Turbo Boost enable/disable state plus derived gains."""
+
+    _soa: ArraySlot | None = None
+    _enabled = array_backed("turbo_enabled", kind="bool")
 
     def __init__(self, platform: ServerPlatform, enabled: bool = False) -> None:
         self._platform = platform

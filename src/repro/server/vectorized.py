@@ -1,0 +1,542 @@
+"""Vectorized fleet physics: structure-of-arrays server stepping.
+
+The scalar reference path steps each :class:`~repro.server.server.Server`
+object in Python; at fleet scale the interpreter overhead dominates.
+This module packs per-server mutable state into numpy arrays (the
+binding machinery lives in :mod:`repro.simulation.soa`) and advances the
+whole fleet per tick with array ops.
+
+The backends are **bit-identical by contract**, which constrains the
+implementation in ways worth spelling out:
+
+* Transcendentals differ by 1 ulp between numpy ufuncs and the C library
+  ``math`` module on a few percent of inputs, so any ``exp``/``cos``/
+  ``pow`` the scalar path computes per server is computed here with the
+  same ``math`` call per *unique argument* (diurnal shapes, OU decay
+  factors, RAPL alphas are shared by construction) and broadcast — or,
+  for the per-server power curve, with a python ``**`` per element.
+* Reductions use ``np.cumsum(...)[-1]`` (strictly sequential, matching
+  ``sum()``'s left-to-right association), never ``np.sum`` (pairwise).
+* RNG draw order is preserved per stream.  Each server's workload
+  normals are prefetched in blocks (``gen.normal(size=k)`` produces the
+  same sequence as ``k`` scalar calls); any *other* draw on that stream
+  — burst arrivals, hadoop phase lengths, snapshot-time state capture —
+  must see the generator at its logical position, so every bound stream
+  is wrapped in a :class:`_StreamGuard` that rewinds the speculative
+  block (restore saved state, re-draw the consumed prefix) before
+  delegating.  Ticks where a server crosses a burst arrival or hadoop
+  phase boundary fall back to the scalar ``utilization()`` call for
+  just that server, so variable-count draws happen in scalar order.
+
+State is shared, not copied: the scalar objects stay alive as views
+onto the arrays (agents, chaos faults, and snapshots read and write
+through the same properties on either backend).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.server.power_model import PowerModel
+from repro.server.server import Server
+from repro.simulation.soa import ArraySlot, bind_fields
+from repro.units import SECONDS_PER_DAY
+from repro.workloads.base import StochasticWorkload
+from repro.workloads.cache import CacheWorkload
+from repro.workloads.database import DatabaseWorkload
+from repro.workloads.hadoop import HadoopWorkload
+from repro.workloads.newsfeed import NewsfeedWorkload
+from repro.workloads.storage import StorageWorkload
+from repro.workloads.web import WebWorkload
+
+_ENGAGE_SPAN = 1.0 - PowerModel.TURBO_ENGAGE_UTIL
+
+_SERVER_FIELDS = (
+    "_current_power_w",
+    "_current_utilization",
+    "_demanded_work",
+    "_delivered_work",
+    "_energy_j",
+    "_online",
+    "_last_step_s",
+)
+
+#: Workload classes whose diurnal base trend is held in ``_shape``.
+_DIURNAL_TYPES = (WebWorkload, CacheWorkload, DatabaseWorkload, NewsfeedWorkload)
+
+
+class _StreamGuard:
+    """Generator proxy that flushes a prefetch buffer before any use.
+
+    Installed in place of a server's workload generator once the stepper
+    has speculatively drawn a block of normals from it.  Any attribute
+    access (``normal``, ``exponential``, ``bit_generator``, ...) first
+    rewinds the owning server's buffer so the underlying generator sits
+    at its logical draw position, then delegates.
+    """
+
+    __slots__ = ("_gen", "_flush")
+
+    def __init__(self, gen: np.random.Generator, flush: Callable[[], None]) -> None:
+        self._gen = gen
+        self._flush = flush
+
+    def __getattr__(self, name: str) -> Any:
+        self._flush()
+        return getattr(self._gen, name)
+
+
+class FleetArrays:
+    """The packed per-server state arrays (one row per server).
+
+    Attribute names here are the contract with the ``array_backed``
+    declarations on ``Server``, ``RaplModule``, ``TurboBoost``, the
+    noise processes, and ``HadoopWorkload``.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.power = np.zeros(n)
+        self.util = np.zeros(n)
+        self.demanded = np.zeros(n)
+        self.delivered = np.zeros(n)
+        self.energy = np.zeros(n)
+        self.online = np.ones(n, dtype=bool)
+        self.last_step = np.full(n, math.nan)
+        self.rapl_limit = np.full(n, math.inf)
+        self.rapl_enforced = np.zeros(n)
+        self.turbo_enabled = np.zeros(n, dtype=bool)
+        self.ou_value = np.zeros(n)
+        self.ou_last = np.full(n, math.nan)
+        self.burst_next = np.full(n, math.nan)
+        self.burst_until = np.full(n, -math.inf)
+        self.burst_mag = np.zeros(n)
+        self.hadoop_compute = np.zeros(n, dtype=bool)
+        self.hadoop_end = np.zeros(n)
+
+
+class VectorizedFleetStepper:
+    """Advances every server in a fleet per tick with array operations."""
+
+    def __init__(self, fleet: Any, *, prefetch_draws: int = 64) -> None:
+        servers = list(fleet.servers.values())
+        n = len(servers)
+        self._fleet = fleet
+        self._n = n
+        self._block = int(prefetch_draws)
+        a = FleetArrays(n)
+        self._arrays = a
+
+        self._servers = servers
+        self._models = [s.power_model for s in servers]
+        self._workloads = [s.workload for s in servers]
+        self._server_index = {id(s): i for i, s in enumerate(servers)}
+
+        # Static per-server parameters.
+        self._idle_w = np.array([s.platform.idle_power_w for s in servers])
+        self._dyn_range = np.array([s.platform.dynamic_range_w for s in servers])
+        self._turbo_power_gain = np.array(
+            [s.platform.turbo_power_gain for s in servers]
+        )
+        # Matches TurboBoost.performance_multiplier's python-float add.
+        self._turbo_mult = np.array(
+            [1.0 + s.platform.turbo_perf_gain for s in servers]
+        )
+        self._burst_rate = np.zeros(n)
+        self._hadoop_hi = np.zeros(n)
+        self._hadoop_lo = np.zeros(n)
+
+        # Lane classification.
+        self._always_fallback = np.zeros(n, dtype=bool)
+        self._ou_mask = np.zeros(n, dtype=bool)
+        self._hadoop_mask = np.zeros(n, dtype=bool)
+        self._modified: set[int] = set()
+
+        # Prefetch buffers: one block of pre-drawn normals per stream.
+        self._buf = np.zeros((n, self._block))
+        self._lo = np.zeros(n, dtype=np.intp)
+        self._hi = np.zeros(n, dtype=np.intp)
+        self._raw_gens: list[np.random.Generator | None] = [None] * n
+        self._saved_states: list[Any] = [None] * n
+
+        # Group indices and coefficient caches.
+        diurnal: dict[Any, list[int]] = {}
+        const: dict[float, list[int]] = {}
+        exps: dict[float, list[int]] = {}
+        ou: dict[tuple[float, float], list[int]] = {}
+        rapl: dict[float, list[int]] = {}
+        self._ou_coeff_cache: dict[tuple[float, float, float], tuple[float, float]] = {}
+        self._rapl_alpha_cache: dict[tuple[float, float], float] = {}
+
+        for i, srv in enumerate(servers):
+            slot = ArraySlot(a, i)
+            bind_fields(srv, slot, _SERVER_FIELDS)
+            bind_fields(srv.rapl, slot, ("_enforced_power_w", "_limit_w"))
+            bind_fields(srv.turbo, slot, ("_enabled",))
+            exps.setdefault(srv.platform.curve_exponent, []).append(i)
+            rapl.setdefault(srv.rapl._tau_s, []).append(i)
+            self._bind_workload(i, srv.workload, slot, diurnal, const, ou)
+
+        def _groups(mapping: dict) -> list[tuple[Any, np.ndarray]]:
+            return [
+                (key, np.array(idx, dtype=np.intp))
+                for key, idx in mapping.items()
+            ]
+
+        self._diurnal_groups = _groups(diurnal)
+        self._const_groups = _groups(const)
+        self._exp_groups = _groups(exps)
+        self._ou_groups = _groups(ou)
+        self._rapl_groups = _groups(rapl)
+        self._hadoop_idx = np.nonzero(self._hadoop_mask)[0]
+        self._burst_pos = self._burst_rate > 0.0
+
+        # Scratch buffers reused every tick.
+        self._scratch_u = np.zeros(n)
+        self._scratch_dyn = np.zeros(n)
+        self._scratch_factor = np.ones(n)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def _bind_workload(
+        self,
+        i: int,
+        workload: Any,
+        slot: ArraySlot,
+        diurnal: dict,
+        const: dict,
+        ou: dict,
+    ) -> None:
+        if not isinstance(workload, StochasticWorkload):
+            # ConstantWorkload and anything unknown: correct via the
+            # scalar path every tick (no stochastic state to pack).
+            self._always_fallback[i] = True
+            return
+
+        noise = workload._noise
+        bursts = workload._bursts
+        bind_fields(noise, slot, ("_value", "_last_time"))
+        bind_fields(bursts, slot, ("_next_start", "_active_until", "_active_magnitude"))
+        self._burst_rate[i] = bursts._rate
+
+        # Wrap every distinct generator this workload draws from with a
+        # guard that rewinds the prefetch buffer before foreign draws.
+        raw = noise._rng
+        guard = _StreamGuard(raw, lambda i=i: self._flush_stream(i))
+        self._raw_gens[i] = raw
+        noise._rng = guard
+        if bursts._rng is raw:
+            bursts._rng = guard
+        else:  # pragma: no cover - streams are shared in practice
+            bursts._rng = _StreamGuard(bursts._rng, lambda i=i: self._flush_stream(i))
+
+        workload._modifier_hook = lambda i=i, w=workload: self._on_modifiers(i, w)
+        if workload._modifiers:
+            self._modified.add(i)
+
+        kind = type(workload)
+        if kind in _DIURNAL_TYPES:
+            diurnal.setdefault(workload._shape, []).append(i)
+        elif kind is StorageWorkload:
+            const.setdefault(workload._base_level, []).append(i)
+        elif kind is HadoopWorkload:
+            bind_fields(workload, slot, ("_phase_is_compute", "_phase_end_s"))
+            self._hadoop_hi[i] = workload._compute_level
+            self._hadoop_lo[i] = workload._io_level
+            self._hadoop_mask[i] = True
+            if workload._rng is raw:
+                workload._rng = guard
+        elif self._is_flat(kind):
+            const.setdefault(workload._level, []).append(i)
+        else:
+            # Unknown base trend: scalar path, but state stays packed so
+            # snapshots and telemetry see one source of truth.
+            self._always_fallback[i] = True
+            return
+        self._ou_mask[i] = True
+        ou.setdefault((noise._tau_s, noise._sigma), []).append(i)
+
+    @staticmethod
+    def _is_flat(kind: type) -> bool:
+        try:
+            from repro.analysis.worlds import FlatWorkload
+        except ImportError:  # pragma: no cover - analysis extras absent
+            return False
+        return kind is FlatWorkload
+
+    def _on_modifiers(self, i: int, workload: StochasticWorkload) -> None:
+        if workload._modifiers:
+            self._modified.add(i)
+        else:
+            self._modified.discard(i)
+
+    # ------------------------------------------------------------------
+    # Prefetched draws
+    # ------------------------------------------------------------------
+
+    def _flush_stream(self, i: int) -> None:
+        """Rewind server ``i``'s speculative block to the logical position."""
+        if self._hi[i] == 0:
+            return
+        gen = self._raw_gens[i]
+        assert gen is not None
+        gen.bit_generator.state = self._saved_states[i]
+        consumed = int(self._lo[i])
+        if consumed:
+            gen.normal(size=consumed)
+        self._lo[i] = 0
+        self._hi[i] = 0
+        self._saved_states[i] = None
+
+    def _refill(self, i: int) -> None:
+        gen = self._raw_gens[i]
+        assert gen is not None
+        self._saved_states[i] = gen.bit_generator.state
+        self._buf[i, :] = gen.normal(size=self._block)
+        self._lo[i] = 0
+        self._hi[i] = self._block
+
+    def _draw(self, rows: np.ndarray) -> np.ndarray:
+        """One buffered standard normal per row, preserving stream order."""
+        need = rows[self._lo[rows] >= self._hi[rows]]
+        for i in need:
+            self._refill(int(i))
+        z = self._buf[rows, self._lo[rows]]
+        self._lo[rows] += 1
+        return z
+
+    def sync(self) -> None:
+        """Flush every prefetch buffer.
+
+        After this, every generator's raw state equals its logical draw
+        position — required before RNG state is snapshotted externally.
+        """
+        for i in np.nonzero(self._hi > 0)[0]:
+            self._flush_stream(int(i))
+
+    # ------------------------------------------------------------------
+    # Coefficients (scalar math per unique argument, matching the
+    # per-server scalar computations bit for bit)
+    # ------------------------------------------------------------------
+
+    def _ou_coeffs(self, tau_s: float, sigma: float, dt: float) -> tuple[float, float]:
+        key = (tau_s, sigma, dt)
+        hit = self._ou_coeff_cache.get(key)
+        if hit is None:
+            decay = math.exp(-dt / tau_s)
+            diffusion = sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+            hit = (decay, diffusion)
+            self._ou_coeff_cache[key] = hit
+        return hit
+
+    def _rapl_alpha(self, tau_s: float, dt_s: float) -> float:
+        key = (tau_s, dt_s)
+        alpha = self._rapl_alpha_cache.get(key)
+        if alpha is None:
+            alpha = 1.0 - math.exp(-dt_s / tau_s)
+            self._rapl_alpha_cache[key] = alpha
+        return alpha
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+
+    def step(self, now_s: float, dt_s: float) -> None:
+        """Advance every server by ``dt_s`` seconds ending at ``now_s``."""
+        n = self._n
+        if len(self._fleet.servers) != n:
+            raise RuntimeError(
+                "fleet membership changed after the vectorized stepper was "
+                "bound; rebuild the driver"
+            )
+        if n == 0:
+            return
+        a = self._arrays
+        online = a.online
+        u = self._scratch_u
+
+        # Lane selection: servers whose stream would see a variable
+        # number of draws this tick (burst arrival, hadoop phase cross)
+        # or whose workload we cannot vectorize run the scalar path.
+        fallback = self._always_fallback.copy()
+        if self._hadoop_idx.size:
+            fallback |= self._hadoop_mask & (now_s >= a.hadoop_end)
+        fallback |= self._burst_pos & (
+            np.isnan(a.burst_next) | (now_s >= a.burst_next)
+        )
+        fallback &= online
+        vec = online & ~fallback
+
+        # Base trend, one scalar math call per group broadcast.
+        for shape, idx in self._diurnal_groups:
+            phase = 2.0 * math.pi * (now_s - shape.peak_time_s) / SECONDS_PER_DAY
+            blend = (1.0 + math.cos(phase)) / 2.0
+            u[idx] = shape.trough + (shape.peak - shape.trough) * blend
+        for level, idx in self._const_groups:
+            u[idx] = level
+        hidx = self._hadoop_idx
+        if hidx.size:
+            u[hidx] = np.where(
+                a.hadoop_compute[hidx], self._hadoop_hi[hidx], self._hadoop_lo[hidx]
+            )
+
+        # OU noise: exactly one buffered draw per advancing server.
+        ou_elig = self._ou_mask & vec
+        sidx = np.nonzero(ou_elig)[0]
+        if sidx.size:
+            first = ou_elig & np.isnan(a.ou_last)
+            if first.any():
+                a.ou_last[first] = now_s
+            adv = ou_elig & (now_s > a.ou_last)
+            if adv.any():
+                for (tau_s, sigma), gidx in self._ou_groups:
+                    sel = gidx[adv[gidx]]
+                    if sel.size == 0:
+                        continue
+                    dts = now_s - a.ou_last[sel]
+                    if sel.size == 1 or (dts == dts[0]).all():
+                        subsets = [(float(dts[0]), sel)]
+                    else:
+                        subsets = [
+                            (float(dt), sel[dts == dt]) for dt in np.unique(dts)
+                        ]
+                    for dt, rows in subsets:
+                        decay, diffusion = self._ou_coeffs(tau_s, sigma, dt)
+                        z = self._draw(rows)
+                        a.ou_value[rows] = a.ou_value[rows] * decay + diffusion * z
+                    a.ou_last[sel] = now_s
+            u[sidx] += a.ou_value[sidx]
+            # Bursts: the vec lane never crosses an arrival, so the
+            # contribution is pure state readout.
+            u[sidx] += np.where(
+                self._burst_pos[sidx] & (now_s < a.burst_until[sidx]),
+                a.burst_mag[sidx],
+                0.0,
+            )
+
+        # Modifiers are pure (no draws): scalar post-pass, pre-clamp.
+        if self._modified:
+            for i in sorted(self._modified):
+                if vec[i]:
+                    val = float(u[i])
+                    for modifier in self._workloads[i]._modifiers:
+                        val = modifier.apply(now_s, val)
+                    u[i] = val
+
+        vec_idx = np.nonzero(vec)[0]
+        u[vec_idx] = np.minimum(1.0, np.maximum(0.0, u[vec_idx]))
+
+        # Scalar lane: the guard rewinds each stream before its draws.
+        for i in np.nonzero(fallback)[0]:
+            u[i] = min(1.0, max(0.0, self._workloads[i].utilization(now_s)))
+
+        off_idx = np.nonzero(~online)[0]
+        if off_idx.size:
+            u[off_idx] = 0.0
+
+        # Power model: python ** per element (numpy's pow differs by
+        # 1 ulp on a few percent of inputs), group-batched by exponent.
+        dyn = self._scratch_dyn
+        for exp_e, gidx in self._exp_groups:
+            dyn[gidx] = [v**exp_e for v in u[gidx].tolist()]
+        dyn *= self._dyn_range
+        tsel = a.turbo_enabled & online & (u > PowerModel.TURBO_ENGAGE_UTIL)
+        if tsel.any():
+            tidx = np.nonzero(tsel)[0]
+            engagement = (u[tidx] - PowerModel.TURBO_ENGAGE_UTIL) / _ENGAGE_SPAN
+            dyn[tidx] *= 1.0 + self._turbo_power_gain[tidx] * engagement
+        demand = dyn
+        demand += self._idle_w
+
+        # RAPL first-order settle toward min(demand, limit).
+        on_idx = np.nonzero(online)[0]
+        if dt_s > 0:
+            target = np.minimum(demand, a.rapl_limit)
+            for tau_s, gidx in self._rapl_groups:
+                sel = gidx[online[gidx]]
+                if sel.size == 0:
+                    continue
+                alpha = self._rapl_alpha(tau_s, dt_s)
+                a.rapl_enforced[sel] += (target[sel] - a.rapl_enforced[sel]) * alpha
+
+        # Performance factor: non-unity only where a finite cap binds.
+        factor = self._scratch_factor
+        factor.fill(1.0)
+        capped = (
+            online
+            & np.isfinite(a.rapl_limit)
+            & (u > 0.0)
+            & (a.rapl_limit < demand)
+        )
+        if capped.any():
+            lim = a.rapl_limit
+            for i in np.nonzero(capped)[0]:
+                factor[i] = self._models[i].performance_factor(
+                    float(u[i]), float(lim[i]), turbo=bool(a.turbo_enabled[i])
+                )
+
+        # Accounting, preserving the scalar path's association order.
+        a.demanded[on_idx] += u[on_idx] * dt_s
+        turbo_mult = np.where(a.turbo_enabled[on_idx], self._turbo_mult[on_idx], 1.0)
+        a.delivered[on_idx] += ((u[on_idx] * factor[on_idx]) * turbo_mult) * dt_s
+        a.energy[on_idx] += a.rapl_enforced[on_idx] * dt_s
+        a.power[on_idx] = a.rapl_enforced[on_idx]
+        a.util[on_idx] = u[on_idx]
+        a.last_step[on_idx] = now_s
+        if off_idx.size:
+            a.power[off_idx] = 0.0
+            a.util[off_idx] = 0.0
+
+    # ------------------------------------------------------------------
+    # Batched aggregation
+    # ------------------------------------------------------------------
+
+    def total_power(self) -> float:
+        """Fleet-wide power, identical to summing ``power_w()`` in order.
+
+        ``cumsum`` accumulates strictly left to right, matching the
+        association of the scalar generator ``sum``.
+        """
+        if self._n == 0:
+            return 0.0
+        return float(np.cumsum(self._arrays.power)[-1])
+
+    def install_device_caches(self, topology: Any) -> None:
+        """Turn each device's direct-load sum into an indexed reduction.
+
+        A device whose attached loads are all plain ``Server.power_w``
+        bound methods gets a closure summing the packed power array at
+        precomputed indices; anything else keeps the scalar sum.  The
+        device calls back on attach/detach so caches never go stale.
+        """
+        for device in topology.iter_devices():
+            device._load_membership_hook = self._refresh_device_cache
+            self._refresh_device_cache(device)
+
+    def _refresh_device_cache(self, device: Any) -> None:
+        indices: list[int] = []
+        for source in device._loads.values():
+            owner = getattr(source, "__self__", None)
+            index = self._server_index.get(id(owner))
+            if index is None or getattr(source, "__func__", None) is not Server.power_w:
+                device._load_power_cache = None
+                return
+            indices.append(index)
+        if not indices:
+            device._load_power_cache = lambda: 0.0
+            return
+        idx = np.array(indices, dtype=np.intp)
+        power = self._arrays.power
+        device._load_power_cache = (
+            lambda idx=idx, power=power: float(np.cumsum(power[idx])[-1])
+        )
+
+
+__all__ = [
+    "FleetArrays",
+    "VectorizedFleetStepper",
+]

@@ -104,6 +104,10 @@ class SnapshotRegistry:
         """
         if include_traces is None:
             include_traces = world.dynamo.config.snapshot.include_traces
+        # The vectorized backend prefetches RNG draws speculatively;
+        # rewind every stream to its logical position before capturing
+        # generator states, or the resumed run would skip draws.
+        world.driver.sync_physics()
         dynamo = world.dynamo
         state: dict = {
             "engine": world.engine.snapshot_state(),

@@ -54,7 +54,9 @@ class World:
         return self.engine.clock.now
 
 
-def build_quickstart_world(seed: int = 0) -> World:
+def build_quickstart_world(
+    seed: int = 0, physics_backend: str = "scalar"
+) -> World:
     """The CLI quickstart deployment, armed at t=0."""
     from repro.fleet import ServiceAllocation, populate_fleet
     from repro.power.builder import DataCenterSpec, build_datacenter
@@ -74,11 +76,16 @@ def build_quickstart_world(seed: int = 0) -> World:
         rng,
     )
     dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
-    driver = FleetDriver(engine, topology, fleet)
+    driver = FleetDriver(
+        engine, topology, fleet, physics_backend=physics_backend
+    )
     driver.start()
     dynamo.start()
     return World(
-        recipe={"builder": "quickstart", "kwargs": {"seed": seed}},
+        recipe={
+            "builder": "quickstart",
+            "kwargs": {"seed": seed, "physics_backend": physics_backend},
+        },
         engine=engine,
         topology=topology,
         fleet=fleet,
@@ -88,7 +95,9 @@ def build_quickstart_world(seed: int = 0) -> World:
     )
 
 
-def build_chaos_world(scenario: str, seed: int = 7) -> World:
+def build_chaos_world(
+    scenario: str, seed: int = 7, physics_backend: str = "scalar"
+) -> World:
     """A named chaos scenario, armed and started at t=0.
 
     The underlying :class:`~repro.chaos.scenarios.ChaosRun` rides in
@@ -104,12 +113,16 @@ def build_chaos_world(scenario: str, seed: int = 7) -> World:
         raise SnapshotError(
             f"unknown chaos scenario {scenario!r}; known: {known}"
         ) from None
-    run = builder(seed=seed)
+    run = builder(seed=seed, physics_backend=physics_backend)
     run.start()
     return World(
         recipe={
             "builder": "chaos",
-            "kwargs": {"scenario": scenario, "seed": seed},
+            "kwargs": {
+                "scenario": scenario,
+                "seed": seed,
+                "physics_backend": physics_backend,
+            },
         },
         engine=run.engine,
         topology=run.topology,

@@ -11,11 +11,12 @@ between a server and a telemetry sampler.
 from __future__ import annotations
 
 import math
-from typing import Protocol
+from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.simulation.soa import ArraySlot, array_backed
 
 
 class WorkloadModifier(Protocol):
@@ -33,6 +34,10 @@ class OrnsteinUhlenbeckNoise:
     trend: excursions decay with time constant ``tau_s`` and the
     stationary standard deviation is ``sigma``.
     """
+
+    _soa: ArraySlot | None = None
+    _value = array_backed("ou_value")
+    _last_time = array_backed("ou_last", kind="nan_none")
 
     def __init__(
         self,
@@ -88,6 +93,11 @@ class PoissonBursts:
     Burst arrivals, magnitudes, and durations are pre-drawn lazily so the
     process stays deterministic for a given generator.
     """
+
+    _soa: ArraySlot | None = None
+    _next_start = array_backed("burst_next", kind="nan_none")
+    _active_until = array_backed("burst_until")
+    _active_magnitude = array_backed("burst_mag")
 
     def __init__(
         self,
@@ -154,6 +164,11 @@ class StochasticWorkload:
     terms through the constructor.
     """
 
+    #: Set by the vectorized backend: called with no arguments whenever
+    #: the modifier list changes, so the stepper can move this workload
+    #: between its vector lane and the scalar modifier post-pass.
+    _modifier_hook: Callable[[], None] | None = None
+
     def __init__(
         self,
         service: str,
@@ -179,10 +194,14 @@ class StochasticWorkload:
     def add_modifier(self, modifier: WorkloadModifier) -> None:
         """Attach a traffic event (load test, surge, outage trace)."""
         self._modifiers.append(modifier)
+        if self._modifier_hook is not None:
+            self._modifier_hook()
 
     def remove_modifier(self, modifier: WorkloadModifier) -> None:
         """Detach a previously added modifier."""
         self._modifiers.remove(modifier)
+        if self._modifier_hook is not None:
+            self._modifier_hook()
 
     def utilization(self, now_s: float) -> float:
         """Demanded CPU utilization in [0, 1] at ``now_s``."""
@@ -215,3 +234,5 @@ class StochasticWorkload:
         self._noise.restore_state(state["noise"])
         self._bursts.restore_state(state["bursts"])
         self._modifiers = [decode_modifier(m) for m in state["modifiers"]]
+        if self._modifier_hook is not None:
+            self._modifier_hook()

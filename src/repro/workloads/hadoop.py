@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.simulation.soa import ArraySlot, array_backed
 from repro.workloads.base import StochasticWorkload
 
 
@@ -21,6 +22,10 @@ class HadoopWorkload(StochasticWorkload):
     boundaries decorrelate, as they do in production where job assignment
     staggers tasks across machines.
     """
+
+    _soa: ArraySlot | None = None
+    _phase_is_compute = array_backed("hadoop_compute", kind="bool")
+    _phase_end_s = array_backed("hadoop_end")
 
     def __init__(
         self,

@@ -32,7 +32,7 @@ SEED = 42
 END_S = 720.0
 
 
-def build_parity_run(seed: int = SEED):
+def build_parity_run(seed: int = SEED, physics_backend: str = "scalar"):
     """A deterministic two-suite deployment with faults and a squeeze."""
     engine = SimulationEngine()
     topology = build_datacenter(
@@ -53,7 +53,9 @@ def build_parity_run(seed: int = SEED):
         rng,
     )
     dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
-    driver = FleetDriver(engine, topology, fleet)
+    driver = FleetDriver(
+        engine, topology, fleet, physics_backend=physics_backend
+    )
     orchestrator = ChaosOrchestrator(
         ChaosContext(
             engine=engine,
@@ -81,9 +83,15 @@ def build_parity_run(seed: int = SEED):
     return engine, dynamo, driver, orchestrator
 
 
-def run_and_fingerprint(seed: int = SEED, end_s: float = END_S) -> str:
+def run_and_fingerprint(
+    seed: int = SEED,
+    end_s: float = END_S,
+    physics_backend: str = "scalar",
+) -> str:
     """Run the scenario and render the behaviour fingerprint."""
-    engine, dynamo, driver, orchestrator = build_parity_run(seed)
+    engine, dynamo, driver, orchestrator = build_parity_run(
+        seed, physics_backend
+    )
     ticks: list[str] = []
 
     def wrap(controller):
@@ -136,6 +144,16 @@ def test_refactor_preserves_golden_fingerprint():
         "control-cycle behaviour diverged from the pre-refactor golden; "
         "if the change is deliberate, regenerate with "
         "`python tests/test_control_parity.py --write` and review the diff"
+    )
+
+
+def test_vectorized_backend_matches_golden_fingerprint():
+    """The SoA stepper reproduces the scalar golden byte-for-byte."""
+    golden = GOLDEN_PATH.read_text()
+    current = run_and_fingerprint(physics_backend="vectorized")
+    assert current == golden, (
+        "vectorized fleet physics diverged from the scalar golden; the "
+        "two backends must be bit-identical"
     )
 
 

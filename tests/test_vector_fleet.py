@@ -1,0 +1,267 @@
+"""Vectorized fleet physics: bit-exact parity with the scalar path.
+
+The structure-of-arrays stepper is an optimisation, not a remodel: for
+any seed, every fingerprint it produces must be byte-identical to the
+scalar reference — plain fleets, fleets under capping, fleets with
+chaos faults in flight — and its packed arrays must survive a snapshot
+save → restore round-trip bit-exactly.  The RNG draw-order contract
+(block-prefetched normals == per-tick sequential draws) is checked
+both property-style on raw generators and end-to-end on the per-server
+stream states.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.state.registry import SnapshotRegistry
+from repro.state.snapshot import fingerprint
+from repro.state.worlds import build_chaos_world, build_quickstart_world
+
+
+def world_fp(world) -> str:
+    return fingerprint(SnapshotRegistry().capture(world).state)
+
+
+def quickstart_fp(backend: str, seed: int, end_s: float) -> str:
+    world = build_quickstart_world(seed=seed, physics_backend=backend)
+    world.run_until(end_s)
+    return world_fp(world)
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend golden parity
+# ---------------------------------------------------------------------------
+
+
+class TestCrossBackendParity:
+    def test_plain_fleet_bit_identical(self):
+        assert quickstart_fp("vectorized", 5, 720.0) == quickstart_fp(
+            "scalar", 5, 720.0
+        )
+
+    def test_capping_event_bit_identical(self):
+        """Full sb-outage campaign: capping engages on both backends."""
+        fps = {}
+        for backend in ("scalar", "vectorized"):
+            world = build_chaos_world(
+                "sb-outage", seed=7, physics_backend=backend
+            )
+            world.run_until(900.0)
+            assert world.dynamo.total_cap_events() > 0
+            fps[backend] = world_fp(world)
+        assert fps["vectorized"] == fps["scalar"]
+
+    def test_active_chaos_fault_bit_identical(self):
+        """Fingerprints taken mid-fault, with caps still in force."""
+        fps = {}
+        for backend in ("scalar", "vectorized"):
+            world = build_chaos_world(
+                "sb-outage", seed=7, physics_backend=backend
+            )
+            world.run_until(600.0)
+            assert world.fleet.capped_servers()
+            fps[backend] = world_fp(world)
+        assert fps["vectorized"] == fps["scalar"]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot round-trips of the packed state
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedSnapshots:
+    def test_resume_matches_uninterrupted(self):
+        build = lambda: build_quickstart_world(  # noqa: E731
+            seed=3, physics_backend="vectorized"
+        )
+        world = build()
+        world.run_until(300.0)
+        registry = SnapshotRegistry()
+        snapshot = registry.capture(world)
+        resumed = registry.restore(snapshot)
+        assert resumed.driver.physics_backend == "vectorized"
+        resumed.run_until(720.0)
+        uninterrupted = build()
+        uninterrupted.run_until(720.0)
+        assert world_fp(resumed) == world_fp(uninterrupted)
+
+    def test_roundtrip_preserves_packed_arrays(self):
+        """restore() repopulates the SoA arrays the capture drained."""
+        world = build_quickstart_world(seed=3, physics_backend="vectorized")
+        world.run_until(120.0)
+        registry = SnapshotRegistry()
+        restored = registry.restore(registry.capture(world))
+        stepper = restored.fleet._stepper
+        assert stepper is not None
+        arrays = stepper._arrays
+        for sid, server in restored.fleet.servers.items():
+            i = stepper._server_index[id(server)]
+            assert arrays.power[i] == world.fleet.servers[sid].power_w()
+            assert arrays.energy[i] == world.fleet.servers[sid].energy_j
+
+    def test_recipe_carries_backend(self):
+        world = build_quickstart_world(seed=0, physics_backend="vectorized")
+        assert (
+            world.recipe["kwargs"]["physics_backend"] == "vectorized"
+        )
+
+
+# ---------------------------------------------------------------------------
+# RNG draw-order contract
+# ---------------------------------------------------------------------------
+
+
+class TestDrawOrderContract:
+    @given(seed=st.integers(0, 2**32 - 1), k=st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_batched_normals_match_sequential(self, seed, k):
+        """gen.normal(size=k) is draw-for-draw one normal per element.
+
+        This is the identity the stepper's block prefetch (and its
+        flush-on-foreign-draw guard) relies on to keep every server's
+        stream bit-identical to the scalar path.
+        """
+        a = np.random.default_rng(seed)
+        b = np.random.default_rng(seed)
+        batched = b.normal(size=k)
+        for j in range(k):
+            assert a.normal() == batched[j]
+        assert a.bit_generator.state == b.bit_generator.state
+
+    @given(seed=st.integers(0, 2**32 - 1), k=st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_batched_sensor_noise_matches_per_server(self, seed, k):
+        """One batched draw across k sensors == k per-sensor draws."""
+        sigma = 0.015
+        per_server = [
+            np.random.default_rng(seed + i).normal() * sigma for i in range(k)
+        ]
+        batched = [
+            float(np.random.default_rng(seed + i).normal(size=1)[0]) * sigma
+            for i in range(k)
+        ]
+        assert per_server == batched
+
+    @pytest.mark.parametrize("ticks", [1, 7, 90])
+    def test_stream_states_match_scalar_after_sync(self, ticks):
+        """After sync(), every per-server generator sits at the scalar
+        position — no speculative prefetch is left in flight."""
+        scalar = build_quickstart_world(seed=11, physics_backend="scalar")
+        vector = build_quickstart_world(seed=11, physics_backend="vectorized")
+        scalar.run_until(float(ticks))
+        vector.run_until(float(ticks))
+        vector.driver.sync_physics()
+        for sid in scalar.fleet.servers:
+            for prefix in ("server", "sensor"):
+                name = f"{prefix}.{sid}"
+                assert (
+                    vector.rng.stream(name).bit_generator.state
+                    == scalar.rng.stream(name).bit_generator.state
+                ), f"stream {name} diverged after {ticks} ticks"
+
+
+# ---------------------------------------------------------------------------
+# Fleet indexes (service map, capped set, power reduction)
+# ---------------------------------------------------------------------------
+
+
+class TestFleetIndexes:
+    def test_by_service_index(self):
+        world = build_quickstart_world(seed=0)
+        fleet = world.fleet
+        assert len(fleet.by_service("web")) == 24
+        assert len(fleet.by_service("cache")) == 12
+        assert fleet.by_service("hadoop") == []
+
+    def test_by_service_rebuilds_on_membership_change(self):
+        world = build_quickstart_world(seed=0)
+        fleet = world.fleet
+        assert len(fleet.by_service("web")) == 24
+        donor = fleet.servers["web-0000"]
+        fleet.servers["web-9999"] = donor
+        assert len(fleet.by_service("web")) == 25
+
+    def test_capped_index_tracks_limit_changes(self):
+        world = build_quickstart_world(seed=0)
+        fleet = world.fleet
+        assert fleet.capped_servers() == []
+        b = fleet.servers["web-0001"]
+        a = fleet.servers["web-0000"]
+        b.rapl.set_limit(150.0)
+        a.rapl.set_limit(140.0)
+        assert fleet.capped_servers() == [b, a]  # cap-time order
+        b.rapl.clear_limit()
+        assert fleet.capped_servers() == [a]
+        a.rapl.clear_limit()
+        assert fleet.capped_servers() == []
+
+    def test_total_power_fast_path_matches_scalar_sum(self):
+        world = build_quickstart_world(seed=2, physics_backend="vectorized")
+        world.run_until(60.0)
+        fleet = world.fleet
+        expected = sum(s.power_w() for s in fleet.servers.values())
+        assert fleet.total_power_w() == expected
+
+    def test_device_load_cache_matches_and_invalidates(self):
+        world = build_quickstart_world(seed=2, physics_backend="vectorized")
+        world.run_until(60.0)
+        from repro.power.device import DeviceLevel
+
+        rack = world.topology.devices_at_level(DeviceLevel.RACK)[0]
+        assert rack._load_power_cache is not None
+        cached = rack.direct_load_power_w()
+        loads = dict(rack._loads)
+        victim = next(iter(loads))
+        rack.detach_load(victim)
+        # The membership hook rebuilds a reduced-index cache (or clears
+        # it); either way the reading must track the remaining loads.
+        assert rack.direct_load_power_w() == pytest.approx(
+            cached - loads[victim]()
+        )
+        assert rack.direct_load_power_w() == pytest.approx(
+            sum(source() for source in rack._loads.values())
+        )
+
+
+# ---------------------------------------------------------------------------
+# Leaf controller endpoint cache
+# ---------------------------------------------------------------------------
+
+
+class TestLeafEndpointCache:
+    def _controller(self):
+        from repro.core.leaf_controller import LeafPowerController
+        from repro.power.device import DeviceLevel, PowerDevice
+        from repro.rpc.transport import RpcTransport
+
+        device = PowerDevice("rpp0", DeviceLevel.RPP, 10_000.0)
+        transport = RpcTransport(np.random.default_rng(0))
+        return LeafPowerController(device, ["s0", "s1"], transport)
+
+    def test_endpoints_cached_until_membership_changes(self):
+        controller = self._controller()
+        first = controller._endpoints()
+        assert first == ["agent:s0", "agent:s1"]
+        assert controller._endpoints() is first
+        controller.server_ids.append("s2")
+        second = controller._endpoints()
+        assert second == ["agent:s0", "agent:s1", "agent:s2"]
+        assert second is not first
+
+    def test_sense_buffers_are_reused(self):
+        controller = self._controller()
+        buf = controller._readings_buf
+        controller.sense(0.0, _trace_builder())
+        assert controller._readings_buf is buf
+
+
+def _trace_builder():
+    from repro.telemetry.tracing import TraceBuilder
+
+    return TraceBuilder(time_s=0.0, controller="rpp0", kind="leaf")
