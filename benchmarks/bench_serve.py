@@ -1,0 +1,141 @@
+"""Load benchmark for the serve layer: many concurrent operator clients.
+
+Spins up a real :class:`~repro.serve.http.ServeServer` and drives it
+with 32 concurrent blocking clients, each owning one session forked
+from a shared warm snapshot.  Every client runs the canonical operator
+loop — step, read the tree, stream a few trace lines — and every
+request's wall-clock latency is recorded.  The report lands in
+``BENCH_serve.json``: aggregate simulation throughput (engine events
+and simulated seconds per wall second across all sessions) plus p50/p99
+request latency, with the acceptance gates asserted directly: zero 5xx
+responses and zero cross-session state leaks (every session's sim clock
+lands exactly where its own steps put it).
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import ServeClient, ServeServer
+from repro.serve.app import ServeApp
+from repro.serve.sessions import SessionManager
+from repro.state import SnapshotRegistry, build_quickstart_world
+
+CLIENTS = 32
+STEPS_PER_CLIENT = 6
+STEP_DT_S = 30.0
+WARMUP_S = 60.0
+SEED = 3
+
+
+def _operator_loop(host, port, index, snapshot_path):
+    """One operator: create a forked session, work it, tear it down."""
+    latencies: list[float] = []
+    statuses: list[int] = []
+    events = 0
+    sim_s = 0.0
+
+    def timed(method, path, payload=None):
+        nonlocal events, sim_s
+        t0 = time.perf_counter()
+        status, body = client.request(method, path, payload)
+        latencies.append(time.perf_counter() - t0)
+        statuses.append(status)
+        return status, body
+
+    with ServeClient(host, port, timeout_s=300.0) as client:
+        status, view = timed(
+            "POST",
+            "/sessions",
+            {"snapshot_path": str(snapshot_path), "fork_index": index},
+        )
+        assert status == 201, view
+        sid = view["id"]
+        for step in range(STEPS_PER_CLIENT):
+            status, body = timed(
+                "POST", f"/sessions/{sid}/step", {"dt_s": STEP_DT_S}
+            )
+            if status == 200:
+                events += body["events_executed"]
+                sim_s += body["advanced_s"]
+            timed("GET", f"/sessions/{sid}/tree?depth=1")
+            timed("GET", f"/sessions/{sid}/health")
+        # each session's clock must land exactly where its own steps
+        # put it — any drift means another session's work leaked in
+        status, view = timed("GET", f"/sessions/{sid}")
+        expected_s = WARMUP_S + STEPS_PER_CLIENT * STEP_DT_S
+        leaked = status != 200 or abs(view["time_s"] - expected_s) > 1e-9
+        trace_lines = sum(
+            1 for _ in client.stream(sid, kind="traces", limit=10)
+        )
+        timed("DELETE", f"/sessions/{sid}")
+    return {
+        "latencies": latencies,
+        "statuses": statuses,
+        "events": events,
+        "sim_s": sim_s,
+        "leaked": leaked,
+        "trace_lines": trace_lines,
+    }
+
+
+def _percentile(values, fraction):
+    ranked = sorted(values)
+    return ranked[min(int(fraction * len(ranked)), len(ranked) - 1)]
+
+
+def test_bench_serve_concurrent_load(once, bench_report, tmp_path):
+    world = build_quickstart_world(seed=SEED)
+    world.run_until(WARMUP_S)
+    snapshot_path = tmp_path / "warm.json"
+    SnapshotRegistry().capture(world, include_traces=False).save(
+        snapshot_path
+    )
+
+    app = ServeApp(SessionManager(max_sessions=CLIENTS + 1))
+
+    def experiment():
+        with ServeServer(app) as server:
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                results = list(
+                    pool.map(
+                        lambda i: _operator_loop(
+                            server.host, server.port, i, snapshot_path
+                        ),
+                        range(CLIENTS),
+                    )
+                )
+            wall_s = time.perf_counter() - t0
+        return results, wall_s
+
+    results, wall_s = once(experiment)
+
+    latencies = [lat for r in results for lat in r["latencies"]]
+    statuses = [s for r in results for s in r["statuses"]]
+    server_errors = [s for s in statuses if s >= 500]
+    total_events = sum(r["events"] for r in results)
+    total_sim_s = sum(r["sim_s"] for r in results)
+    report = {
+        "clients": CLIENTS,
+        "sessions": CLIENTS,
+        "steps_per_client": STEPS_PER_CLIENT,
+        "requests": len(latencies),
+        "server_errors_5xx": len(server_errors),
+        "leaks": sum(1 for r in results if r["leaked"]),
+        "wall_s": round(wall_s, 3),
+        "events_per_s": round(total_events / wall_s, 1),
+        "sim_s_per_wall_s": round(total_sim_s / wall_s, 1),
+        "requests_per_s": round(len(latencies) / wall_s, 1),
+        "latency_p50_ms": round(1e3 * _percentile(latencies, 0.50), 3),
+        "latency_p99_ms": round(1e3 * _percentile(latencies, 0.99), 3),
+    }
+    bench_report("serve", report)
+    print()
+    for key, value in report.items():
+        print(f"{key}: {value}")
+
+    # Acceptance gates: zero 5xx, zero cross-session leaks, and every
+    # client actually streamed telemetry.
+    assert not server_errors
+    assert not any(r["leaked"] for r in results)
+    assert all(r["trace_lines"] == 10 for r in results)

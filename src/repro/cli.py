@@ -20,9 +20,13 @@ Usage::
     python -m repro health rpp0 --scenario flaky-fabric-recovery --seed 7
     python -m repro profile quickstart --physics-backend vectorized
     python -m repro profile sb-outage --top 10
+    python -m repro serve --port 8640
 
 Each scenario prints a short report; exit code is 0 when the run's
-safety invariant (no breaker trips) holds.  ``chaos run`` additionally
+safety invariant (no breaker trips) holds.  Operational errors exit
+nonzero instead of dumping tracebacks: snapshot problems (missing
+file, corrupted payload, schema mismatch) exit 2 with a one-line
+explanation, and any other library error exits 1.  ``chaos run`` additionally
 executes the scenario twice and requires byte-identical injection
 timelines (the replay-determinism contract).  ``trace`` runs a scenario
 and prints one controller's per-tick sense→aggregate→decide→actuate
@@ -469,6 +473,25 @@ def _run_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Host the long-running session service until interrupted."""
+    from repro.serve import ServeApp, ServeServer
+    from repro.serve.sessions import SessionManager
+
+    app = ServeApp(SessionManager(max_sessions=args.max_sessions))
+    server = ServeServer(app, host=args.host, port=args.port)
+    print(
+        f"serving on http://{args.host}:{args.port} "
+        f"(max {args.max_sessions} sessions); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _RUNNERS = {
     "quickstart": _run_quickstart,
     "ashburn": _run_ashburn,
@@ -651,12 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     health.add_argument("--seed", type=int, default=0)
     health.add_argument("--duration-h", type=float, default=0.25)
+    serve = sub.add_parser(
+        "serve", help="host live simulation sessions over HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8640)
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="concurrent session cap (create returns 409 beyond it)",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name in SCENARIOS:
             print(name)
@@ -671,7 +703,55 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "health":
         return _run_health(args)
+    if args.command == "serve":
+        return _run_serve(args)
     return _RUNNERS[args.scenario](args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Operational failures exit nonzero with a one-line message on
+    stderr instead of a traceback: snapshot-file problems (missing,
+    corrupted, wrong schema version) exit 2, any other library error
+    exits 1.  Tracebacks still surface for genuine bugs
+    (non-:class:`~repro.errors.ReproError` exceptions).
+    """
+    from repro.errors import (
+        ReproError,
+        SnapshotError,
+        SnapshotIntegrityError,
+        SnapshotVersionError,
+    )
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except FileNotFoundError as exc:
+        print(f"repro: file not found: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except SnapshotVersionError as exc:
+        print(
+            f"repro: incompatible snapshot: {exc}\n"
+            "repro: re-capture it with 'repro snapshot save' from this "
+            "version of the code",
+            file=sys.stderr,
+        )
+        return 2
+    except SnapshotIntegrityError as exc:
+        print(
+            f"repro: corrupted snapshot: {exc}\n"
+            "repro: the file was truncated or edited after capture; "
+            "re-capture or restore from a good copy",
+            file=sys.stderr,
+        )
+        return 2
+    except SnapshotError as exc:
+        print(f"repro: snapshot error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -79,6 +79,22 @@ class ControllerError(ReproError):
     """A power controller encountered an unrecoverable condition."""
 
 
+class ServeError(ReproError):
+    """A serve-layer request was invalid or could not be satisfied."""
+
+
+class UnknownSessionError(ServeError):
+    """A serve request named a session id the manager does not hold.
+
+    Attributes:
+        session_id: the id the request asked for.
+    """
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"unknown session {session_id!r}")
+        self.session_id = session_id
+
+
 class SnapshotError(ReproError):
     """A world snapshot could not be captured, saved, loaded, or restored."""
 

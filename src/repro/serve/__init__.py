@@ -1,0 +1,36 @@
+"""Long-running simulation service: many isolated worlds behind HTTP.
+
+The serve layer hosts concurrent simulation sessions — each a fully
+isolated world created from a scenario recipe or forked from a
+snapshot — and exposes them over a hand-rolled asyncio HTTP/1.1 API:
+observe (power tree, controllers, health), act (bands, faults,
+failover, snapshot/restore), and stream telemetry as NDJSON.
+
+Layering, bottom up:
+
+- :mod:`repro.serve.sessions` — ``Session`` / ``SessionManager`` /
+  ``Ticker``: world lifecycle and the tick-safety invariants.
+- :mod:`repro.serve.views` — pure JSON views over live world objects.
+- :mod:`repro.serve.app` — transport-agnostic ``Request`` →
+  ``Response`` routing (swap the transport without touching handlers).
+- :mod:`repro.serve.http` — the asyncio transport and ``ServeServer``.
+- :mod:`repro.serve.client` — blocking stdlib client used by tests,
+  the load benchmark, and the operator demo.
+"""
+
+from repro.serve.app import Request, Response, ServeApp
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import ServeServer
+from repro.serve.sessions import Session, SessionManager, Ticker
+
+__all__ = [
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeServer",
+    "Session",
+    "SessionManager",
+    "Ticker",
+]

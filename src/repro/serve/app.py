@@ -1,0 +1,469 @@
+"""The serve application: route table and request handlers.
+
+This layer is deliberately transport-agnostic — handlers consume a plain
+:class:`Request` and return a plain :class:`Response`, so the asyncio
+HTTP/1.1 transport in :mod:`repro.serve.http` could be swapped for a
+threaded ``http.server`` façade or FastAPI without touching a handler.
+
+Endpoints
+---------
+
+======  =====================================  ==============================
+method  path                                   effect
+======  =====================================  ==============================
+GET     /healthz                               liveness probe
+GET     /sessions                              list sessions
+POST    /sessions                              create (recipe/snapshot/fork)
+GET     /sessions/{id}                         session summary
+DELETE  /sessions/{id}                         tear a session down
+POST    /sessions/{id}/step                    advance ``dt_s``/``until_s``
+POST    /sessions/{id}/ticker                  configure real-time ticking
+GET     /sessions/{id}/tree                    power-tree JSON (``?depth=``)
+GET     /sessions/{id}/controllers             every controller's state
+GET     /sessions/{id}/controllers/{name}      one controller
+GET     /sessions/{id}/health                  modes + endpoint health
+POST    /sessions/{id}/band                    replace band thresholds
+POST    /sessions/{id}/faults                  inject a catalogue fault
+POST    /sessions/{id}/failover                enable/fail/restore a pair
+POST    /sessions/{id}/snapshot                checkpoint the live session
+POST    /sessions/{id}/restore                 restore into the session
+GET     /sessions/{id}/stream                  NDJSON telemetry stream
+======  =====================================  ==============================
+
+Streaming responses carry ``Response.stream``, an iterator of NDJSON
+lines; a ``None`` item means "no data right now — poll again", which the
+asyncio transport turns into a short sleep so follow-mode streams do not
+spin.  Error mapping: unknown session → 404, invalid input (including
+bad fault kinds, band configs, and snapshot envelopes) → 400, session
+limit → 409, anything unexpected → 500 with the exception rendered.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+from urllib.parse import parse_qs, urlsplit
+
+from repro.config import ThreeBandConfig
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ServeError,
+    SnapshotError,
+    TopologyError,
+    UnknownSessionError,
+)
+from repro.serve.sessions import Session, SessionManager
+from repro.serve.views import (
+    controller_view,
+    controllers_view,
+    health_view,
+    session_view,
+    tree_view,
+)
+from repro.state.snapshot import WorldSnapshot
+
+#: Hard cap on request bodies (a posted snapshot envelope is a few MB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request, transport-independent."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+    @classmethod
+    def make(
+        cls,
+        method: str,
+        target: str,
+        *,
+        payload: Any | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> "Request":
+        """Build a request from a target like ``/sessions?limit=3``.
+
+        The in-process test harness and the transport both come through
+        here so query parsing has one home.
+        """
+        parts = urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        return cls(
+            method=method.upper(),
+            path=parts.path,
+            query=query,
+            headers={k.lower(): v for k, v in (headers or {}).items()},
+            body=body,
+        )
+
+
+@dataclass
+class Response:
+    """One response: a JSON body or an NDJSON stream, never both."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    #: NDJSON line iterator; ``None`` items mean "poll again later".
+    stream: Iterator[bytes | None] | None = None
+
+    def json(self) -> Any:
+        """Parse the body back (test convenience)."""
+        return json.loads(self.body) if self.body else None
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    """A JSON-encoded response."""
+    return Response(
+        status=status,
+        body=(json.dumps(payload) + "\n").encode("utf-8"),
+    )
+
+
+def error_response(status: int, message: str) -> Response:
+    """The uniform error shape: ``{"error": ...}``."""
+    return json_response({"error": message}, status=status)
+
+
+_Handler = Callable[..., Response]
+
+
+def _compile(pattern: str) -> re.Pattern[str]:
+    regex = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern)
+    return re.compile(f"^{regex}$")
+
+
+class ServeApp:
+    """Routes requests to handlers over one :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager | None = None) -> None:
+        # `manager or ...` would discard an empty manager (len() == 0
+        # makes it falsy), silently ignoring a caller's session cap.
+        self.manager = manager if manager is not None else SessionManager()
+        self._routes: list[tuple[str, re.Pattern[str], _Handler]] = [
+            ("GET", _compile("/healthz"), self._healthz),
+            ("GET", _compile("/sessions"), self._list_sessions),
+            ("POST", _compile("/sessions"), self._create_session),
+            ("GET", _compile("/sessions/{sid}"), self._get_session),
+            ("DELETE", _compile("/sessions/{sid}"), self._delete_session),
+            ("POST", _compile("/sessions/{sid}/step"), self._step),
+            ("POST", _compile("/sessions/{sid}/ticker"), self._ticker),
+            ("GET", _compile("/sessions/{sid}/tree"), self._tree),
+            ("GET", _compile("/sessions/{sid}/controllers"), self._controllers),
+            (
+                "GET",
+                _compile("/sessions/{sid}/controllers/{name}"),
+                self._controller,
+            ),
+            ("GET", _compile("/sessions/{sid}/health"), self._health),
+            ("POST", _compile("/sessions/{sid}/band"), self._band),
+            ("POST", _compile("/sessions/{sid}/faults"), self._fault),
+            ("POST", _compile("/sessions/{sid}/failover"), self._failover),
+            ("POST", _compile("/sessions/{sid}/snapshot"), self._snapshot),
+            ("POST", _compile("/sessions/{sid}/restore"), self._restore),
+            ("GET", _compile("/sessions/{sid}/stream"), self._stream),
+        ]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one request; exceptions become error responses."""
+        matched_path = False
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            matched_path = True
+            if method != request.method:
+                continue
+            try:
+                return handler(request, **match.groupdict())
+            except UnknownSessionError as exc:
+                return error_response(404, str(exc))
+            except ServeError as exc:
+                status = 409 if "session limit" in str(exc) else 400
+                return error_response(status, str(exc))
+            except (
+                ConfigurationError,
+                SnapshotError,
+                TopologyError,
+                ValueError,
+            ) as exc:
+                return error_response(400, str(exc))
+            except ReproError as exc:
+                return error_response(500, str(exc))
+        if matched_path:
+            return error_response(
+                405, f"method {request.method} not allowed on {request.path}"
+            )
+        return error_response(404, f"no route for {request.path}")
+
+    def _session(self, sid: str) -> Session:
+        return self.manager.get(sid)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _healthz(self, request: Request) -> Response:
+        return json_response(
+            {"status": "ok", "sessions": len(self.manager)}
+        )
+
+    def _list_sessions(self, request: Request) -> Response:
+        views = []
+        for session in self.manager.sessions():
+            with session.lock:
+                views.append(session_view(session))
+        return json_response({"sessions": views})
+
+    def _create_session(self, request: Request) -> Response:
+        session = self.manager.create(request.json())
+        with session.lock:
+            return json_response(session_view(session), status=201)
+
+    def _get_session(self, request: Request, sid: str) -> Response:
+        session = self._session(sid)
+        with session.lock:
+            return json_response(session_view(session))
+
+    def _delete_session(self, request: Request, sid: str) -> Response:
+        self.manager.delete(sid)
+        return json_response({"deleted": sid})
+
+    def _step(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        dt_s = payload.get("dt_s")
+        until_s = payload.get("until_s")
+        result = self._session(sid).step(
+            dt_s=None if dt_s is None else float(dt_s),
+            until_s=None if until_s is None else float(until_s),
+        )
+        return json_response(result)
+
+    def _ticker(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        session = self._session(sid)
+        ticker = session.ticker
+        ratio = payload.get("ratio")
+        interval_s = payload.get("interval_s")
+        ticker.configure(
+            ratio=None if ratio is None else float(ratio),
+            interval_s=None if interval_s is None else float(interval_s),
+        )
+        running = payload.get("running")
+        if running is True:
+            ticker.start()
+        elif running is False:
+            ticker.stop()
+        return json_response(ticker.state())
+
+    def _tree(self, request: Request, sid: str) -> Response:
+        depth = request.query.get("depth")
+        session = self._session(sid)
+        with session.lock:
+            return json_response(
+                tree_view(
+                    session, depth=None if depth is None else int(depth)
+                )
+            )
+
+    def _controllers(self, request: Request, sid: str) -> Response:
+        session = self._session(sid)
+        with session.lock:
+            return json_response(controllers_view(session))
+
+    def _controller(self, request: Request, sid: str, name: str) -> Response:
+        session = self._session(sid)
+        with session.lock:
+            try:
+                controller = session.world.dynamo.controller(name)
+            except ConfigurationError:
+                known = ", ".join(
+                    sorted(
+                        c.name
+                        for c in session.world.dynamo.hierarchy.all_controllers
+                    )
+                )
+                return error_response(
+                    404, f"no controller {name!r}; known: {known}"
+                )
+            return json_response(controller_view(name, controller))
+
+    def _health(self, request: Request, sid: str) -> Response:
+        session = self._session(sid)
+        with session.lock:
+            return json_response(health_view(session))
+
+    def _band(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        device = payload.get("device")
+        if not device:
+            raise ServeError("band change needs a device name")
+        band = ThreeBandConfig(
+            capping_threshold=float(payload["capping_threshold"]),
+            capping_target=float(payload["capping_target"]),
+            uncapping_threshold=float(payload["uncapping_threshold"]),
+        )
+        return json_response(self._session(sid).set_band(str(device), band))
+
+    def _fault(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        kind = payload.get("kind")
+        if not kind:
+            raise ServeError("fault injection needs a kind")
+        duration_s = payload.get("duration_s")
+        result = self._session(sid).inject_fault(
+            str(kind),
+            duration_s=None if duration_s is None else float(duration_s),
+            targets=tuple(str(t) for t in payload.get("targets", [])),
+            params=payload.get("params") or {},
+        )
+        return json_response(result)
+
+    def _failover(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        device = payload.get("device")
+        if not device:
+            raise ServeError("failover needs a device name")
+        return json_response(
+            self._session(sid).failover(
+                str(device), str(payload.get("action", "enable"))
+            )
+        )
+
+    def _snapshot(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        path = payload.get("path")
+        _, summary = self._session(sid).snapshot(
+            path=None if path is None else str(path),
+            include_state=bool(payload.get("include_state", False)),
+        )
+        return json_response(summary)
+
+    def _restore(self, request: Request, sid: str) -> Response:
+        payload = request.json()
+        has_path = "path" in payload
+        has_envelope = "snapshot" in payload
+        if has_path == has_envelope:
+            raise ServeError("restore needs exactly one of path or snapshot")
+        if has_path:
+            snapshot = WorldSnapshot.load(str(payload["path"]))
+        else:
+            snapshot = WorldSnapshot.from_envelope(
+                payload["snapshot"], origin="posted snapshot"
+            )
+        return json_response(self._session(sid).restore(snapshot))
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+
+    def _stream(self, request: Request, sid: str) -> Response:
+        kind = request.query.get("kind", "traces")
+        if kind not in ("traces", "events", "log"):
+            raise ServeError(
+                f"unknown stream kind {kind!r}; known: traces, events, log"
+            )
+        limit_raw = request.query.get("limit")
+        limit = None if limit_raw is None else int(limit_raw)
+        follow = request.query.get("follow", "false").lower() in (
+            "1",
+            "true",
+            "yes",
+        )
+        controller = request.query.get("controller")
+        session = self._session(sid)
+        return Response(
+            stream=self._stream_lines(
+                session, kind, limit=limit, follow=follow, controller=controller
+            ),
+            content_type="application/x-ndjson",
+        )
+
+    def _stream_lines(
+        self,
+        session: Session,
+        kind: str,
+        *,
+        limit: int | None,
+        follow: bool,
+        controller: str | None,
+    ) -> Iterator[bytes | None]:
+        """NDJSON lines; yields ``None`` when follow-mode has no news.
+
+        Cursoring: traces track the buffer's lifetime ``recorded``
+        counter (the ring may drop ticks under overload — streaming is
+        lossy by design, snapshots are not), event/log streams track the
+        append-only list index.
+        """
+        sent = 0
+        cursor = 0
+        primed = False
+        while True:
+            batch: list[dict]
+            with session.lock:
+                if kind == "traces":
+                    buffer = session.world.dynamo.traces
+                    if not primed:
+                        cursor = buffer.recorded - len(buffer)
+                    fresh = buffer.recorded - cursor
+                    traces = buffer.latest(fresh) if fresh > 0 else []
+                    cursor = buffer.recorded
+                    if controller is not None:
+                        traces = [
+                            t for t in traces if t.controller == controller
+                        ]
+                    batch = [t.to_dict() for t in traces]
+                else:
+                    log = (
+                        session.log
+                        if kind == "log"
+                        else session.world.orchestrator.events
+                        if session.world.orchestrator is not None
+                        else session.log
+                    )
+                    events = log.events[cursor:]
+                    cursor += len(events)
+                    batch = [
+                        {
+                            "time_s": e.time_s,
+                            "source": e.source,
+                            "kind": e.kind,
+                            "detail": e.detail,
+                        }
+                        for e in events
+                    ]
+            primed = True
+            for item in batch:
+                yield (json.dumps(item) + "\n").encode("utf-8")
+                sent += 1
+                if limit is not None and sent >= limit:
+                    return
+            if not follow:
+                return
+            yield None

@@ -1,0 +1,330 @@
+"""A tiny stdlib client for the serve API.
+
+Built on :mod:`http.client` only, so tests, the load benchmark, and the
+operator demo need nothing the container does not already have.  One
+:class:`ServeClient` holds one keep-alive connection for plain requests
+(re-opened transparently after a drop); each streaming call opens its
+own connection, since the server closes streamed connections when the
+stream ends.
+
+``request()`` returns ``(status, payload)`` raw for callers that need
+to observe error statuses (the load benchmark); the convenience methods
+raise :class:`ServeClientError` on any non-2xx response.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator
+
+from repro.errors import ServeError
+
+
+class ServeClientError(ServeError):
+    """A serve request came back with an error status.
+
+    Attributes:
+        status: the HTTP status code.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Blocking client for one serve endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8640, *, timeout_s: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the keep-alive connection."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, Any]:
+        """One request → ``(status, parsed JSON payload)``.
+
+        Retries once on a dropped keep-alive connection (the server may
+        have closed it between requests); never retries non-idempotent
+        calls that actually reached the server.
+        """
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.NotConnected,
+                http.client.CannotSendRequest,
+                http.client.BadStatusLine,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # The request never produced a response; reconnecting and
+                # resending is safe because nothing was processed.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            parsed = json.loads(data) if data else None
+        except json.JSONDecodeError:
+            parsed = {"error": data.decode("utf-8", "replace")}
+        return response.status, parsed
+
+    def _call(self, method: str, path: str, payload: Any | None = None) -> Any:
+        status, parsed = self.request(method, path, payload)
+        if status >= 400:
+            message = (
+                parsed.get("error", str(parsed))
+                if isinstance(parsed, dict)
+                else str(parsed)
+            )
+            raise ServeClientError(status, message)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Server liveness."""
+        return self._call("GET", "/healthz")
+
+    def sessions(self) -> list[dict]:
+        """All live sessions."""
+        return self._call("GET", "/sessions")["sessions"]
+
+    def create_session(self, **spec: Any) -> dict:
+        """Create a session; see ``SessionManager.create`` for the spec."""
+        return self._call("POST", "/sessions", spec)
+
+    def session(self, sid: str) -> dict:
+        """One session's summary."""
+        return self._call("GET", f"/sessions/{sid}")
+
+    def delete_session(self, sid: str) -> dict:
+        """Tear one session down."""
+        return self._call("DELETE", f"/sessions/{sid}")
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        sid: str,
+        *,
+        dt_s: float | None = None,
+        until_s: float | None = None,
+    ) -> dict:
+        """Advance a session on demand."""
+        payload: dict[str, float] = {}
+        if dt_s is not None:
+            payload["dt_s"] = dt_s
+        if until_s is not None:
+            payload["until_s"] = until_s
+        return self._call("POST", f"/sessions/{sid}/step", payload)
+
+    def ticker(
+        self,
+        sid: str,
+        *,
+        ratio: float | None = None,
+        interval_s: float | None = None,
+        running: bool | None = None,
+    ) -> dict:
+        """Configure/start/stop real-time ticking."""
+        payload: dict[str, Any] = {}
+        if ratio is not None:
+            payload["ratio"] = ratio
+        if interval_s is not None:
+            payload["interval_s"] = interval_s
+        if running is not None:
+            payload["running"] = running
+        return self._call("POST", f"/sessions/{sid}/ticker", payload)
+
+    # ------------------------------------------------------------------
+    # Observe
+    # ------------------------------------------------------------------
+
+    def tree(self, sid: str, *, depth: int | None = None) -> dict:
+        """The power tree."""
+        suffix = "" if depth is None else f"?depth={depth}"
+        return self._call("GET", f"/sessions/{sid}/tree{suffix}")
+
+    def controllers(self, sid: str) -> dict:
+        """Every controller's state."""
+        return self._call("GET", f"/sessions/{sid}/controllers")
+
+    def controller(self, sid: str, name: str) -> dict:
+        """One controller's state."""
+        return self._call("GET", f"/sessions/{sid}/controllers/{name}")
+
+    def health(self, sid: str) -> dict:
+        """Operating modes and endpoint health."""
+        return self._call("GET", f"/sessions/{sid}/health")
+
+    # ------------------------------------------------------------------
+    # Act
+    # ------------------------------------------------------------------
+
+    def set_band(
+        self,
+        sid: str,
+        device: str,
+        *,
+        capping_threshold: float,
+        capping_target: float,
+        uncapping_threshold: float,
+    ) -> dict:
+        """Replace one controller's three-band thresholds."""
+        return self._call(
+            "POST",
+            f"/sessions/{sid}/band",
+            {
+                "device": device,
+                "capping_threshold": capping_threshold,
+                "capping_target": capping_target,
+                "uncapping_threshold": uncapping_threshold,
+            },
+        )
+
+    def inject_fault(
+        self,
+        sid: str,
+        kind: str,
+        *,
+        duration_s: float | None = None,
+        targets: list[str] | tuple[str, ...] = (),
+        params: dict | None = None,
+    ) -> dict:
+        """Inject one catalogue fault at the session's current time."""
+        return self._call(
+            "POST",
+            f"/sessions/{sid}/faults",
+            {
+                "kind": kind,
+                "duration_s": duration_s,
+                "targets": list(targets),
+                "params": params or {},
+            },
+        )
+
+    def failover(self, sid: str, device: str, action: str = "enable") -> dict:
+        """Enable a failover pair or fail/restore its primary."""
+        return self._call(
+            "POST",
+            f"/sessions/{sid}/failover",
+            {"device": device, "action": action},
+        )
+
+    def snapshot(
+        self,
+        sid: str,
+        *,
+        path: str | None = None,
+        include_state: bool = False,
+    ) -> dict:
+        """Checkpoint the live session."""
+        payload: dict[str, Any] = {"include_state": include_state}
+        if path is not None:
+            payload["path"] = path
+        return self._call("POST", f"/sessions/{sid}/snapshot", payload)
+
+    def restore(
+        self,
+        sid: str,
+        *,
+        path: str | None = None,
+        snapshot: dict | None = None,
+    ) -> dict:
+        """Restore a checkpoint into the live session."""
+        payload: dict[str, Any] = {}
+        if path is not None:
+            payload["path"] = path
+        if snapshot is not None:
+            payload["snapshot"] = snapshot
+        return self._call("POST", f"/sessions/{sid}/restore", payload)
+
+    # ------------------------------------------------------------------
+    # Stream
+    # ------------------------------------------------------------------
+
+    def stream(
+        self,
+        sid: str,
+        *,
+        kind: str = "traces",
+        limit: int | None = None,
+        follow: bool = False,
+        controller: str | None = None,
+    ) -> Iterator[dict]:
+        """Yield NDJSON telemetry records as dicts.
+
+        Opens a dedicated connection; the server closes it when the
+        stream ends (``limit`` reached or, without ``follow``, the
+        backlog drained).
+        """
+        params = [f"kind={kind}"]
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if follow:
+            params.append("follow=true")
+        if controller is not None:
+            params.append(f"controller={controller}")
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                "GET", f"/sessions/{sid}/stream?" + "&".join(params)
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    message = data.decode("utf-8", "replace")
+                raise ServeClientError(response.status, message)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,158 @@
+"""Read-only JSON views over live world objects.
+
+Every observe endpoint renders through these helpers: plain dicts of
+JSON-clean scalars walked out of the live ``Fleet`` / ``PowerDevice`` /
+controller / ``HealthRegistry`` objects.  Views are pure functions — no
+caching, no mutation — and callers are expected to hold the session
+lock while a view walks the world (tick-safety invariant 1 in
+:mod:`repro.serve.sessions`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.failover import FailoverController
+from repro.power.device import PowerDevice
+from repro.serve.sessions import Session
+
+
+def device_view(device: PowerDevice, *, depth: int | None = None) -> dict:
+    """One power-tree node, recursing into children up to ``depth``."""
+    view: dict[str, Any] = {
+        "name": device.name,
+        "level": device.level.value,
+        "rated_power_w": device.rated_power_w,
+        "power_quota_w": device.power_quota_w,
+        "power_w": device.power_w(),
+        "utilization": device.utilization(),
+        "breaker": {
+            "tripped": device.breaker.tripped,
+            "stress": device.breaker.stress,
+        },
+        "load_count": len(device.load_ids),
+    }
+    if device.suite is not None:
+        view["suite"] = device.suite
+    if depth is None or depth > 0:
+        child_depth = None if depth is None else depth - 1
+        view["children"] = [
+            device_view(child, depth=child_depth)
+            for child in device.children
+        ]
+    return view
+
+
+def tree_view(session: Session, *, depth: int | None = None) -> dict:
+    """The whole power tree plus fleet-level aggregates."""
+    world = session.world
+    return {
+        "time_s": world.now_s,
+        "total_power_w": world.fleet.total_power_w(),
+        "server_count": len(world.fleet.servers),
+        "capped_servers": len(world.fleet.capped_servers()),
+        "trips": len(world.driver.trips),
+        "roots": [
+            device_view(root, depth=depth) for root in world.topology.roots
+        ],
+    }
+
+
+def controller_view(name: str, controller: Any) -> dict:
+    """One controller's observable state (unwrapping failover pairs)."""
+    if isinstance(controller, FailoverController):
+        instance = controller.active
+        kind = "pair"
+        extra: dict[str, Any] = {"primary_healthy": controller.primary_healthy}
+    else:
+        instance = controller
+        kind = (
+            "leaf" if hasattr(instance, "server_ids") else "upper"
+        )
+        extra = {}
+    machine = getattr(instance, "modes", None)
+    view: dict[str, Any] = {
+        "name": name,
+        "kind": kind,
+        "device": controller.device.name,
+        "level": controller.device.level.value,
+        "last_aggregate_w": controller.last_aggregate_power_w,
+        "contractual_limit_w": controller.contractual_limit_w,
+        "effective_limit_w": controller.effective_limit_w,
+        "cap_events": controller.cap_events,
+        "uncap_events": controller.uncap_events,
+        "invalid_cycles": controller.invalid_cycles,
+        "mode": "n/a" if machine is None else machine.mode.value,
+        **extra,
+    }
+    return view
+
+
+def controllers_view(session: Session) -> dict:
+    """Every controller in the hierarchy, leaves first."""
+    hierarchy = session.world.dynamo.hierarchy
+    entries = list(hierarchy.leaf_controllers.items()) + list(
+        hierarchy.upper_controllers.items()
+    )
+    return {
+        "time_s": session.now_s,
+        "controllers": [
+            controller_view(name, controller) for name, controller in entries
+        ],
+    }
+
+
+def health_view(session: Session) -> dict:
+    """Operating modes, endpoint health, and serve-fault status."""
+    world = session.world
+    dynamo = world.dynamo
+    now_s = world.now_s
+    endpoints = []
+    for endpoint in sorted(dynamo.health.endpoints):
+        stats = dynamo.health.stats(endpoint)
+        if stats is None:
+            continue
+        entry: dict[str, Any] = {
+            "endpoint": endpoint,
+            "attempts": stats.attempts,
+            "successes": stats.successes,
+            "failures": stats.failures,
+            "retries": stats.retries,
+            "breaker_opens": stats.breaker_opens,
+            "quarantined": stats.quarantined(now_s),
+        }
+        if dynamo.resilient_transport is not None:
+            entry["breaker"] = dynamo.resilient_transport.breaker_state(
+                endpoint
+            )
+        endpoints.append(entry)
+    return {
+        "time_s": now_s,
+        "modes": dynamo.operating_modes(),
+        "safe_mode_entries": dynamo.safe_mode_entries(),
+        "degraded_mode_entries": dynamo.degraded_mode_entries(),
+        "quarantined": dynamo.health.quarantined_endpoints(now_s),
+        "endpoints": endpoints,
+        "pending_serve_faults": session.pending_fault_specs(),
+    }
+
+
+def session_view(session: Session) -> dict:
+    """One session's summary row (the list/detail endpoints)."""
+    world = session.world
+    return {
+        "id": session.id,
+        "source": session.source,
+        "time_s": world.now_s,
+        "builder": str(world.recipe.get("builder", "?")),
+        "server_count": len(world.fleet.servers),
+        "device_count": world.topology.device_count,
+        "total_power_w": world.fleet.total_power_w(),
+        "capped_servers": len(world.fleet.capped_servers()),
+        "cap_events": world.dynamo.total_cap_events(),
+        "uncap_events": world.dynamo.total_uncap_events(),
+        "trips": len(world.driver.trips),
+        "ticker": session.ticker.state(),
+        "pending_serve_faults": len(session.pending_fault_specs()),
+        "log_entries": len(session.log),
+    }

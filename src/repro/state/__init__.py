@@ -19,6 +19,7 @@ Public surface:
 from repro.state.fork import (
     BranchResult,
     fork_branch,
+    fork_inprocess,
     fork_world,
     run_branch,
     run_sweep,
@@ -53,6 +54,7 @@ __all__ = [
     "canonical_json",
     "fingerprint",
     "fork_branch",
+    "fork_inprocess",
     "fork_world",
     "run_branch",
     "run_sweep",

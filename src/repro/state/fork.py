@@ -71,6 +71,32 @@ def fork_world(
     return [fork_branch(snapshot, index, mutate=mutate) for index in range(n)]
 
 
+def fork_inprocess(
+    source: WorldSnapshot | str | Path,
+    index: int = 0,
+    *,
+    mutate: Callable[[World, int], None] | None = None,
+) -> World:
+    """Fork one branch of ``source`` entirely in this process.
+
+    A convenience over :func:`fork_branch` for callers that hold a file
+    path rather than a loaded snapshot and want a single live
+    :class:`World` back — no ProcessPoolExecutor, no pickling round
+    trip.  The serve layer's ``SessionManager`` forks per-client
+    sessions this way: load the warm snapshot once, then hand each
+    client a cheap divergent branch.
+
+    Same source + same index ⇒ the same branch world, always (the
+    determinism contract of :func:`fork_branch`).
+    """
+    snapshot = (
+        source
+        if isinstance(source, WorldSnapshot)
+        else WorldSnapshot.load(source)
+    )
+    return fork_branch(snapshot, index, mutate=mutate)
+
+
 @dataclass(frozen=True)
 class BranchResult:
     """Summary of one branch run in a sweep."""

@@ -111,6 +111,48 @@ class WorldSnapshot:
         return path
 
     @classmethod
+    def from_envelope(
+        cls, envelope: Any, *, origin: str = "envelope"
+    ) -> "WorldSnapshot":
+        """Verify and adopt an already-parsed JSON envelope.
+
+        This is the validation core of :meth:`load`, split out so
+        callers holding an in-memory payload — the serve layer accepts
+        snapshots POSTed over HTTP — get the same format, version, and
+        integrity guarantees as the file path.
+
+        Raises:
+            SnapshotError: not a snapshot envelope.
+            SnapshotVersionError: written by an incompatible schema.
+            SnapshotIntegrityError: state payload does not match the
+                recorded content hash.
+        """
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != FORMAT_MARKER
+        ):
+            raise SnapshotError(
+                f"{origin} is not a {FORMAT_MARKER!r} envelope"
+            )
+        version = int(envelope.get("schema_version", -1))
+        if version != SCHEMA_VERSION:
+            raise SnapshotVersionError(version, SCHEMA_VERSION)
+        state = envelope["state"]
+        recorded = envelope.get("integrity", "")
+        actual = state_digest(state)
+        if recorded != actual:
+            raise SnapshotIntegrityError(
+                f"snapshot {origin} failed integrity verification: "
+                f"recorded {recorded}, computed {actual}"
+            )
+        return cls(
+            recipe=envelope["recipe"],
+            state=state,
+            schema_version=version,
+            meta=envelope.get("meta", {}),
+        )
+
+    @classmethod
     def load(cls, path: str | Path) -> "WorldSnapshot":
         """Read and verify a snapshot envelope.
 
@@ -125,30 +167,7 @@ class WorldSnapshot:
             envelope = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
             raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
-        if (
-            not isinstance(envelope, dict)
-            or envelope.get("format") != FORMAT_MARKER
-        ):
-            raise SnapshotError(
-                f"{path} is not a {FORMAT_MARKER!r} file"
-            )
-        version = int(envelope.get("schema_version", -1))
-        if version != SCHEMA_VERSION:
-            raise SnapshotVersionError(version, SCHEMA_VERSION)
-        state = envelope["state"]
-        recorded = envelope.get("integrity", "")
-        actual = state_digest(state)
-        if recorded != actual:
-            raise SnapshotIntegrityError(
-                f"snapshot {path} failed integrity verification: "
-                f"recorded {recorded}, computed {actual}"
-            )
-        return cls(
-            recipe=envelope["recipe"],
-            state=state,
-            schema_version=version,
-            meta=envelope.get("meta", {}),
-        )
+        return cls.from_envelope(envelope, origin=str(path))
 
 
 def _normalize_sequences(state: dict) -> dict:

@@ -163,3 +163,66 @@ class TestTraceCommand:
         assert code == 1
         assert "no traces recorded" in out
         assert "rpp0.0.0" in out
+
+
+class TestExitCodes:
+    """Operational errors exit 2 with a one-line message, not a traceback."""
+
+    def test_missing_snapshot_file_exits_2(self, capsys):
+        code = main(["snapshot", "restore", "/nonexistent/missing.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro:" in err
+        assert "Traceback" not in err
+
+    def test_corrupted_snapshot_exits_2(self, capsys, tmp_path):
+        import json
+
+        from repro.state import SnapshotRegistry, build_quickstart_world
+
+        world = build_quickstart_world(seed=0)
+        world.run_until(30.0)
+        path = tmp_path / "snap.json"
+        SnapshotRegistry().capture(world).save(path)
+        envelope = json.loads(path.read_text())
+        envelope["state"]["engine"]["now_s"] = 999.0
+        path.write_text(json.dumps(envelope))
+        code = main(["snapshot", "restore", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corrupted snapshot" in err
+
+    def test_schema_version_mismatch_exits_2(self, capsys, tmp_path):
+        import json
+
+        from repro.state import SnapshotRegistry, build_quickstart_world
+
+        world = build_quickstart_world(seed=0)
+        world.run_until(30.0)
+        path = tmp_path / "snap.json"
+        SnapshotRegistry().capture(world).save(path)
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = 99
+        path.write_text(json.dumps(envelope))
+        code = main(["snapshot", "restore", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "incompatible snapshot" in err
+        assert "re-capture" in err
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8640
+        assert args.max_sessions == 64
+
+    def test_serve_parser_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--max-sessions", "4"]
+        )
+        assert (args.host, args.port, args.max_sessions) == (
+            "0.0.0.0", 9000, 4
+        )

@@ -85,3 +85,31 @@ class TestSweep:
         payload = result.to_dict()
         assert payload["branch"] == 0
         assert payload["fingerprint"] == result.fingerprint
+
+
+class TestForkInprocess:
+    def test_path_and_snapshot_sources_agree(self, warm_snapshot_path):
+        from repro.state import WorldSnapshot, fingerprint, fork_inprocess
+        from repro.state.fork import fork_branch
+
+        snapshot = WorldSnapshot.load(warm_snapshot_path)
+        via_path = fork_inprocess(warm_snapshot_path, 2)
+        via_snapshot = fork_inprocess(snapshot, 2)
+        reference = fork_branch(snapshot, 2)
+        worlds = (via_path, via_snapshot, reference)
+        for world in worlds:
+            world.run_until(150.0)
+        fingerprints = {
+            fingerprint(SnapshotRegistry().capture(world).state)
+            for world in worlds
+        }
+        assert len(fingerprints) == 1
+
+    def test_mutate_hook_receives_branch_index(self, warm_snapshot_path):
+        from repro.state import fork_inprocess
+
+        seen = []
+        fork_inprocess(
+            warm_snapshot_path, 4, mutate=lambda world, i: seen.append(i)
+        )
+        assert seen == [4]
