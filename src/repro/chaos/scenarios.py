@@ -125,7 +125,7 @@ def build_chaos_run(
     end_s: float = 1800.0,
     monitored_device: str = "sb0",
     probe_interval_s: float = 3.0,
-    physics_backend: str = "scalar",
+    physics_backend: str = "scalar", control_backend: str = "scalar",
 ) -> ChaosRun:
     """Wire a chaos experiment: world + Dynamo + orchestrator + probe."""
     engine, topology, fleet, rng = build_surge_world(
@@ -139,6 +139,8 @@ def build_chaos_run(
         step_interval_s=1.0,
         physics_backend=physics_backend,
     )
+    if control_backend == "vectorized":
+        dynamo.enable_vectorized_control(driver)
     ctx = ChaosContext(
         engine=engine,
         dynamo=dynamo,
@@ -172,7 +174,7 @@ def build_chaos_run(
 # Named scenarios
 # ---------------------------------------------------------------------------
 
-def sb_outage(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
+def sb_outage(seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar") -> ChaosRun:
     """Figure 12 ride-through: outage-recovery surge against the SB."""
     specs = [
         FaultSpec(
@@ -188,11 +190,12 @@ def sb_outage(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
         seed=seed,
         end_s=1800.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
 def watchdog_restart(
-    seed: int = 7, *, physics_backend: str = "scalar"
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
     """A quarter of the agents crash; the watchdog repairs them."""
     # Targets are fixed by position so the schedule itself is static;
@@ -207,11 +210,12 @@ def watchdog_restart(
         seed=seed,
         end_s=600.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
 def leaf_controller_crash(
-    seed: int = 7, *, physics_backend: str = "scalar"
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
     """A leaf controller primary dies; its backup takes over."""
     specs = [
@@ -228,11 +232,12 @@ def leaf_controller_crash(
         seed=seed,
         end_s=900.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
 def upper_controller_crash(
-    seed: int = 7, *, physics_backend: str = "scalar"
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
     """The SB-level controller primary dies; its backup takes over."""
     specs = [
@@ -249,10 +254,11 @@ def upper_controller_crash(
         seed=seed,
         end_s=900.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
-def rpc_storm(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
+def rpc_storm(seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar") -> ChaosRun:
     """Flaky fabric plus a latency spike across every agent endpoint."""
     specs = [
         FaultSpec(
@@ -274,11 +280,12 @@ def rpc_storm(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
         seed=seed,
         end_s=900.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
 def flaky_fabric_recovery(
-    seed: int = 7, *, physics_backend: str = "scalar"
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
     """Fabric-wide flakiness ramps up to 30%, peaks, and subsides.
 
@@ -305,6 +312,7 @@ def flaky_fabric_recovery(
         seed=seed,
         end_s=900.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
     # Distribute after wiring so the ctrl: endpoints exist on the fabric
     # before the first injection resolves its endpoint set.
@@ -314,7 +322,7 @@ def flaky_fabric_recovery(
     return run
 
 
-def partition(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
+def partition(seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar") -> ChaosRun:
     """Partition >20% of one row's agents: aggregation must abort."""
     engine, topology, fleet, _ = build_surge_world(n_servers=40, seed=seed)
     rpp0_ids = sorted(topology.device("rpp0").load_ids)
@@ -334,11 +342,12 @@ def partition(seed: int = 7, *, physics_backend: str = "scalar") -> ChaosRun:
         seed=seed,
         end_s=900.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
 def breaker_derate(
-    seed: int = 7, *, physics_backend: str = "scalar"
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
     """The SB rating is derated mid-run; capping pulls load under it."""
     specs = [
@@ -356,6 +365,7 @@ def breaker_derate(
         seed=seed,
         end_s=1200.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
@@ -431,7 +441,7 @@ def random_campaign_specs(
 
 
 def campaign(
-    seed: int = 7, *, n_faults: int = 6, physics_backend: str = "scalar"
+    seed: int = 7, *, n_faults: int = 6, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
     """A seeded random campaign over the fault catalogue."""
     engine, topology, fleet, rng = build_surge_world(n_servers=40, seed=seed)
@@ -445,6 +455,7 @@ def campaign(
         seed=seed,
         end_s=1500.0,
         physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 

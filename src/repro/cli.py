@@ -40,7 +40,7 @@ import argparse
 import sys
 
 from repro.analysis.multidc import build_region
-from repro.config import PHYSICS_BACKENDS
+from repro.config import CONTROL_BACKENDS, PHYSICS_BACKENDS
 from repro.analysis.scenarios import (
     altoona_outage_recovery,
     ashburn_load_test,
@@ -53,19 +53,29 @@ SCENARIOS = ("quickstart", "ashburn", "altoona", "hadoop", "mixedrow", "cascade"
 
 
 def _quickstart_deployment(
-    seed: int, duration_h: float, physics_backend: str = "scalar"
+    seed: int,
+    duration_h: float,
+    physics_backend: str = "scalar",
+    control_backend: str = "scalar",
 ):
     """Build, run, and return the quickstart deployment pieces."""
     from repro.state.worlds import build_quickstart_world
 
-    world = build_quickstart_world(seed=seed, physics_backend=physics_backend)
+    world = build_quickstart_world(
+        seed=seed,
+        physics_backend=physics_backend,
+        control_backend=control_backend,
+    )
     world.run_until(hours(duration_h))
     return world.dynamo, world.driver, world.topology
 
 
 def _run_quickstart(args: argparse.Namespace) -> int:
     dynamo, driver, topology = _quickstart_deployment(
-        args.seed, args.duration_h, args.physics_backend
+        args.seed,
+        args.duration_h,
+        args.physics_backend,
+        args.control_backend,
     )
     print(
         f"ran {args.duration_h} h: power {to_kilowatts(topology.total_power_w()):.1f} KW, "
@@ -237,13 +247,16 @@ def _run_snapshot(args: argparse.Namespace) -> int:
     if args.snapshot_command == "save":
         if args.scenario == "quickstart":
             world = build_quickstart_world(
-                seed=args.seed, physics_backend=args.physics_backend
+                seed=args.seed,
+                physics_backend=args.physics_backend,
+                control_backend=args.control_backend,
             )
         else:
             world = build_chaos_world(
                 args.scenario,
                 seed=args.seed,
                 physics_backend=args.physics_backend,
+                control_backend=args.control_backend,
             )
         world.run_until(args.at)
         snapshot = registry.capture(
@@ -363,16 +376,36 @@ def _run_profile(args: argparse.Namespace) -> int:
     import pstats
     import time as time_module
 
-    from repro.state.worlds import build_chaos_world, build_quickstart_world
+    from repro.state.worlds import (
+        build_chaos_world,
+        build_quickstart_world,
+        build_sized_world,
+    )
 
     if args.scenario == "quickstart":
-        world = build_quickstart_world(
-            seed=args.seed, physics_backend=args.physics_backend
-        )
+        if args.servers is not None:
+            world = build_sized_world(
+                servers=args.servers,
+                seed=args.seed,
+                physics_backend=args.physics_backend,
+                control_backend=args.control_backend,
+            )
+        else:
+            world = build_quickstart_world(
+                seed=args.seed,
+                physics_backend=args.physics_backend,
+                control_backend=args.control_backend,
+            )
         end_s = hours(args.duration_h)
     else:
+        if args.servers is not None:
+            print("profile: --servers applies to the quickstart scenario only")
+            return 1
         world = build_chaos_world(
-            args.scenario, seed=args.seed, physics_backend=args.physics_backend
+            args.scenario,
+            seed=args.seed,
+            physics_backend=args.physics_backend,
+            control_backend=args.control_backend,
         )
         end_s = world.extras["end_s"]
     profiler = cProfile.Profile()
@@ -400,12 +433,48 @@ def _run_profile(args: argparse.Namespace) -> int:
         share = 100.0 * phase_wall / wall_s if wall_s > 0 else 0.0
         print(f"{name:<10} {phase_wall:>8.3f} {share:>6.1f}%")
     print()
+    _print_fallback_report(world)
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(args.top)
     print(f"top {args.top} functions by cumulative time:")
     print(stream.getvalue().rstrip())
     return 0
+
+
+def _print_fallback_report(world) -> None:
+    """Per-tick scalar-fallback counts for both vectorized lanes.
+
+    Physics: servers stepped individually because a chaos fault knocked
+    them off the packed arrays.  Control: endpoint calls served on the
+    scalar lane inside a batched broadcast, plus whole-group fallbacks
+    (global fault rates armed).  Silent on fully scalar worlds.
+    """
+    stepper = world.driver.stepper
+    transport = world.dynamo.transport
+    lines = []
+    if stepper is not None and getattr(stepper, "step_count", 0):
+        per_tick = stepper.fallback_server_steps / stepper.step_count
+        lines.append(
+            f"physics    {stepper.fallback_server_steps:>8d} fallback "
+            f"server-steps over {stepper.step_count} ticks "
+            f"({per_tick:.2f}/tick)"
+        )
+    if transport.group_rounds:
+        fast = transport.group_fast_endpoint_calls
+        slow = transport.group_fallback_endpoint_calls
+        rounds = transport.group_rounds
+        lines.append(
+            f"control    {slow:>8d} scalar-lane endpoint calls over "
+            f"{rounds} group rounds ({slow / rounds:.2f}/round, "
+            f"{fast} fast), {transport.group_full_fallbacks} full "
+            "group fallbacks"
+        )
+    if lines:
+        print("scalar fallbacks by lane:")
+        for line in lines:
+            print(f"  {line}")
+        print()
 
 
 def _run_health(args: argparse.Namespace) -> int:
@@ -478,7 +547,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeApp, ServeServer
     from repro.serve.sessions import SessionManager
 
-    app = ServeApp(SessionManager(max_sessions=args.max_sessions))
+    app = ServeApp(
+        SessionManager(
+            max_sessions=args.max_sessions,
+            default_control_backend=args.control_backend,
+        )
+    )
     server = ServeServer(app, host=args.host, port=args.port)
     print(
         f"serving on http://{args.host}:{args.port} "
@@ -525,6 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         choices=PHYSICS_BACKENDS,
         help="quickstart scenario only: fleet physics implementation",
+    )
+    run.add_argument(
+        "--control-backend",
+        default="scalar",
+        choices=CONTROL_BACKENDS,
+        help="quickstart scenario only: control-plane dispatch "
+        "(vectorized requires --physics-backend vectorized)",
     )
     chaos = sub.add_parser("chaos", help="fault-injection scenarios")
     chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
@@ -577,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         choices=PHYSICS_BACKENDS,
         help="fleet physics implementation baked into the recipe",
+    )
+    snap_save.add_argument(
+        "--control-backend",
+        default="scalar",
+        choices=CONTROL_BACKENDS,
+        help="control-plane dispatch baked into the recipe",
     )
     snap_save.add_argument(
         "--no-traces",
@@ -656,6 +743,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet physics implementation to profile",
     )
     profile.add_argument(
+        "--control-backend",
+        default="scalar",
+        choices=CONTROL_BACKENDS,
+        help="control-plane dispatch to profile",
+    )
+    profile.add_argument(
+        "--servers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="quickstart scenario only: profile a parametric-size "
+        "world with N servers instead of the 36-server quickstart",
+    )
+    profile.add_argument(
         "--top",
         type=int,
         default=15,
@@ -684,6 +785,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="concurrent session cap (create returns 409 beyond it)",
+    )
+    serve.add_argument(
+        "--control-backend",
+        default="scalar",
+        choices=CONTROL_BACKENDS,
+        help="default control-plane dispatch for scenario sessions "
+        "whose spec omits control_backend",
     )
     return parser
 

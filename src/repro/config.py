@@ -258,10 +258,13 @@ class AgentConfig:
 #: Physics backends the fleet driver can step servers with.
 PHYSICS_BACKENDS = ("scalar", "vectorized")
 
+#: Control-plane backends (agent sensing and RAPL actuation).
+CONTROL_BACKENDS = ("scalar", "vectorized")
+
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """Fleet physics stepping behaviour.
+    """Fleet physics stepping and control-plane dispatch behaviour.
 
     ``physics_backend`` selects how the driver advances server state
     each tick: ``"scalar"`` steps each :class:`~repro.server.server.Server`
@@ -273,10 +276,20 @@ class FleetConfig:
     size of pre-drawn workload-noise normals in the vectorized backend;
     it trades refill frequency against rewind cost on foreign draws and
     has no effect on results.
+
+    ``control_backend`` does the same for the control plane:
+    ``"vectorized"`` packs per-agent state into an
+    :class:`~repro.core.agent_batch.AgentBatch` and dispatches the leaf
+    controllers' ``read_power``/``set_cap`` fan-outs as batched array
+    operations, with per-endpoint scalar fallback preserving chaos and
+    resilience semantics draw-for-draw.  It requires the vectorized
+    physics backend (batched reads load straight from the stepper's
+    power array).
     """
 
     physics_backend: str = "scalar"
     prefetch_draws: int = 64
+    control_backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.physics_backend not in PHYSICS_BACKENDS:
@@ -287,6 +300,20 @@ class FleetConfig:
             )
         if self.prefetch_draws < 1:
             raise ConfigurationError("prefetch block must hold >= 1 draw")
+        if self.control_backend not in CONTROL_BACKENDS:
+            known = ", ".join(CONTROL_BACKENDS)
+            raise ConfigurationError(
+                f"unknown control backend {self.control_backend!r}; "
+                f"known: {known}"
+            )
+        if (
+            self.control_backend == "vectorized"
+            and self.physics_backend != "vectorized"
+        ):
+            raise ConfigurationError(
+                "vectorized control requires the vectorized physics "
+                "backend (batched sensing reads the stepper's buffers)"
+            )
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from repro.errors import AgentError, CappingError
 from repro.rpc.service import RpcService
 from repro.rpc.transport import Transport
 from repro.server.server import Server
+from repro.simulation.soa import ArraySlot, array_backed
 
 
 def agent_endpoint(server_id: str) -> str:
@@ -29,7 +30,27 @@ def agent_endpoint(server_id: str) -> str:
 
 
 class DynamoAgent:
-    """Per-server power read / cap / uncap daemon."""
+    """Per-server power read / cap / uncap daemon.
+
+    Mutable agent state is array-backable: when an
+    :class:`~repro.core.agent_batch.AgentBatch` binds the agent, the
+    health flag and request counters live in packed arrays and the
+    object becomes a view — the watchdog, chaos faults, and snapshots
+    keep reading/writing the same fields either way.
+    """
+
+    _soa: ArraySlot | None = None
+    _healthy = array_backed("agent_healthy", kind="bool")
+    reads_served = array_backed("agent_reads_served", kind="int")
+    caps_applied = array_backed("agent_caps_applied", kind="int")
+    uncaps_applied = array_backed("agent_uncaps_applied", kind="int")
+
+    SOA_FIELDS = (
+        "_healthy",
+        "reads_served",
+        "caps_applied",
+        "uncaps_applied",
+    )
 
     def __init__(
         self,
@@ -43,6 +64,7 @@ class DynamoAgent:
         self._service = RpcService(transport, agent_endpoint(server.server_id))
         self._service.method("read_power", self._handle_read_power)
         self._service.method("set_cap", self._handle_set_cap)
+        self._soa = None
         self._healthy = True
         self.reads_served = 0
         self.caps_applied = 0

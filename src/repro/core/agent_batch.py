@@ -1,0 +1,337 @@
+"""Batched agent control plane: SoA sensing and RAPL actuation.
+
+PR 5 vectorized the *physics* (``repro.server.vectorized``); this module
+does the same for the *control plane*.  Per-agent mutable state — the
+health flag and the read/cap/uncap counters — is packed into numpy
+arrays, and the hot agent operations (``read_power``, ``set_cap``) gain
+whole-group entry points the RPC transports dispatch in one call instead
+of one Python round-trip per server.
+
+The scalar :class:`~repro.core.agent.DynamoAgent` objects stay alive as
+views onto the arrays (the same ``array_backed`` binding the servers
+use), so the watchdog, chaos faults, and snapshot capture keep reading
+and writing the exact same fields on either backend.
+
+Bit-identical by contract, like the physics:
+
+* A batched read draws sensor noise with ``gen.normal(0.0, frac,
+  size=k)``, which produces the same sequence as ``k`` scalar
+  ``gen.normal(0.0, frac)`` calls on that sensor's dedicated stream.
+  Blocks are prefetched per sensor and guarded with the same
+  rewind-before-foreign-use proxy the physics stepper uses, so snapshot
+  capture of ``sensor._rng`` always sees the logical draw position.
+* A batched cap writes the RAPL limit through the scalar module's own
+  setter per affected row, so limit listeners (the fleet's capped-server
+  index) fire exactly as they would under per-server RPCs, and
+  below-minimum requests clamp to the platform minimum just as the
+  scalar agent does.
+* ``fast_successes`` counts per-endpoint successes served on the batched
+  fast path.  The moment an endpoint first drops to the scalar lane, the
+  resilient transport materializes that pending history into its circuit
+  breaker and health record (see :meth:`AgentBatch.materialize_pending`),
+  which is exactly equivalent to having recorded each success
+  individually while the breaker sat CLOSED.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.agent import DynamoAgent, agent_endpoint
+from repro.errors import ConfigurationError
+from repro.simulation.soa import ArraySlot, bind_fields
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> rpc)
+    from repro.rpc.resilient import ResilientTransport
+
+
+class AgentArrays:
+    """Packed per-agent mutable state (one row per server).
+
+    Attribute names are the contract with the ``array_backed``
+    declarations on :class:`~repro.core.agent.DynamoAgent`.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.agent_healthy = np.ones(n, dtype=bool)
+        self.agent_reads_served = np.zeros(n, dtype=np.int64)
+        self.agent_caps_applied = np.zeros(n, dtype=np.int64)
+        self.agent_uncaps_applied = np.zeros(n, dtype=np.int64)
+
+
+class _SensorStreamGuard:
+    """Sensor-generator proxy flushing the prefetch block before any use.
+
+    Identical in spirit to the physics stepper's guard: any attribute
+    access (``normal``, ``bit_generator``, ...) first rewinds this
+    sensor's speculative block so the raw generator sits at its logical
+    draw position, then delegates.
+    """
+
+    __slots__ = ("_gen", "_flush")
+
+    def __init__(self, gen: np.random.Generator, flush) -> None:
+        self._gen = gen
+        self._flush = flush
+
+    def __getattr__(self, name: str) -> Any:
+        self._flush()
+        return getattr(self._gen, name)
+
+
+class AgentBatch:
+    """Whole-fleet agent state plus batched read/cap entry points.
+
+    Rows are aligned with the physics stepper's rows, so a batched read
+    is a fancy-indexed load straight out of the packed power array.
+    """
+
+    def __init__(
+        self,
+        agents: dict[str, DynamoAgent],
+        stepper: Any,
+        *,
+        prefetch_draws: int = 64,
+    ) -> None:
+        n = stepper._n
+        if len(agents) != n:
+            raise ConfigurationError(
+                f"agent batch needs one agent per stepper row "
+                f"({len(agents)} agents, {n} rows)"
+            )
+        self._stepper = stepper
+        self._power = stepper._arrays.power
+        self._n = n
+        self._block = int(prefetch_draws)
+        self._arrays = AgentArrays(n)
+
+        self._agents: list[DynamoAgent | None] = [None] * n
+        self._rapls: list[Any] = [None] * n
+        self._servers: list[Any] = [None] * n
+        self.server_ids: list[str] = [""] * n
+        self.services: list[str] = [""] * n
+        self.row_for_endpoint: dict[str, int] = {}
+        self.row_for_server_id: dict[str, int] = {}
+
+        #: Rows whose reads can be served from the arrays right now:
+        #: sensored servers still carrying the sensor captured at build
+        #: time.  Chaos sensor faults swap ``server.sensor`` live; a
+        #: change listener moves the row to the scalar lane (and back on
+        #: recovery), so the sensor-less estimation path and frozen /
+        #: replaced sensors always go through the real agent handler.
+        self.sense_batchable = np.zeros(n, dtype=bool)
+        self._built_sensors: list[Any] = [None] * n
+        self._frac = np.zeros(n)
+        self._min_cap = np.zeros(n)
+        self._clamp = np.zeros(n)
+
+        # Per-sensor prefetch buffers (one block of pre-drawn noise).
+        self._buf = np.zeros((n, self._block))
+        self._lo = np.zeros(n, dtype=np.intp)
+        self._hi = np.zeros(n, dtype=np.intp)
+        self._raw_gens: list[np.random.Generator | None] = [None] * n
+        self._saved_states: list[Any] = [None] * n
+
+        #: Successes served on the batched fast path since the endpoint
+        #: last had its history materialized into breaker/health state.
+        self.fast_successes = np.zeros(n, dtype=np.int64)
+
+        for agent in agents.values():
+            server = agent.server
+            row = stepper._server_index.get(id(server))
+            if row is None:
+                raise ConfigurationError(
+                    f"server {server.server_id!r} is not bound to the "
+                    "vectorized stepper"
+                )
+            self._agents[row] = agent
+            self._rapls[row] = server.rapl
+            self._servers[row] = server
+            self.server_ids[row] = server.server_id
+            self.services[row] = server.service
+            self.row_for_endpoint[agent_endpoint(server.server_id)] = row
+            self.row_for_server_id[server.server_id] = row
+            self._min_cap[row] = server.rapl._min_cap_w
+            self._clamp[row] = server.platform.effective_min_cap_w()
+            bind_fields(
+                agent, ArraySlot(self._arrays, row), DynamoAgent.SOA_FIELDS
+            )
+            server._sensor_listener = self._on_sensor_change
+            sensor = server.sensor
+            if sensor is None:
+                continue
+            self._built_sensors[row] = sensor
+            self.sense_batchable[row] = True
+            self._frac[row] = sensor._noise_fraction
+            if sensor._noise_fraction > 0.0:
+                raw = sensor._rng
+                self._raw_gens[row] = raw
+                sensor._rng = _SensorStreamGuard(
+                    raw, lambda row=row: self._flush_stream(row)
+                )
+
+    def _on_sensor_change(self, server: Any, sensor: Any) -> None:
+        """Track live sensor swaps (chaos faults) per row."""
+        row = self.row_for_server_id.get(server.server_id)
+        if row is None:
+            return
+        self.sense_batchable[row] = (
+            sensor is not None and sensor is self._built_sensors[row]
+        )
+
+    @property
+    def healthy(self) -> np.ndarray:
+        """Per-row agent health flags (the packed array itself)."""
+        return self._arrays.agent_healthy
+
+    # ------------------------------------------------------------------
+    # Prefetched sensor-noise draws
+    # ------------------------------------------------------------------
+
+    def _flush_stream(self, row: int) -> None:
+        """Rewind sensor ``row``'s speculative block to its logical position."""
+        if self._hi[row] == 0:
+            return
+        gen = self._raw_gens[row]
+        assert gen is not None
+        gen.bit_generator.state = self._saved_states[row]
+        consumed = int(self._lo[row])
+        if consumed:
+            gen.normal(0.0, self._frac[row], size=consumed)
+        self._lo[row] = 0
+        self._hi[row] = 0
+        self._saved_states[row] = None
+
+    def _refill(self, row: int) -> None:
+        gen = self._raw_gens[row]
+        assert gen is not None
+        self._saved_states[row] = gen.bit_generator.state
+        self._buf[row, :] = gen.normal(0.0, self._frac[row], size=self._block)
+        self._lo[row] = 0
+        self._hi[row] = self._block
+
+    def _draw(self, rows: np.ndarray) -> np.ndarray:
+        """One buffered noise sample per row, preserving stream order."""
+        need = rows[self._lo[rows] >= self._hi[rows]]
+        for row in need:
+            self._refill(int(row))
+        z = self._buf[rows, self._lo[rows]]
+        self._lo[rows] += 1
+        return z
+
+    def sync(self) -> None:
+        """Flush every sensor prefetch buffer.
+
+        After this, every sensor generator's raw state equals its
+        logical draw position — required before RNG state is snapshotted
+        externally (the stream guards also trigger this lazily on any
+        foreign access).
+        """
+        for row in np.nonzero(self._hi > 0)[0]:
+            self._flush_stream(int(row))
+
+    # ------------------------------------------------------------------
+    # Batched agent operations
+    # ------------------------------------------------------------------
+
+    def read_power(self, rows: np.ndarray) -> np.ndarray:
+        """Serve ``read_power`` for a group of healthy, sensored rows.
+
+        Returns the noisy sensed totals in row order, matching the
+        scalar ``sensor.read_breakdown(server.power_w()).total_w`` bit
+        for bit: same noise draw per sensor stream, same
+        ``max(0.0, true * (1.0 + z))`` arithmetic.
+        """
+        self._arrays.agent_reads_served[rows] += 1
+        out = self._power[rows].copy()
+        noisy = self._frac[rows] > 0.0
+        if noisy.any():
+            sel = rows[noisy]
+            z = self._draw(sel)
+            out[noisy] = np.maximum(0.0, out[noisy] * (1.0 + z))
+        return out
+
+    def set_cap(self, rows: np.ndarray, limits: np.ndarray | None) -> None:
+        """Serve ``set_cap`` for a group of healthy rows.
+
+        ``limits`` is an array of requested caps aligned with ``rows``,
+        or ``None`` for a group uncap.  Requests below a row's platform
+        minimum clamp to ``platform.effective_min_cap_w()`` exactly as
+        the scalar agent's :class:`~repro.errors.CappingError` handler
+        does.  Limits are written through the scalar RAPL setter per row
+        so limit listeners (the fleet capped-server index) fire
+        identically to per-server RPCs.
+        """
+        arrays = self._arrays
+        if limits is None:
+            for row in rows.tolist():
+                self._rapls[row].clear_limit()
+            arrays.agent_uncaps_applied[rows] += 1
+            return
+        limits = np.asarray(limits, dtype=float)
+        effective = np.where(
+            limits < self._min_cap[rows], self._clamp[rows], limits
+        )
+        for row, limit_w in zip(rows.tolist(), effective.tolist()):
+            # set_limit re-validates against the row minimum, so a clamp
+            # floor below the enforceable minimum raises exactly where
+            # the scalar agent's fallback set_limit would.
+            self._rapls[row].set_limit(limit_w)
+        arrays.agent_caps_applied[rows] += 1
+
+    # ------------------------------------------------------------------
+    # Scalar-lane handoff
+    # ------------------------------------------------------------------
+
+    def materialize_pending(
+        self, endpoint: str, transport: "ResilientTransport"
+    ) -> None:
+        """Flush an endpoint's fast-path history into breaker/health state.
+
+        Called the moment an endpoint leaves the batched fast path (a
+        chaos fault armed, the agent crashed, or a direct resilient call
+        lands on it).  ``k`` pending fast successes become ``k``
+        CLOSED-state breaker successes — ``consecutive_failures = 0``
+        and ``min(k, window)`` ``True`` entries in the attempt window —
+        plus ``k`` health attempts/successes, which is exactly what ``k``
+        sequential scalar successes would have recorded.  (Health
+        latency samples and last-success timestamps are diagnostics-only
+        and are not backfilled.)
+        """
+        row = self.row_for_endpoint.get(endpoint)
+        if row is None:
+            return
+        pending = int(self.fast_successes[row])
+        if pending == 0:
+            return
+        self.fast_successes[row] = 0
+        breaker = transport.breaker(endpoint)
+        breaker.consecutive_failures = 0
+        window = breaker._window
+        window.extend([True] * min(pending, window.maxlen or pending))
+        transport.health.backfill_successes(endpoint, pending)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable batch-only state (agent fields ride with agents)."""
+        return {"fast_successes": self.fast_successes.tolist()}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore pending fast-path success counts in place."""
+        self.fast_successes[:] = np.asarray(
+            state["fast_successes"], dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AgentBatch(rows={self._n}, "
+            f"sensored={int(np.count_nonzero(self.sense_batchable))})"
+        )
+
+
+__all__ = ["AgentArrays", "AgentBatch"]

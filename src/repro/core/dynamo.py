@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.config import DynamoConfig
 from repro.core.agent import DynamoAgent
+from repro.core.agent_batch import AgentBatch
 from repro.core.coordinator import ControllerCoordinator
 from repro.core.failover import FailoverController
 from repro.core.hierarchy import (
@@ -86,6 +87,9 @@ class Dynamo:
             server_id: DynamoAgent(server, self.transport, clock=engine.clock)
             for server_id, server in fleet.servers.items()
         }
+        #: The batched control plane (``enable_vectorized_control``);
+        #: None while the deployment runs the scalar reference path.
+        self.agent_batch: AgentBatch | None = None
         self.hierarchy: ControllerHierarchy = build_controller_hierarchy(
             topology,
             self.controller_transport,
@@ -120,6 +124,42 @@ class Dynamo:
         self.watchdog.stop()
 
     # ------------------------------------------------------------------
+    # Vectorized control plane
+    # ------------------------------------------------------------------
+
+    def enable_vectorized_control(self, driver) -> AgentBatch:
+        """Switch the control plane onto the batched fast path.
+
+        Packs per-agent state into an :class:`AgentBatch` aligned with
+        the fleet driver's vectorized stepper, attaches it to the raw
+        transport (enabling the group broadcast dispatch) and to every
+        leaf controller instance, including both halves of failover
+        pairs.  Idempotent per deployment; requires
+        ``physics_backend="vectorized"``.
+        """
+        if self.agent_batch is not None:
+            return self.agent_batch
+        stepper = getattr(driver, "stepper", None)
+        if stepper is None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "vectorized control requires the vectorized physics "
+                "backend (no stepper on this fleet driver)"
+            )
+        batch = AgentBatch(
+            self.agents,
+            stepper,
+            prefetch_draws=self.config.fleet.prefetch_draws,
+        )
+        self.agent_batch = batch
+        self.transport.attach_batch(batch)
+        for instance in self._controller_instances():
+            if isinstance(instance, LeafPowerController):
+                instance.attach_control_batch(batch)
+        return batch
+
+    # ------------------------------------------------------------------
     # Fault tolerance
     # ------------------------------------------------------------------
 
@@ -148,6 +188,8 @@ class Dynamo:
                 alerts=self.alerts,
                 tracer=self.traces,
             )
+            if self.agent_batch is not None:
+                backup.attach_control_batch(self.agent_batch)
             pair = FailoverController(primary, backup)
             self.hierarchy.leaf_controllers[device_name] = pair
         else:

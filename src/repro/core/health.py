@@ -186,6 +186,20 @@ class HealthRegistry:
         stats.consecutive_failures += 1
         stats.last_failure_s = now_s
 
+    def backfill_successes(self, endpoint: str, count: int) -> None:
+        """Account ``count`` successes served on the batched fast lane.
+
+        Called when an endpoint leaves the vectorized control plane's
+        fast path: attempt/success totals and the consecutive-failure
+        reset match ``count`` sequential :meth:`record_success` calls.
+        Latency samples and the last-success timestamp are
+        diagnostics-only and are not backfilled.
+        """
+        stats = self._stats(endpoint)
+        stats.attempts += count
+        stats.successes += count
+        stats.consecutive_failures = 0
+
     def record_retry(self, endpoint: str, backoff_s: float) -> None:
         """Account one retry attempt and its backoff delay."""
         stats = self._stats(endpoint)

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
 
 from repro.config import BucketConfig, ControllerConfig
 from repro.core.capping_plan import CappingPlan, build_capping_plan
@@ -43,9 +45,94 @@ from repro.core.thresholds import control_thresholds_w
 from repro.errors import RpcError
 from repro.power.device import PowerDevice
 from repro.rpc.transport import Transport
+from repro.server.sensor import PowerSensor
 from repro.telemetry.alerts import AlertSink, Severity
 from repro.telemetry.timeseries import TimeSeries
 from repro.telemetry.tracing import TraceBuffer, TraceBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agent_batch import AgentBatch
+
+
+class BatchedSense:
+    """One cycle's sensed powers in packed form (vectorized control).
+
+    Stands in for the scalar ``list[PowerReading]`` between sense and
+    actuate: ``values``/``success_mask`` hold per-position sensed powers
+    (position = index into the controller's ``server_ids``), while
+    stale-cache hits and estimated readings stay materialized (they are
+    few).  :meth:`readings` materializes the full scalar list — in the
+    scalar reference order: successes by broadcast position, then stale,
+    then estimated — which actuation's capping planner consumes.
+    """
+
+    __slots__ = (
+        "controller",
+        "now_s",
+        "values",
+        "success_mask",
+        "scalar_readings",
+        "stale_served",
+        "estimated",
+    )
+
+    def __init__(
+        self,
+        controller: "LeafPowerController",
+        now_s: float,
+        values: np.ndarray,
+        success_mask: np.ndarray,
+        scalar_readings: dict[int, PowerReading],
+        stale_served: list[PowerReading],
+        estimated: list[PowerReading],
+    ) -> None:
+        self.controller = controller
+        self.now_s = now_s
+        self.values = values
+        self.success_mask = success_mask
+        self.scalar_readings = scalar_readings
+        self.stale_served = stale_served
+        self.estimated = estimated
+
+    def total_power_w(self) -> float:
+        """Sum of all sensed powers, bitwise-equal to the scalar sum.
+
+        Left-to-right accumulation over the scalar reference order via
+        cumsum (seeded implicitly at 0.0: ``0.0 + x == x`` for the
+        non-negative powers involved).
+        """
+        parts = np.concatenate(
+            (
+                self.values[self.success_mask],
+                [r.power_w for r in self.stale_served],
+                [r.power_w for r in self.estimated],
+            )
+        )
+        if parts.size == 0:
+            return 0.0
+        return float(np.cumsum(parts)[-1])
+
+    def readings(self) -> list[PowerReading]:
+        """Materialize the scalar reading list (the aggregation boundary)."""
+        controller = self.controller
+        out: list[PowerReading] = []
+        for p in np.flatnonzero(self.success_mask):
+            p = int(p)
+            reading = self.scalar_readings.get(p)
+            if reading is None:
+                power = float(self.values[p])
+                reading = PowerReading(
+                    server_id=controller.server_ids[p],
+                    power_w=power,
+                    estimated=False,
+                    service=controller._pos_service[p],
+                    time_s=self.now_s,
+                    breakdown=PowerSensor.breakdown_from_total(power),
+                )
+            out.append(reading)
+        out.extend(self.stale_served)
+        out.extend(self.estimated)
+        return out
 
 
 @dataclass(frozen=True)
@@ -110,6 +197,81 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._actuation_successes = 0
         self._actuation_failures = 0
         self.capped_count_series = TimeSeries(f"{device.name}.capped")
+        # Vectorized control plane (attach_control_batch); when attached
+        # the last-known-good reading cache lives in per-position arrays
+        # instead of _last_readings, for both the batched fast path and
+        # the whole-group fallback, so the two lanes share one cache.
+        self._batch: "AgentBatch | None" = None
+        self._pos_service: list[str] = []
+        self._pos_of_server: dict[str, int] = {}
+        self._svc_codes: np.ndarray | None = None
+        self._svc_code_of: dict[str, int] = {}
+        self._last_power: np.ndarray | None = None
+        self._last_time: np.ndarray | None = None
+        self._last_est: np.ndarray | None = None
+        self._last_has: np.ndarray | None = None
+
+    def attach_control_batch(self, batch: "AgentBatch") -> None:
+        """Switch this controller's sense/actuate onto the batch path.
+
+        Positions are indices into ``server_ids`` (= broadcast endpoint
+        order).  Any existing last-known-good readings are migrated into
+        the position-aligned cache arrays.
+        """
+        self._batch = batch
+        n = len(self.server_ids)
+        self._pos_of_server = {
+            server_id: p for p, server_id in enumerate(self.server_ids)
+        }
+        self._pos_service = [
+            batch.services[batch.row_for_server_id[server_id]]
+            for server_id in self.server_ids
+        ]
+        code_of: dict[str, int] = {}
+        codes = np.empty(n, dtype=np.int64)
+        for p, service in enumerate(self._pos_service):
+            codes[p] = code_of.setdefault(service, len(code_of))
+        self._svc_codes = codes
+        self._svc_code_of = code_of
+        self._last_power = np.zeros(n)
+        self._last_time = np.zeros(n)
+        self._last_est = np.zeros(n, dtype=bool)
+        self._last_has = np.zeros(n, dtype=bool)
+        self._seed_last_cache()
+
+    def _seed_last_cache(self) -> None:
+        """Migrate the dict reading cache into the position arrays."""
+        for server_id, reading in self._last_readings.items():
+            p = self._pos_of_server.get(server_id)
+            if p is None:
+                continue
+            self._last_power[p] = reading.power_w
+            self._last_time[p] = reading.time_s
+            self._last_est[p] = reading.estimated
+            self._last_has[p] = True
+        self._last_readings = {}
+
+    def _cached_reading(self, p: int, *, stale: bool = False) -> PowerReading:
+        """Materialize the cached reading at position ``p``.
+
+        Breakdowns are deterministic functions of the sensed total, so a
+        cached (power, estimated, time) triple reconstructs the original
+        reading exactly: sensored readings get the standard split,
+        estimated ones never carry a breakdown.
+        """
+        power = float(self._last_power[p])
+        estimated = bool(self._last_est[p])
+        return PowerReading(
+            server_id=self.server_ids[p],
+            power_w=power,
+            estimated=estimated,
+            service=self._pos_service[p],
+            time_s=float(self._last_time[p]),
+            breakdown=(
+                None if estimated else PowerSensor.breakdown_from_total(power)
+            ),
+            stale=stale,
+        )
 
     @property
     def capped_server_ids(self) -> list[str]:
@@ -149,6 +311,24 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         cache could not resolve count against the paper's 20%
         invalid-aggregation rule.
         """
+        if self._batch is not None:
+            group = None
+            group_read = getattr(self._transport, "group_read_power", None)
+            if group_read is not None:
+                group = group_read(self._endpoints())
+            if group is None:
+                # Whole-group fallback (e.g. global fault rates armed):
+                # sequential broadcast, but bookkeeping still flows
+                # through the shared position-array cache.
+                results, failures = self._transport.broadcast(
+                    self._endpoints(), "read_power", None
+                )
+                return self._sense_batched(
+                    results, failures, None, now_s, trace
+                )
+            return self._sense_batched(
+                group.results, group.failures, group, now_s, trace
+            )
         results, failures = self._transport.broadcast(
             self._endpoints(), "read_power", None
         )
@@ -221,6 +401,118 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             time_s=now_s,
         )
 
+    def _sense_batched(
+        self,
+        results: dict[str, Any],
+        failures: dict[str, Exception],
+        group: Any,
+        now_s: float,
+        trace: TraceBuilder,
+    ) -> "BatchedSense | None":
+        """Batch-path sense: same decisions, position arrays as the cache.
+
+        ``group`` is the transport's GroupReadResult (fast-lane powers in
+        packed form), or None when the whole group fell back to the
+        sequential broadcast — scalar-lane readings then arrive via
+        ``results``/``failures`` only.  Every branch mirrors the scalar
+        :meth:`sense` decision-for-decision.
+        """
+        n = len(self.server_ids)
+        trace.pulls_attempted = n
+        trace.pulls_failed = len(failures)
+        ttl = self.config.reading_cache_ttl_s
+        prefix_len = len(self._endpoint_prefix)
+        stale_served: list[PowerReading] = []
+        unresolved: list[int] = []
+        for endpoint in failures:
+            p = self._pos_of_server[endpoint[prefix_len:]]
+            if (
+                ttl > 0.0
+                and self._last_has[p]
+                and now_s - self._last_time[p] <= ttl
+            ):
+                stale_served.append(self._cached_reading(p, stale=True))
+            else:
+                unresolved.append(p)
+        trace.pulls_stale = len(stale_served)
+        if self.server_ids and (
+            len(unresolved) / n > self.config.max_reading_failure_fraction
+        ):
+            self.alerts.raise_alert(
+                now_s,
+                Severity.CRITICAL,
+                self.name,
+                f"power aggregation invalid: {len(unresolved)}/"
+                f"{n} pulls failed; human intervention "
+                "required",
+            )
+            return None
+        if group is not None:
+            values = group.powers
+            success = group.fast_mask.copy()
+        else:
+            values = np.zeros(n)
+            success = np.zeros(n, dtype=bool)
+        scalar_readings: dict[int, PowerReading] = {}
+        for reading in results.values():
+            p = self._pos_of_server[reading.server_id]
+            values[p] = reading.power_w
+            success[p] = True
+            scalar_readings[p] = reading
+            self._last_power[p] = reading.power_w
+            self._last_time[p] = reading.time_s
+            self._last_est[p] = reading.estimated
+            self._last_has[p] = True
+        if group is not None:
+            fast = group.fast_mask
+            self._last_power[fast] = group.powers[fast]
+            self._last_time[fast] = now_s
+            self._last_est[fast] = False
+            self._last_has[fast] = True
+        estimated = [
+            self._estimate_failed_position(p, values, success, now_s)
+            for p in unresolved
+        ]
+        trace.pulls_estimated = len(unresolved)
+        return BatchedSense(
+            self, now_s, values, success, scalar_readings, stale_served,
+            estimated,
+        )
+
+    def _estimate_failed_position(
+        self,
+        p: int,
+        values: np.ndarray,
+        success: np.ndarray,
+        now_s: float,
+    ) -> PowerReading:
+        """Array-cache twin of :meth:`_estimate_failed_reading`.
+
+        The neighbour mean is a left-to-right cumsum over successes in
+        broadcast position order divided by the count — bitwise-equal to
+        the scalar ``sum(list) / len(list)``.
+        """
+        has_last = bool(self._last_has[p])
+        service = self._pos_service[p] if has_last else "unknown"
+        code = self._svc_code_of.get(service)
+        neighbours = 0
+        if code is not None:
+            selector = success & (self._svc_codes == code)
+            neighbours = int(np.count_nonzero(selector))
+        if neighbours:
+            power = float(np.cumsum(values[selector])[-1]) / neighbours
+        elif has_last:
+            power = float(self._last_power[p])
+        else:
+            power = 200.0
+        return PowerReading(
+            server_id=self.server_ids[p],
+            power_w=power,
+            estimated=True,
+            service=service,
+            time_s=now_s,
+        )
+
     # ------------------------------------------------------------------
     # Stage 2: aggregation
     # ------------------------------------------------------------------
@@ -229,7 +521,12 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self, sensed: list[PowerReading], now_s: float, trace: TraceBuilder
     ) -> float:
         """Sum server readings, fixed overhead, and component draws."""
-        aggregate = sum(r.power_w for r in sensed) + self.device.fixed_overhead_w
+        if isinstance(sensed, BatchedSense):
+            aggregate = sensed.total_power_w() + self.device.fixed_overhead_w
+        else:
+            aggregate = (
+                sum(r.power_w for r in sensed) + self.device.fixed_overhead_w
+            )
         aggregate += sum(c.power_w() for c in self._components)
         return aggregate
 
@@ -248,8 +545,13 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._actuation_successes = 0
         self._actuation_failures = 0
         if decision.action is BandAction.CAP:
+            readings = (
+                sensed.readings()
+                if isinstance(sensed, BatchedSense)
+                else sensed
+            )
             plan = build_capping_plan(
-                sensed,
+                readings,
                 decision.total_power_cut_w,
                 self.policy,
                 bucket=self._bucket,
@@ -278,6 +580,17 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         trace.capped_after = len(self._capped_servers)
         self.capped_count_series.append(now_s, len(self._capped_servers))
 
+    def _group_set_cap(
+        self, items: list[tuple[str, str, float | None]]
+    ) -> Any:
+        """Batched set_cap through the transport, or None on fallback."""
+        if self._batch is None or not items:
+            return None
+        group_set_cap = getattr(self._transport, "group_set_cap", None)
+        if group_set_cap is None:
+            return None
+        return group_set_cap(items)
+
     def _apply_plan(self, plan: CappingPlan, now_s: float) -> None:
         if plan.unallocated_w > 1e-6:
             self.alerts.raise_alert(
@@ -287,6 +600,20 @@ class LeafPowerController(BaseController[list[PowerReading]]):
                 f"{plan.unallocated_w:.0f} W of required cut could not be "
                 "allocated: all servers at SLA floors",
             )
+        group = self._group_set_cap(
+            [
+                (self._endpoint_prefix + cut.server_id, cut.server_id, cut.cap_w)
+                for cut in plan.affected_servers
+            ]
+        )
+        if group is not None:
+            for cut, status in zip(plan.affected_servers, group.status):
+                if status == "ok":
+                    self._capped_servers[cut.server_id] = cut.cap_w
+                    self._actuation_successes += 1
+                elif status == "error":
+                    self._actuation_failures += 1
+            return
         for cut in plan.affected_servers:
             endpoint = self._endpoint_prefix + cut.server_id
             request = CapRequest(server_id=cut.server_id, limit_w=cut.cap_w)
@@ -304,6 +631,24 @@ class LeafPowerController(BaseController[list[PowerReading]]):
                 self._actuation_successes += 1
 
     def _uncap_all(self, now_s: float) -> None:
+        group = self._group_set_cap(
+            [
+                (self._endpoint_prefix + server_id, server_id, None)
+                for server_id in self._capped_servers
+            ]
+        )
+        if group is not None:
+            still: dict[str, float] = {}
+            for (server_id, cap_w), status in zip(
+                self._capped_servers.items(), group.status
+            ):
+                if status == "ok":
+                    self._actuation_successes += 1
+                else:
+                    self._actuation_failures += 1
+                    still[server_id] = cap_w
+            self._capped_servers = still
+            return
         still_capped: dict[str, float] = {}
         for server_id in self._capped_servers:
             endpoint = self._endpoint_prefix + server_id
@@ -339,18 +684,36 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         budget = target - self.device.fixed_overhead_w
         budget -= sum(c.power_w() for c in self._components)
         per_server_w = max(budget, 0.0) / len(self.server_ids)
-        for server_id, endpoint in zip(self.server_ids, self._endpoints()):
-            request = CapRequest(server_id=server_id, limit_w=per_server_w)
-            try:
-                response: CapResponse = self._transport.call(
-                    endpoint, "set_cap", request
+        group = self._group_set_cap(
+            [
+                (endpoint, server_id, per_server_w)
+                for server_id, endpoint in zip(
+                    self.server_ids, self._endpoints()
                 )
-            except RpcError:
-                trace.actuation_failures += 1
-                continue
-            if response.success or response.message:
-                self._capped_servers[server_id] = per_server_w
-                trace.actuation_successes += 1
+            ]
+        )
+        if group is not None:
+            for server_id, status in zip(self.server_ids, group.status):
+                if status == "ok":
+                    self._capped_servers[server_id] = per_server_w
+                    trace.actuation_successes += 1
+                elif status == "error":
+                    trace.actuation_failures += 1
+        else:
+            for server_id, endpoint in zip(self.server_ids, self._endpoints()):
+                request = CapRequest(
+                    server_id=server_id, limit_w=per_server_w
+                )
+                try:
+                    response: CapResponse = self._transport.call(
+                        endpoint, "set_cap", request
+                    )
+                except RpcError:
+                    trace.actuation_failures += 1
+                    continue
+                if response.success or response.message:
+                    self._capped_servers[server_id] = per_server_w
+                    trace.actuation_successes += 1
         self._fail_safe_engaged = True
         trace.detail = "fail-safe"
         trace.capped_after = len(self._capped_servers)
@@ -373,6 +736,20 @@ class LeafPowerController(BaseController[list[PowerReading]]):
     # ------------------------------------------------------------------
     # Snapshot support
     # ------------------------------------------------------------------
+
+    def _iter_last_readings(self):
+        """Cached readings as (server_id, PowerReading) pairs.
+
+        In batch mode the cache lives in position arrays; materialized
+        in server-id order (snapshot serialization sorts keys, so the
+        on-disk form is order-independent either way).
+        """
+        if self._batch is None:
+            yield from self._last_readings.items()
+            return
+        for p in np.flatnonzero(self._last_has):
+            p = int(p)
+            yield self.server_ids[p], self._cached_reading(p)
 
     def snapshot_state(self) -> dict:
         """Template state plus the reading cache and cap bookkeeping."""
@@ -397,7 +774,7 @@ class LeafPowerController(BaseController[list[PowerReading]]):
                     }
                 ),
             }
-            for server_id, r in self._last_readings.items()
+            for server_id, r in self._iter_last_readings()
         }
         state["capped_servers"] = dict(self._capped_servers)
         state["fail_safe_engaged"] = self._fail_safe_engaged
@@ -439,6 +816,12 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._actuation_successes = int(state["actuation_successes"])
         self._actuation_failures = int(state["actuation_failures"])
         self.capped_count_series.restore_state(state["capped_count_series"])
+        if self._batch is not None:
+            self._last_has[:] = False
+            self._last_est[:] = False
+            self._last_power[:] = 0.0
+            self._last_time[:] = 0.0
+            self._seed_last_cache()
 
     # ------------------------------------------------------------------
     # Validation against breaker readings

@@ -246,6 +246,11 @@ class FleetDriver:
         """Which stepping implementation this driver uses."""
         return self._backend
 
+    @property
+    def stepper(self) -> VectorizedFleetStepper | None:
+        """The vectorized stepper, or None on the scalar backend."""
+        return self._stepper
+
     def sync_physics(self) -> None:
         """Flush any speculative RNG prefetch to the logical position.
 

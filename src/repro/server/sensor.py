@@ -75,10 +75,19 @@ class PowerSensor:
 
     def read_breakdown(self, true_power_w: float) -> PowerBreakdown:
         """A noisy sample with the component breakdown."""
-        total = self.read(true_power_w)
-        cpu = total * self.CPU_SHARE
-        memory = total * self.MEMORY_SHARE
-        loss = total * self.AC_DC_LOSS_SHARE
+        return self.breakdown_from_total(self.read(true_power_w))
+
+    @classmethod
+    def breakdown_from_total(cls, total: float) -> PowerBreakdown:
+        """The deterministic component split for an already-sensed total.
+
+        The batched control plane senses totals in bulk and only
+        materializes :class:`PowerBreakdown` objects at the aggregation
+        boundary; this is the same split :meth:`read_breakdown` applies.
+        """
+        cpu = total * cls.CPU_SHARE
+        memory = total * cls.MEMORY_SHARE
+        loss = total * cls.AC_DC_LOSS_SHARE
         other = total - cpu - memory - loss
         return PowerBreakdown(
             total_w=total,

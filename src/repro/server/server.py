@@ -17,7 +17,7 @@ attached directly to a :class:`~repro.power.device.PowerDevice` load slot.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Callable, Protocol
 
 import numpy as np
 
@@ -101,9 +101,9 @@ class Server:
             min_cap_w=platform.effective_min_cap_w(),
             initial_power_w=platform.idle_power_w,
         )
-        self.sensor: PowerSensor | None = None
+        self._sensor: PowerSensor | None = None
         if platform.has_power_sensor:
-            self.sensor = PowerSensor(config.sensor_noise_fraction, rng)
+            self._sensor = PowerSensor(config.sensor_noise_fraction, rng)
         #: Estimator used when no sensor exists (calibrated offline).
         self.estimator: PowerEstimator = calibrate_from_model(
             self.power_model.power_w
@@ -115,6 +115,23 @@ class Server:
         self._energy_j = 0.0
         self._online = True
         self._last_step_s: float | None = None
+
+    #: Called with ``(server, new_sensor)`` whenever :attr:`sensor` is
+    #: reassigned (chaos sensor faults swap it live); the batched
+    #: control plane uses this to move the row between lanes.
+    _sensor_listener: Callable[["Server", PowerSensor | None], None] | None = None
+
+    @property
+    def sensor(self) -> PowerSensor | None:
+        """The on-board power sensor currently installed, if any."""
+        return self._sensor
+
+    @sensor.setter
+    def sensor(self, value: PowerSensor | None) -> None:
+        self._sensor = value
+        hook = self._sensor_listener
+        if hook is not None:
+            hook(self, value)
 
     # ------------------------------------------------------------------
     # Simulation stepping

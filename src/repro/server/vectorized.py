@@ -154,6 +154,12 @@ class VectorizedFleetStepper:
         self._hadoop_mask = np.zeros(n, dtype=bool)
         self._modified: set[int] = set()
 
+        #: Diagnostics: physics ticks run, and server-steps taken on the
+        #: scalar fallback lane across them (``repro profile`` reports
+        #: the per-tick average so de-vectorization regressions show up).
+        self.step_count = 0
+        self.fallback_server_steps = 0
+
         # Prefetch buffers: one block of pre-drawn normals per stream.
         self._buf = np.zeros((n, self._block))
         self._lo = np.zeros(n, dtype=np.intp)
@@ -370,6 +376,8 @@ class VectorizedFleetStepper:
         )
         fallback &= online
         vec = online & ~fallback
+        self.step_count += 1
+        self.fallback_server_steps += int(np.count_nonzero(fallback))
 
         # Base trend, one scalar math call per group broadcast.
         for shape, idx in self._diurnal_groups:

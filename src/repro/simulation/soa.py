@@ -52,6 +52,7 @@ def array_backed(array_name: str, *, kind: str = "float") -> property:
 
     * ``"float"`` — plain float.
     * ``"bool"`` — stored in a bool array.
+    * ``"int"`` — stored in an integer array.
     * ``"nan_none"`` — float-or-None; ``None`` is encoded as NaN.
     """
     shadow = _shadow(array_name)
@@ -85,6 +86,21 @@ def array_backed(array_name: str, *, kind: str = "float") -> property:
                 setattr(self, shadow, value)
             else:
                 getattr(slot.arrays, array_name)[slot.index] = bool(value)
+
+    elif kind == "int":
+
+        def fget(self: Any) -> int:  # type: ignore[misc]
+            slot = self._soa
+            if slot is None:
+                return getattr(self, shadow)
+            return int(getattr(slot.arrays, array_name)[slot.index])
+
+        def fset(self: Any, value: int) -> None:
+            slot = self._soa
+            if slot is None:
+                setattr(self, shadow, value)
+            else:
+                getattr(slot.arrays, array_name)[slot.index] = int(value)
 
     elif kind == "nan_none":
 

@@ -109,6 +109,10 @@ class SnapshotRegistry:
         # generator states, or the resumed run would skip draws.
         world.driver.sync_physics()
         dynamo = world.dynamo
+        # Same contract for the batched control plane's sensor-noise
+        # prefetch: flush before generator states are read.
+        if dynamo.agent_batch is not None:
+            dynamo.agent_batch.sync()
         state: dict = {
             "engine": world.engine.snapshot_state(),
             "rng": world.rng.snapshot_state(),
@@ -142,6 +146,11 @@ class SnapshotRegistry:
                 for server_id, agent in dynamo.agents.items()
             },
             "watchdog": dynamo.watchdog.snapshot_state(),
+            "control_batch": (
+                None
+                if dynamo.agent_batch is None
+                else dynamo.agent_batch.snapshot_state()
+            ),
             "driver": world.driver.snapshot_state(),
             "alerts": dynamo.alerts.snapshot_state(),
             "traces": dynamo.traces.snapshot_state(
@@ -261,6 +270,9 @@ class SnapshotRegistry:
             dynamo.resilient_transport.restore_state(state["resilient"])
         self._restore_keyed("agent", dynamo.agents, state["agents"])
         dynamo.watchdog.restore_state(state["watchdog"])
+        captured_batch = state.get("control_batch")
+        if dynamo.agent_batch is not None and captured_batch is not None:
+            dynamo.agent_batch.restore_state(captured_batch)
         world.driver.restore_state(state["driver"])
         dynamo.alerts.restore_state(state["alerts"])
         dynamo.traces.restore_state(state["traces"])

@@ -11,6 +11,8 @@ Builders:
 
 * ``quickstart`` — the CLI's default deployment: a 1-MSB datacenter,
   36 web/cache servers, Dynamo started, fleet driver running.
+* ``sized`` — the quickstart shape scaled to an arbitrary server
+  count (profiling and control-plane benchmarks).
 * ``chaos`` — any named scenario from
   :data:`repro.chaos.scenarios.CHAOS_SCENARIOS`, fully armed (fault
   schedule + health probe) and started.
@@ -55,7 +57,9 @@ class World:
 
 
 def build_quickstart_world(
-    seed: int = 0, physics_backend: str = "scalar"
+    seed: int = 0,
+    physics_backend: str = "scalar",
+    control_backend: str = "scalar",
 ) -> World:
     """The CLI quickstart deployment, armed at t=0."""
     from repro.fleet import ServiceAllocation, populate_fleet
@@ -79,12 +83,82 @@ def build_quickstart_world(
     driver = FleetDriver(
         engine, topology, fleet, physics_backend=physics_backend
     )
+    if control_backend == "vectorized":
+        dynamo.enable_vectorized_control(driver)
     driver.start()
     dynamo.start()
     return World(
         recipe={
             "builder": "quickstart",
-            "kwargs": {"seed": seed, "physics_backend": physics_backend},
+            "kwargs": {
+                "seed": seed,
+                "physics_backend": physics_backend,
+                "control_backend": control_backend,
+            },
+        },
+        engine=engine,
+        topology=topology,
+        fleet=fleet,
+        dynamo=dynamo,
+        driver=driver,
+        rng=rng,
+    )
+
+
+def build_sized_world(
+    servers: int = 1000,
+    seed: int = 0,
+    physics_backend: str = "vectorized",
+    control_backend: str = "scalar",
+) -> World:
+    """A parametric-size deployment for profiling and benchmarks.
+
+    Lays ``servers`` machines (2:1 web:cache) across a topology that
+    scales its RPP fan-out with fleet size, so leaf controllers keep a
+    realistic span (~hundreds of servers per leaf) as the fleet grows.
+    """
+    from repro.fleet import ServiceAllocation, populate_fleet
+    from repro.power.builder import DataCenterSpec, build_datacenter
+    from repro.power.oversubscription import plan_quotas
+
+    engine = SimulationEngine()
+    rpps_per_sb = max(2, min(16, servers // 400))
+    topology = build_datacenter(
+        DataCenterSpec(
+            msb_count=1,
+            sbs_per_msb=2,
+            rpps_per_sb=rpps_per_sb,
+            racks_per_rpp=3,
+        )
+    )
+    plan_quotas(topology)
+    rng = RngStreams(seed)
+    web = (servers * 2) // 3
+    fleet = populate_fleet(
+        topology,
+        [
+            ServiceAllocation("web", web),
+            ServiceAllocation("cache", servers - web),
+        ],
+        rng,
+    )
+    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    driver = FleetDriver(
+        engine, topology, fleet, physics_backend=physics_backend
+    )
+    if control_backend == "vectorized":
+        dynamo.enable_vectorized_control(driver)
+    driver.start()
+    dynamo.start()
+    return World(
+        recipe={
+            "builder": "sized",
+            "kwargs": {
+                "servers": servers,
+                "seed": seed,
+                "physics_backend": physics_backend,
+                "control_backend": control_backend,
+            },
         },
         engine=engine,
         topology=topology,
@@ -96,7 +170,10 @@ def build_quickstart_world(
 
 
 def build_chaos_world(
-    scenario: str, seed: int = 7, physics_backend: str = "scalar"
+    scenario: str,
+    seed: int = 7,
+    physics_backend: str = "scalar",
+    control_backend: str = "scalar",
 ) -> World:
     """A named chaos scenario, armed and started at t=0.
 
@@ -113,7 +190,11 @@ def build_chaos_world(
         raise SnapshotError(
             f"unknown chaos scenario {scenario!r}; known: {known}"
         ) from None
-    run = builder(seed=seed, physics_backend=physics_backend)
+    run = builder(
+        seed=seed,
+        physics_backend=physics_backend,
+        control_backend=control_backend,
+    )
     run.start()
     return World(
         recipe={
@@ -122,6 +203,7 @@ def build_chaos_world(
                 "scenario": scenario,
                 "seed": seed,
                 "physics_backend": physics_backend,
+                "control_backend": control_backend,
             },
         },
         engine=run.engine,
@@ -137,6 +219,7 @@ def build_chaos_world(
 
 WORLD_BUILDERS: dict[str, Callable[..., World]] = {
     "quickstart": build_quickstart_world,
+    "sized": build_sized_world,
     "chaos": build_chaos_world,
 }
 

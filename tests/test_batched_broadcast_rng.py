@@ -1,0 +1,174 @@
+"""Property test pinning the batched broadcast's RNG usage contract.
+
+The group fast path must consume the transport RNG in exactly the
+per-endpoint order of a sequential broadcast: one latency draw per
+fast-lane call (batched as ``exponential(mean, size=k)``, bitwise equal
+to k scalar draws), zero ``FailureInjector.check`` draws for fast-lane
+endpoints (their composed fault probability is 0), and scalar-lane
+endpoints dispatched through ``call()`` at their original positions.
+Under any mix of per-endpoint faults the batched and sequential
+broadcasts must therefore produce identical results, failures, latency
+accounting, and — the actual contract — an identical generator end
+state.  Armed *global* fault rates would make every call draw, so the
+group path must refuse to batch at all.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import DynamoAgent, agent_endpoint
+from repro.core.agent_batch import AgentBatch
+from repro.core.messages import CapRequest
+from repro.errors import RpcError
+from repro.fleet import ServiceAllocation, populate_fleet
+from repro.power.builder import DataCenterSpec, build_datacenter
+from repro.power.oversubscription import plan_quotas
+from repro.rpc.transport import RpcTransport
+from repro.server.vectorized import VectorizedFleetStepper
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStreams
+
+N_SERVERS = 8
+
+#: Per-endpoint fault kinds the strategy assigns (position-aligned).
+FAULT_KINDS = ("none", "down", "failure", "timeout", "latency", "crashed")
+
+
+def _build(seed: int, *, batched: bool):
+    """A minimal transport + agents world, optionally batch-attached."""
+    engine = SimulationEngine()
+    topology = build_datacenter(
+        DataCenterSpec(msb_count=1, sbs_per_msb=1, rpps_per_sb=1)
+    )
+    plan_quotas(topology)
+    rng = RngStreams(seed)
+    fleet = populate_fleet(
+        topology, [ServiceAllocation("web", N_SERVERS)], rng
+    )
+    stepper = VectorizedFleetStepper(fleet)
+    stepper.step(1.0, 1.0)
+    transport = RpcTransport(rng.stream("rpc"))
+    agents = {
+        sid: DynamoAgent(server, transport, clock=engine.clock)
+        for sid, server in fleet.servers.items()
+    }
+    if batched:
+        transport.attach_batch(AgentBatch(agents, stepper))
+    endpoints = [agent_endpoint(sid) for sid in fleet.servers]
+    return transport, agents, endpoints
+
+
+def _arm(transport, agents, endpoints, kinds: list[str]) -> None:
+    injector = transport.injector
+    for endpoint, kind in zip(endpoints, kinds):
+        if kind == "down":
+            injector.take_down(endpoint)
+        elif kind == "failure":
+            injector.set_endpoint_faults(endpoint, failure_probability=0.6)
+        elif kind == "timeout":
+            injector.set_endpoint_faults(endpoint, timeout_probability=0.6)
+        elif kind == "latency":
+            injector.set_endpoint_faults(endpoint, extra_latency_mean_s=0.5)
+        elif kind == "crashed":
+            sid = endpoint.split(":", 1)[1]
+            agents[sid].crash()
+
+
+fault_mixes = st.lists(
+    st.sampled_from(FAULT_KINDS), min_size=N_SERVERS, max_size=N_SERVERS
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kinds=fault_mixes, seed=st.integers(min_value=0, max_value=10))
+def test_group_read_matches_sequential_broadcast(kinds, seed):
+    ts, agents_s, endpoints = _build(seed, batched=False)
+    tb, agents_b, _ = _build(seed, batched=True)
+    _arm(ts, agents_s, endpoints, kinds)
+    _arm(tb, agents_b, endpoints, kinds)
+
+    results, failures = ts.broadcast(endpoints, "read_power", None)
+    group = tb.group_read_power(endpoints)
+    assert group is not None
+
+    for p, endpoint in enumerate(endpoints):
+        if group.fast_mask[p]:
+            assert endpoint not in failures
+            assert group.powers[p] == results[endpoint].power_w
+        elif endpoint in group.results:
+            assert group.results[endpoint].power_w == results[endpoint].power_w
+        else:
+            assert type(group.failures[endpoint]) is type(failures[endpoint])
+
+    assert set(group.failures) == set(failures)
+    assert tb.calls_made == ts.calls_made
+    assert tb.calls_failed == ts.calls_failed
+    assert repr(tb.total_latency_s) == repr(ts.total_latency_s)
+    # The contract itself: both generators stand at the same position.
+    assert (
+        tb._rng.bit_generator.state == ts._rng.bit_generator.state
+    ), "batched broadcast consumed RNG draws out of sequential order"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kinds=fault_mixes,
+    seed=st.integers(min_value=0, max_value=10),
+    uncap=st.lists(
+        st.booleans(), min_size=N_SERVERS, max_size=N_SERVERS
+    ),
+)
+def test_group_cap_matches_sequential_calls(kinds, seed, uncap):
+    ts, agents_s, endpoints = _build(seed, batched=False)
+    tb, agents_b, _ = _build(seed, batched=True)
+    _arm(ts, agents_s, endpoints, kinds)
+    _arm(tb, agents_b, endpoints, kinds)
+
+    items = []
+    for p, endpoint in enumerate(endpoints):
+        sid = endpoint.split(":", 1)[1]
+        items.append((endpoint, sid, None if uncap[p] else 90.0 + p))
+
+    statuses = []
+    for endpoint, sid, limit_w in items:
+        try:
+            response = ts.call(
+                endpoint, "set_cap", CapRequest(server_id=sid, limit_w=limit_w)
+            )
+        except RpcError:
+            statuses.append("error")
+        else:
+            ok = limit_w is None or (response.success or response.message)
+            statuses.append("ok" if ok else "noop")
+
+    group = tb.group_set_cap(items)
+    assert group is not None
+    assert group.status == statuses
+    for (endpoint, sid, _limit), status in zip(items, statuses):
+        assert (
+            agents_b[sid].server.rapl.limit_w
+            == agents_s[sid].server.rapl.limit_w
+        )
+    assert tb.calls_made == ts.calls_made
+    assert repr(tb.total_latency_s) == repr(ts.total_latency_s)
+    assert tb._rng.bit_generator.state == ts._rng.bit_generator.state
+
+
+@given(
+    failure=st.floats(min_value=0.01, max_value=1.0),
+    global_timeout=st.booleans(),
+)
+@settings(max_examples=10, deadline=None)
+def test_global_rates_force_full_fallback(failure, global_timeout):
+    # Global rates make the injector draw for every call, so batching
+    # anything would shift the draw sequence: the group path must bail.
+    tb, _agents, endpoints = _build(0, batched=True)
+    if global_timeout:
+        tb.injector.timeout_probability = failure
+    else:
+        tb.injector.failure_probability = failure
+    assert tb.group_read_power(endpoints) is None
+    assert tb.group_set_cap([(e, e.split(":", 1)[1], None) for e in endpoints]) is None
+    assert tb.group_full_fallbacks == 2

@@ -32,7 +32,11 @@ SEED = 42
 END_S = 720.0
 
 
-def build_parity_run(seed: int = SEED, physics_backend: str = "scalar"):
+def build_parity_run(
+    seed: int = SEED,
+    physics_backend: str = "scalar",
+    control_backend: str = "scalar",
+):
     """A deterministic two-suite deployment with faults and a squeeze."""
     engine = SimulationEngine()
     topology = build_datacenter(
@@ -80,6 +84,8 @@ def build_parity_run(seed: int = SEED, physics_backend: str = "scalar"):
             ),
         ]
     )
+    if control_backend == "vectorized":
+        dynamo.enable_vectorized_control(driver)
     return engine, dynamo, driver, orchestrator
 
 
@@ -87,10 +93,11 @@ def run_and_fingerprint(
     seed: int = SEED,
     end_s: float = END_S,
     physics_backend: str = "scalar",
+    control_backend: str = "scalar",
 ) -> str:
     """Run the scenario and render the behaviour fingerprint."""
     engine, dynamo, driver, orchestrator = build_parity_run(
-        seed, physics_backend
+        seed, physics_backend, control_backend
     )
     ticks: list[str] = []
 
@@ -154,6 +161,25 @@ def test_vectorized_backend_matches_golden_fingerprint():
     assert current == golden, (
         "vectorized fleet physics diverged from the scalar golden; the "
         "two backends must be bit-identical"
+    )
+
+
+def test_vectorized_control_matches_golden_fingerprint():
+    """The batched control plane reproduces the scalar golden too.
+
+    The scenario crashes an agent at 90 s and squeezes sb0.0 from 240 s
+    to 540 s, so the fingerprint covers mid-fault sensing (the crashed
+    agent drops to the scalar lane and is estimated from neighbours) and
+    real capping/uncapping through the batched RAPL fan-out — all of
+    which must stay byte-identical to the sequential broadcast.
+    """
+    golden = GOLDEN_PATH.read_text()
+    current = run_and_fingerprint(
+        physics_backend="vectorized", control_backend="vectorized"
+    )
+    assert current == golden, (
+        "batched control plane diverged from the scalar golden; the "
+        "group broadcast must be bit-identical to per-endpoint calls"
     )
 
 

@@ -118,6 +118,34 @@ class TestBitExactResume:
         world.run_until(450.0)
         assert world_fingerprint(resumed) == world_fingerprint(world)
 
+    def test_vectorized_control_plain_fleet(self):
+        # The batched control plane prefetches sensor noise and defers
+        # breaker/health materialization; capture must flush both so a
+        # resumed run continues the identical trajectory.
+        build = lambda: build_quickstart_world(  # noqa: E731
+            seed=0,
+            physics_backend="vectorized",
+            control_backend="vectorized",
+        )
+        assert resumed_fingerprint(build, 60.0, 120.0) == (
+            uninterrupted_fingerprint(build, 120.0)
+        )
+
+    def test_vectorized_control_under_chaos_campaign(self):
+        # Snapshot mid-campaign at t=650 s: an rpc-flaky fault (582 s to
+        # 680 s) has part of the group on the scalar lane with pending
+        # fast-path successes on the rest, so the capture carries the
+        # control_batch section plus armed per-endpoint faults.
+        build = lambda: build_chaos_world(  # noqa: E731
+            "campaign",
+            seed=7,
+            physics_backend="vectorized",
+            control_backend="vectorized",
+        )
+        assert resumed_fingerprint(build, 650.0, 900.0) == (
+            uninterrupted_fingerprint(build, 900.0)
+        )
+
     def test_restore_in_fresh_process(self, tmp_path):
         # The snapshot must be self-contained: a brand-new interpreter
         # loading the file continues the exact trajectory.
