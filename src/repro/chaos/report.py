@@ -64,6 +64,12 @@ class RobustnessScore:
     degraded_mode_entries: int = 0
     safe_mode_entries: int = 0
     pulls_stale: int = 0
+    #: Degraded-sensing metrics (disaggregation estimator); all zero for
+    #: runs that never carried a cycle on estimated readings.
+    sensor_degraded_entries: int = 0
+    time_in_sensor_degraded_s: float = 0.0
+    pulls_disaggregated: int = 0
+    max_estimation_error_w: float = 0.0
 
     @property
     def survived(self) -> bool:
@@ -178,6 +184,12 @@ def build_scorecard(run: ChaosRun) -> RobustnessScore:
         degraded_mode_entries=run.dynamo.degraded_mode_entries(),
         safe_mode_entries=run.dynamo.safe_mode_entries(),
         pulls_stale=trace_metrics.pulls_stale,
+        sensor_degraded_entries=run.dynamo.sensor_degraded_entries(),
+        time_in_sensor_degraded_s=run.dynamo.time_in_sensor_degraded_s(
+            run.end_s
+        ),
+        pulls_disaggregated=trace_metrics.pulls_disaggregated,
+        max_estimation_error_w=trace_metrics.max_estimation_error_w,
     )
 
 
@@ -215,6 +227,17 @@ def render_scorecard(score: RobustnessScore) -> str:
     table.add_row("endpoint quarantines", score.endpoint_quarantines)
     table.add_row("degraded-mode entries", score.degraded_mode_entries)
     table.add_row("safe-mode entries", score.safe_mode_entries)
+    table.add_row("sensor-degraded entries", score.sensor_degraded_entries)
+    table.add_row(
+        "time in sensor-degraded", f"{score.time_in_sensor_degraded_s:.1f} s"
+    )
+    table.add_row("pulls disaggregated", score.pulls_disaggregated)
+    table.add_row(
+        "max estimation error",
+        "-"
+        if score.pulls_disaggregated == 0
+        else f"{score.max_estimation_error_w:.1f} W",
+    )
     fraction = score.cut_allocation_fraction
     table.add_row(
         "cut allocated / requested",

@@ -25,6 +25,13 @@ Named scenarios map to the paper's fault-tolerance claims:
                     with no breaker trips and no stranded limits.
 ``partition``       >20% of one row's agents partitioned; aggregation
                     aborts with a CRITICAL alert, no false capping.
+``sensor-blackout-{30,50,70}``  30/50/70% of one row's agents partitioned
+                    *with the disaggregation estimator enabled* during a
+                    surge: at 30/50% the leaf keeps capping in
+                    SENSOR_DEGRADED against the uncertainty-inflated
+                    estimate; at 70% coverage falls below the estimation
+                    floor and the controller escalates to SAFE instead
+                    of aborting silently.
 ``breaker-derate``  the SB rating is derated mid-run; capping pulls the
                     load under the new limit.
 ``campaign``        a seeded random campaign over the whole catalogue.
@@ -38,6 +45,11 @@ from typing import Callable
 
 from repro.analysis.worlds import build_surge_world
 from repro.chaos.faults import FaultSpec
+from repro.config import (
+    ControllerConfig,
+    DynamoConfig,
+    EstimationConfig,
+)
 from repro.chaos.orchestrator import ChaosContext, ChaosOrchestrator
 from repro.core.dynamo import Dynamo
 from repro.core.remote import distribute_hierarchy
@@ -126,12 +138,16 @@ def build_chaos_run(
     monitored_device: str = "sb0",
     probe_interval_s: float = 3.0,
     physics_backend: str = "scalar", control_backend: str = "scalar",
+    config: DynamoConfig | None = None,
 ) -> ChaosRun:
     """Wire a chaos experiment: world + Dynamo + orchestrator + probe."""
     engine, topology, fleet, rng = build_surge_world(
         n_servers=n_servers, level=level, rpp_count=rpp_count, seed=seed
     )
-    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    dynamo = Dynamo(
+        engine, topology, fleet, config=config,
+        rng_streams=rng.fork("dynamo"),
+    )
     driver = FleetDriver(
         engine,
         topology,
@@ -346,6 +362,88 @@ def partition(seed: int = 7, *, physics_backend: str = "scalar", control_backend
     )
 
 
+def _sensor_blackout(
+    fraction: float,
+    seed: int = 7,
+    *,
+    physics_backend: str = "scalar",
+    control_backend: str = "scalar",
+) -> ChaosRun:
+    """Partition ``fraction`` of one row's agents with estimation on.
+
+    The same fault shape as ``partition`` — an rpc partition well past
+    the 20% invalid-aggregation floor — but the deployment runs with the
+    disaggregation estimator enabled, and a concurrent surge forces the
+    leaf to actually *cap* while its sensors are dark.  At 30/50% the
+    controller rides it out in SENSOR_DEGRADED; at 70% coverage drops
+    below ``EstimationConfig.safe_coverage`` and the leaf escalates
+    through the invalid-cycle path to SAFE (fail-safe capping) instead
+    of aborting silently.
+    """
+    engine, topology, fleet, _ = build_surge_world(n_servers=40, seed=seed)
+    rpp0_ids = sorted(topology.device("rpp0").load_ids)
+    del engine, fleet
+    victims = tuple(rpp0_ids[: max(1, int(len(rpp0_ids) * fraction))])
+    specs = [
+        FaultSpec(
+            kind="rpc-partition",
+            start_s=120.0,
+            duration_s=360.0,
+            targets=victims,
+        ),
+        FaultSpec(
+            kind="power-surge",
+            start_s=180.0,
+            duration_s=240.0,
+            params={"multiplier": 1.5, "ramp_s": 60.0},
+        ),
+    ]
+    config = DynamoConfig(
+        controller=ControllerConfig(
+            estimation=EstimationConfig(enabled=True)
+        )
+    )
+    return build_chaos_run(
+        f"sensor-blackout-{int(round(fraction * 100))}",
+        specs,
+        seed=seed,
+        end_s=900.0,
+        physics_backend=physics_backend,
+        control_backend=control_backend,
+        config=config,
+    )
+
+
+def sensor_blackout_30(
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
+) -> ChaosRun:
+    """30% of one row's sensors go dark; estimation carries the cycle."""
+    return _sensor_blackout(
+        0.3, seed,
+        physics_backend=physics_backend, control_backend=control_backend,
+    )
+
+
+def sensor_blackout_50(
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
+) -> ChaosRun:
+    """Half of one row's sensors go dark; estimation carries the cycle."""
+    return _sensor_blackout(
+        0.5, seed,
+        physics_backend=physics_backend, control_backend=control_backend,
+    )
+
+
+def sensor_blackout_70(
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
+) -> ChaosRun:
+    """70% dark: below the estimation floor, the leaf must go SAFE."""
+    return _sensor_blackout(
+        0.7, seed,
+        physics_backend=physics_backend, control_backend=control_backend,
+    )
+
+
 def breaker_derate(
     seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
@@ -467,6 +565,9 @@ CHAOS_SCENARIOS: dict[str, Callable[..., ChaosRun]] = {
     "rpc-storm": rpc_storm,
     "flaky-fabric-recovery": flaky_fabric_recovery,
     "partition": partition,
+    "sensor-blackout-30": sensor_blackout_30,
+    "sensor-blackout-50": sensor_blackout_50,
+    "sensor-blackout-70": sensor_blackout_70,
     "breaker-derate": breaker_derate,
     "campaign": campaign,
 }

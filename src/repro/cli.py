@@ -18,6 +18,7 @@ Usage::
     python -m repro trace rpp0.0 --scenario quickstart --last 10
     python -m repro trace sb0.0 --scenario sb-outage --seed 7
     python -m repro health rpp0 --scenario flaky-fabric-recovery --seed 7
+    python -m repro attribute rpp0 --scenario sensor-blackout-50 --seed 7
     python -m repro profile quickstart --physics-backend vectorized
     python -m repro profile sb-outage --top 10
     python -m repro serve --port 8640
@@ -517,6 +518,16 @@ def _run_health(args: argparse.Namespace) -> int:
         )
         for time_s, from_mode, to_mode in machine.transitions:
             print(f"  t={time_s:.1f}s {from_mode} -> {to_mode}")
+    last_trace = getattr(instance, "last_trace", None)
+    if last_trace is not None and last_trace.pulls_attempted:
+        measured = last_trace.pulls_attempted - last_trace.pulls_failed
+        print(
+            f"sensing coverage={last_trace.coverage_fraction:.0%} "
+            f"(last cycle: {measured}/{last_trace.pulls_attempted} measured, "
+            f"{last_trace.pulls_stale} stale, "
+            f"{last_trace.pulls_estimated} estimated, "
+            f"{last_trace.disaggregated} disaggregated)"
+        )
     if hasattr(instance, "server_ids"):
         endpoints = [agent_endpoint(s) for s in instance.server_ids]
     else:
@@ -539,6 +550,46 @@ def _run_health(args: argparse.Namespace) -> int:
         if dynamo.resilient_transport is not None:
             line += f" breaker={dynamo.resilient_transport.breaker_state(endpoint)}"
         print(f"  {line}")
+    return 0
+
+
+def _run_attribute(args: argparse.Namespace) -> int:
+    """Per-service power attribution for one leaf device.
+
+    Runs the chosen scenario, then renders where the device's power is
+    going by service — measured, stale, and disaggregated readings
+    alike, each weighted by its confidence — from the leaf controller's
+    reading cache and fitted service models.
+    """
+    from repro.chaos import CHAOS_SCENARIOS
+    from repro.core.failover import FailoverController
+    from repro.errors import ConfigurationError
+    from repro.estimation import attribute_leaf, render_attribution
+
+    if args.scenario == "quickstart":
+        dynamo, _, _ = _quickstart_deployment(args.seed, args.duration_h)
+    else:
+        run = CHAOS_SCENARIOS[args.scenario](seed=args.seed)
+        run.run()
+        dynamo = run.dynamo
+    leaves = ", ".join(sorted(dynamo.hierarchy.leaf_controllers))
+    try:
+        controller = dynamo.controller(args.device)
+    except ConfigurationError:
+        print(f"no controller for {args.device!r}; leaf devices: {leaves}")
+        return 1
+    instance = (
+        controller.active
+        if isinstance(controller, FailoverController)
+        else controller
+    )
+    if not hasattr(instance, "server_ids"):
+        print(
+            f"{args.device!r} is not a leaf device (attribution needs "
+            f"per-server readings); leaf devices: {leaves}"
+        )
+        return 1
+    print(render_attribution(args.device, attribute_leaf(instance)))
     return 0
 
 
@@ -775,6 +826,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     health.add_argument("--seed", type=int, default=0)
     health.add_argument("--duration-h", type=float, default=0.25)
+    attribute = sub.add_parser(
+        "attribute",
+        help="per-service power attribution for one leaf device",
+    )
+    attribute.add_argument(
+        "device", help="leaf controller/device name, e.g. rpp0"
+    )
+    attribute.add_argument(
+        "--scenario",
+        default="sensor-blackout-50",
+        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+        help="scenario to run before attributing power",
+    )
+    attribute.add_argument("--seed", type=int, default=7)
+    attribute.add_argument("--duration-h", type=float, default=0.25)
     serve = sub.add_parser(
         "serve", help="host live simulation sessions over HTTP"
     )
@@ -811,6 +877,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_profile(args)
     if args.command == "health":
         return _run_health(args)
+    if args.command == "attribute":
+        return _run_attribute(args)
     if args.command == "serve":
         return _run_serve(args)
     return _RUNNERS[args.scenario](args)

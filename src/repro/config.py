@@ -75,6 +75,63 @@ class OperatingModeConfig:
 
 
 @dataclass(frozen=True)
+class EstimationConfig:
+    """Online power-disaggregation for degraded sensing (WattScope-style).
+
+    When enabled, a leaf controller whose pull-failure fraction exceeds
+    ``ControllerConfig.max_reading_failure_fraction`` no longer aborts
+    the cycle outright.  Instead it distributes the device-metering
+    residual (breaker-side aggregate minus the sum of measured servers)
+    across the dark servers, weighted by per-service utilisation→power
+    models fitted from healthy readings, and keeps capping against an
+    uncertainty-inflated total in the SENSOR_DEGRADED posture.  Only
+    when coverage drops below ``safe_coverage`` does the controller give
+    up the cycle and let the legacy invalid-cycle escalation reach SAFE.
+
+    Disabled by default: the paper's 20%-abort rule stays the reference
+    behaviour, and fully healthy runs are bit-identical either way.
+    """
+
+    enabled: bool = False
+    #: Below this measured+stale coverage the estimate is not trusted:
+    #: the cycle is invalid and the controller escalates toward SAFE.
+    safe_coverage: float = 0.40
+    #: EWMA smoothing for the per-service mean-power models and their
+    #: relative fit error.
+    ewma_alpha: float = 0.2
+    #: Aggregate margin per uncertain watt: the sensed total grows by
+    #: ``inflation * sum(power * (1 - confidence))`` over uncertain
+    #: readings, so degraded sensing can only over-cap, never under-cap.
+    uncertainty_inflation: float = 1.5
+    #: Confidence floor for model-estimated and stale readings.
+    min_confidence: float = 0.05
+    #: Last-resort per-server estimate when no model data exists.
+    default_power_w: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.safe_coverage <= 1.0:
+            raise ConfigurationError(
+                "safe coverage must be within [0, 1]"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                "estimation EWMA alpha must be within (0, 1]"
+            )
+        if self.uncertainty_inflation < 0.0:
+            raise ConfigurationError(
+                "uncertainty inflation cannot be negative"
+            )
+        if not 0.0 <= self.min_confidence < 1.0:
+            raise ConfigurationError(
+                "minimum confidence must be within [0, 1)"
+            )
+        if self.default_power_w <= 0.0:
+            raise ConfigurationError(
+                "default estimated power must be positive"
+            )
+
+
+@dataclass(frozen=True)
 class CallPolicyConfig:
     """Per-call resilience policy: deadline, retries, backoff.
 
@@ -175,6 +232,7 @@ class ControllerConfig:
     reading_cache_ttl_s: float = 0.0
     three_band: ThreeBandConfig = field(default_factory=ThreeBandConfig)
     mode: OperatingModeConfig = field(default_factory=OperatingModeConfig)
+    estimation: EstimationConfig = field(default_factory=EstimationConfig)
 
     def __post_init__(self) -> None:
         if self.reading_cache_ttl_s < 0:
@@ -290,6 +348,12 @@ class FleetConfig:
     physics_backend: str = "scalar"
     prefetch_draws: int = 64
     control_backend: str = "scalar"
+    #: Whether leaf controllers can read device/breaker-side metering
+    #: (``PowerDevice.power_w``).  The disaggregation estimator needs it
+    #: for the aggregate residual; with metering unavailable an enabled
+    #: estimator is detached and degraded sensing falls back to the
+    #: paper's abort-and-alert rule.
+    device_metering: bool = True
 
     def __post_init__(self) -> None:
         if self.physics_backend not in PHYSICS_BACKENDS:

@@ -325,7 +325,12 @@ class BaseController(abc.ABC, Generic[SenseT]):
             self.tracer.record(trace.finish())
             return BandAction.HOLD
         previous_mode = self.modes.mode
-        mode = self.modes.record_valid_cycle(now_s)
+        if trace.disaggregated:
+            # The cycle was carried by the disaggregation estimator:
+            # usable but not healthy — enter/hold SENSOR_DEGRADED.
+            mode = self.modes.record_degraded_sensing_cycle(now_s)
+        else:
+            mode = self.modes.record_valid_cycle(now_s)
         trace.mode = mode.value
         if previous_mode is OperatingMode.SAFE and mode is not OperatingMode.SAFE:
             self.release_fail_safe(now_s)
@@ -377,7 +382,8 @@ class BaseController(abc.ABC, Generic[SenseT]):
             and self.band.capping_active
             and aggregate_w < uncap_at
         ):
-            # DEGRADED/SAFE hold last limits: defer the uncap without
+            # DEGRADED/SENSOR_DEGRADED/SAFE hold last limits: defer the
+            # uncap without
             # running the policy, whose hysteresis state must keep the
             # caps accounted for when NORMAL resumes.
             self.modes.record_deferred_uncap()

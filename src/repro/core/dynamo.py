@@ -98,6 +98,13 @@ class Dynamo:
             alerts=self.alerts,
             tracer=self.traces,
         )
+        if not self.config.fleet.device_metering:
+            # Without breaker/device metering there is no aggregate
+            # residual to disaggregate: detach any configured estimator
+            # so degraded sensing falls back to abort-and-alert.
+            for instance in self._controller_instances():
+                if isinstance(instance, LeafPowerController):
+                    instance.disable_estimation()
         self.coordinator = ControllerCoordinator(engine, self.hierarchy)
         self.watchdog = AgentWatchdog(
             engine,
@@ -190,6 +197,8 @@ class Dynamo:
             )
             if self.agent_batch is not None:
                 backup.attach_control_batch(self.agent_batch)
+            if not self.config.fleet.device_metering:
+                backup.disable_estimation()
             pair = FailoverController(primary, backup)
             self.hierarchy.leaf_controllers[device_name] = pair
         else:
@@ -300,6 +309,28 @@ class Dynamo:
         """DEGRADED-mode entries across every controller instance."""
         return sum(
             machine.degraded_entries
+            for machine in (
+                getattr(i, "modes", None) for i in self._controller_instances()
+            )
+            if machine is not None
+        )
+
+    def sensor_degraded_entries(self) -> int:
+        """SENSOR_DEGRADED entries across every controller instance."""
+        return sum(
+            machine.sensor_degraded_entries
+            for machine in (
+                getattr(i, "modes", None) for i in self._controller_instances()
+            )
+            if machine is not None
+        )
+
+    def time_in_sensor_degraded_s(self, now_s: float) -> float:
+        """Total time spent in SENSOR_DEGRADED, summed over instances."""
+        from repro.core.health import OperatingMode
+
+        return sum(
+            machine.time_in_mode_s(OperatingMode.SENSOR_DEGRADED, now_s)
             for machine in (
                 getattr(i, "modes", None) for i in self._controller_instances()
             )

@@ -15,7 +15,11 @@ of, both motivated by running controllers over a lossy fabric:
   additionally harden the posture: DEGRADED defers uncapping (holds
   last limits) and widens alerting, SAFE applies a conservative
   fail-safe cap at the capping target.  Recovery hysteresis walks the
-  posture back one level per run of consecutive valid cycles.
+  posture back one level per run of consecutive valid cycles.  A
+  parallel SENSOR_DEGRADED branch covers cycles the disaggregation
+  estimator carried (coverage below the failure-fraction floor but the
+  aggregate still usable): capping proceeds, uncaps defer, and recovery
+  goes straight back to NORMAL once sensing returns.
 """
 
 from __future__ import annotations
@@ -294,10 +298,19 @@ class OperatingMode(enum.Enum):
 
     NORMAL = "normal"
     DEGRADED = "degraded"
+    #: Sensing coverage fell below the failure-fraction floor but the
+    #: disaggregation estimator kept the aggregate usable: capping
+    #: proceeds against an uncertainty-inflated total, uncaps are
+    #: deferred.  Sits between DEGRADED and SAFE in severity but forms
+    #: its own branch — it is entered by degraded *sensing*, not by
+    #: invalid cycles, and recovers straight to NORMAL.
+    SENSOR_DEGRADED = "sensor-degraded"
     SAFE = "safe"
 
 
-#: Escalation order; recovery steps one level left per hysteresis run.
+#: Escalation order for the invalid-cycle branch; recovery steps one
+#: level left per hysteresis run.  SENSOR_DEGRADED is deliberately not
+#: in this list: it is a parallel branch (see OperatingMode docs).
 _MODE_ORDER = [OperatingMode.NORMAL, OperatingMode.DEGRADED, OperatingMode.SAFE]
 
 
@@ -329,6 +342,7 @@ class ModeStateMachine:
         self.transitions: list[tuple[float, str, str]] = []
         self.degraded_entries = 0
         self.safe_entries = 0
+        self.sensor_degraded_entries = 0
         #: UNCAP decisions deferred while not NORMAL.
         self.deferred_uncaps = 0
 
@@ -357,6 +371,19 @@ class ModeStateMachine:
                 Severity.CRITICAL,
                 f"entering SAFE after {self.consecutive_invalid} consecutive "
                 "invalid cycles; applying fail-safe cap at the capping target",
+            )
+        elif to is OperatingMode.SENSOR_DEGRADED and previous in (
+            OperatingMode.NORMAL,
+            OperatingMode.DEGRADED,
+        ):
+            self.sensor_degraded_entries += 1
+            self._alert(
+                now_s,
+                Severity.WARNING,
+                "entering SENSOR_DEGRADED: sensing coverage below the "
+                "failure-fraction floor; capping against the "
+                "uncertainty-inflated disaggregation estimate, uncaps "
+                "deferred",
             )
         else:
             self._alert(
@@ -392,12 +419,62 @@ class ModeStateMachine:
             self.mode is not OperatingMode.NORMAL
             and self.consecutive_valid >= self.config.recovery_valid_cycles
         ):
-            step_down = _MODE_ORDER[_MODE_ORDER.index(self.mode) - 1]
+            if self.mode is OperatingMode.SENSOR_DEGRADED:
+                # Sensing is back: the estimator branch recovers
+                # straight to NORMAL (there was never a trusted-limits
+                # problem, only a coverage problem).
+                step_down = OperatingMode.NORMAL
+            else:
+                step_down = _MODE_ORDER[_MODE_ORDER.index(self.mode) - 1]
             self._transition(now_s, step_down)
             # Each level of recovery needs its own full run of valid
             # cycles — SAFE does not collapse straight to NORMAL.
             self.consecutive_valid = 0
         return self.mode
+
+    def record_degraded_sensing_cycle(self, now_s: float) -> OperatingMode:
+        """One cycle carried by the disaggregation estimator.
+
+        The cycle produced a usable (inflated) aggregate, so it is not
+        invalid — the invalid streak resets — but it does not count as
+        healthy either: the valid streak resets outside SAFE, so
+        recovery hysteresis only starts once real coverage returns.
+        While SAFE, estimator-carried cycles do count toward the
+        hysteresis run, stepping the posture down to SENSOR_DEGRADED
+        (not DEGRADED: sensing is still impaired).
+        """
+        if not self.config.enabled:
+            return self.mode
+        self.consecutive_invalid = 0
+        if self.mode is OperatingMode.SAFE:
+            self.consecutive_valid += 1
+            if self.consecutive_valid >= self.config.recovery_valid_cycles:
+                self._transition(now_s, OperatingMode.SENSOR_DEGRADED)
+                self.consecutive_valid = 0
+            return self.mode
+        self.consecutive_valid = 0
+        if self.mode in (OperatingMode.NORMAL, OperatingMode.DEGRADED):
+            self._transition(now_s, OperatingMode.SENSOR_DEGRADED)
+        return self.mode
+
+    def time_in_mode_s(self, mode: OperatingMode, now_s: float) -> float:
+        """Total seconds spent in ``mode`` up to ``now_s``.
+
+        Reconstructed from the transition history; an interval still
+        open at ``now_s`` is charged through ``now_s``.  The machine
+        starts in NORMAL at t=0.
+        """
+        total = 0.0
+        current = OperatingMode.NORMAL.value
+        since = 0.0
+        for time_s, _, to in self.transitions:
+            if current == mode.value:
+                total += time_s - since
+            current = to
+            since = time_s
+        if current == mode.value and now_s > since:
+            total += now_s - since
+        return total
 
     def record_deferred_uncap(self) -> None:
         """Account an UNCAP decision deferred by a non-NORMAL posture."""
@@ -412,6 +489,7 @@ class ModeStateMachine:
             "transitions": [list(t) for t in self.transitions],
             "degraded_entries": self.degraded_entries,
             "safe_entries": self.safe_entries,
+            "sensor_degraded_entries": self.sensor_degraded_entries,
             "deferred_uncaps": self.deferred_uncaps,
         }
 
@@ -425,6 +503,9 @@ class ModeStateMachine:
         ]
         self.degraded_entries = int(state["degraded_entries"])
         self.safe_entries = int(state["safe_entries"])
+        self.sensor_degraded_entries = int(
+            state.get("sensor_degraded_entries", 0)
+        )
         self.deferred_uncaps = int(state["deferred_uncaps"])
 
     def __repr__(self) -> str:

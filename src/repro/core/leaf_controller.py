@@ -10,7 +10,13 @@ stages:
    service (falling back to the last known reading, then to service
    metadata).  If more than 20% of pulls fail, the aggregation is
    invalid: the controller raises a human-intervention alert and takes
-   no action this cycle (no false positives).
+   no action this cycle (no false positives).  With the disaggregation
+   estimator enabled (``ControllerConfig.estimation``), that hard abort
+   softens: down to the ``safe_coverage`` floor the dark servers are
+   reconstructed from the device-metering residual
+   (:mod:`repro.estimation`), the cycle proceeds in the
+   SENSOR_DEGRADED posture, and the aggregate is inflated by the
+   estimates' uncertainty so capping can only err conservative.
 2. **aggregate** — sums the readings plus fixed overhead and monitored
    non-server components.
 3. **decide** (shared) — the three-band algorithm against the device's
@@ -43,6 +49,10 @@ from repro.core.priority import PriorityPolicy
 from repro.core.three_band import BandAction, BandDecision
 from repro.core.thresholds import control_thresholds_w
 from repro.errors import RpcError
+from repro.estimation.disaggregator import (
+    PowerDisaggregator,
+    uncertainty_margin_w,
+)
 from repro.power.device import PowerDevice
 from repro.rpc.transport import Transport
 from repro.server.sensor import PowerSensor
@@ -193,6 +203,23 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._last_readings: dict[str, PowerReading] = {}
         self._capped_servers: dict[str, float] = {}
         self._fail_safe_engaged = False
+        # Disaggregation estimator (degraded-sensing subsystem).  Public
+        # so the attribution CLI and serve views can inspect the fitted
+        # models; None when estimation is disabled in config or the
+        # fleet has no device metering (Dynamo detaches it then).
+        self.estimator: PowerDisaggregator | None = (
+            PowerDisaggregator(self.config.estimation)
+            if self.config.estimation.enabled
+            else None
+        )
+        # Device-metered total stashed at sense time on disaggregated
+        # cycles, so aggregate() can report the signed estimation error
+        # against the simulated ground truth.
+        self._cycle_metered_w = 0.0
+        # The most recent successful sense result (scalar list or
+        # BatchedSense), for per-service attribution of the last cycle
+        # including stale and disaggregated readings.
+        self._last_sensed: "list[PowerReading] | BatchedSense | None" = None
         self._components: list[NonServerComponent] = []
         self._actuation_successes = 0
         self._actuation_failures = 0
@@ -286,6 +313,16 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             self._endpoint_cache_key = key
         return self._endpoint_cache
 
+    def disable_estimation(self) -> None:
+        """Detach the disaggregation estimator.
+
+        Called by Dynamo when the fleet reports no device metering
+        (``FleetConfig.device_metering`` False): without a breaker-side
+        reading there is no residual to disaggregate, so degraded
+        sensing falls back to the paper's abort-and-alert rule.
+        """
+        self.estimator = None
+
     def add_component(self, component: NonServerComponent) -> None:
         """Register a monitored non-server load on this breaker."""
         self._components.append(component)
@@ -345,19 +382,16 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             else:
                 unresolved.append(server_id)
         trace.pulls_stale = len(stale_served)
-        if self.server_ids and (
-            len(unresolved) / len(self.server_ids)
-            > self.config.max_reading_failure_fraction
-        ):
-            self.alerts.raise_alert(
-                now_s,
-                Severity.CRITICAL,
-                self.name,
-                f"power aggregation invalid: {len(unresolved)}/"
-                f"{len(self.server_ids)} pulls failed; human intervention "
-                "required",
+        n = len(self.server_ids)
+        if n:
+            trace.coverage_fraction = 1.0 - len(unresolved) / n
+        if n and len(unresolved) / n > self.config.max_reading_failure_fraction:
+            if not self._can_disaggregate(trace.coverage_fraction):
+                self._raise_aggregation_invalid(now_s, len(unresolved))
+                return None
+            return self._sense_disaggregated(
+                results, stale_served, unresolved, now_s, trace
             )
-            return None
         readings = self._readings_buf
         readings.clear()
         by_service_power = self._by_service_buf
@@ -367,13 +401,136 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             readings.append(reading)
             self._last_readings[reading.server_id] = reading
             by_service_power[reading.service].append(reading.power_w)
+        if self.estimator is not None:
+            # Healthy (or merely below-threshold) cycle: fit the
+            # per-service models from the live measurements so they are
+            # ready the moment sensing collapses.  Reads values only —
+            # no RNG, no reading mutation — so enabling estimation
+            # leaves healthy cycles bit-identical.
+            self.estimator.observe_cycle(
+                (r.server_id, r.power_w, r.service) for r in readings
+            )
         readings.extend(stale_served)
         for server_id in unresolved:
             readings.append(
                 self._estimate_failed_reading(server_id, by_service_power, now_s)
             )
         trace.pulls_estimated = len(unresolved)
+        self._last_sensed = readings
         return readings
+
+    def last_cycle_readings(self) -> list[PowerReading]:
+        """The latest cycle's full reading set, any provenance.
+
+        Measured, stale-served, and estimated/disaggregated readings
+        alike — the attribution CLI's input.  Falls back to the
+        last-known-good cache before the first successful cycle.
+        """
+        sensed = self._last_sensed
+        if sensed is None:
+            return [reading for _, reading in self._iter_last_readings()]
+        if isinstance(sensed, BatchedSense):
+            return sensed.readings()
+        return list(sensed)
+
+    def _can_disaggregate(self, coverage_fraction: float) -> bool:
+        """Whether the estimator can carry this over-threshold cycle."""
+        return (
+            self.estimator is not None
+            and coverage_fraction >= self.config.estimation.safe_coverage
+        )
+
+    def _raise_aggregation_invalid(self, now_s: float, unresolved: int) -> None:
+        """The paper's abort-and-alert rule (shared by both sense lanes)."""
+        self.alerts.raise_alert(
+            now_s,
+            Severity.CRITICAL,
+            self.name,
+            f"power aggregation invalid: {unresolved}/"
+            f"{len(self.server_ids)} pulls failed; human intervention "
+            "required",
+        )
+
+    def _sense_disaggregated(
+        self,
+        results: dict[str, PowerReading],
+        stale_served: list[PowerReading],
+        unresolved: list[str],
+        now_s: float,
+        trace: TraceBuilder,
+    ) -> list[PowerReading]:
+        """Over-threshold cycle carried by the disaggregation estimator.
+
+        Live measurements are consumed as usual (and still train the
+        models); stale-cache hits get an age-decayed confidence; the
+        dark remainder is reconstructed by distributing the
+        device-metering residual across dark servers in proportion to
+        the fitted models (:meth:`PowerDisaggregator.disaggregate`).
+        The estimates sum to the residual by construction, so the
+        un-inflated aggregate tracks the metered total.
+        """
+        estimator = self.estimator
+        assert estimator is not None
+        readings = self._readings_buf
+        readings.clear()
+        measured_sum = 0.0
+        for reading in results.values():
+            readings.append(reading)
+            self._last_readings[reading.server_id] = reading
+            measured_sum += reading.power_w
+        estimator.observe_cycle(
+            (r.server_id, r.power_w, r.service) for r in readings
+        )
+        ttl = self.config.reading_cache_ttl_s
+        for reading in stale_served:
+            reading = replace(
+                reading,
+                confidence=estimator.stale_confidence(
+                    now_s - reading.time_s, ttl
+                ),
+            )
+            readings.append(reading)
+            measured_sum += reading.power_w
+        dark: list[tuple[str, str]] = []
+        for server_id in unresolved:
+            last = self._last_readings.get(server_id)
+            service = last.service if last is not None else "unknown"
+            dark.append((server_id, service))
+        residual_w, metered_w = self._metering_residual_w(measured_sum)
+        for estimate in estimator.disaggregate(residual_w, dark):
+            readings.append(
+                PowerReading(
+                    server_id=estimate.server_id,
+                    power_w=estimate.power_w,
+                    estimated=True,
+                    service=estimate.service,
+                    time_s=now_s,
+                    confidence=estimate.confidence,
+                )
+            )
+        trace.pulls_estimated = len(unresolved)
+        trace.disaggregated = len(unresolved)
+        self._cycle_metered_w = metered_w
+        self._last_sensed = readings
+        return readings
+
+    def _metering_residual_w(self, measured_sum: float) -> tuple[float, float]:
+        """(residual to distribute over dark servers, metered device total).
+
+        The residual is the device/breaker metering minus fixed overhead,
+        monitored components, and every measured or stale-served server —
+        i.e. exactly the dark servers' combined draw in the simulated
+        world.  Clamped at zero: metering drift must never produce
+        negative server estimates.
+        """
+        metered_w = self.device.power_w()
+        residual_w = (
+            metered_w
+            - self.device.fixed_overhead_w
+            - sum(c.power_w() for c in self._components)
+            - measured_sum
+        )
+        return max(residual_w, 0.0), metered_w
 
     def _estimate_failed_reading(
         self,
@@ -435,17 +592,15 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             else:
                 unresolved.append(p)
         trace.pulls_stale = len(stale_served)
-        if self.server_ids and (
+        if n:
+            trace.coverage_fraction = 1.0 - len(unresolved) / n
+        over_threshold = bool(n) and (
             len(unresolved) / n > self.config.max_reading_failure_fraction
+        )
+        if over_threshold and not self._can_disaggregate(
+            trace.coverage_fraction
         ):
-            self.alerts.raise_alert(
-                now_s,
-                Severity.CRITICAL,
-                self.name,
-                f"power aggregation invalid: {len(unresolved)}/"
-                f"{n} pulls failed; human intervention "
-                "required",
-            )
+            self._raise_aggregation_invalid(now_s, len(unresolved))
             return None
         if group is not None:
             values = group.powers
@@ -469,15 +624,89 @@ class LeafPowerController(BaseController[list[PowerReading]]):
             self._last_time[fast] = now_s
             self._last_est[fast] = False
             self._last_has[fast] = True
-        estimated = [
-            self._estimate_failed_position(p, values, success, now_s)
-            for p in unresolved
-        ]
-        trace.pulls_estimated = len(unresolved)
-        return BatchedSense(
+        if self.estimator is not None:
+            # Same model fit as the scalar lane: measured successes in
+            # broadcast position order (== the scalar results order).
+            self.estimator.observe_cycle(
+                (
+                    self.server_ids[p],
+                    float(values[p]),
+                    self._pos_service[p],
+                )
+                for p in map(int, np.flatnonzero(success))
+            )
+        if over_threshold:
+            stale_served, estimated = self._disaggregate_batched(
+                values, success, stale_served, unresolved, now_s, trace
+            )
+        else:
+            estimated = [
+                self._estimate_failed_position(p, values, success, now_s)
+                for p in unresolved
+            ]
+            trace.pulls_estimated = len(unresolved)
+        sensed = BatchedSense(
             self, now_s, values, success, scalar_readings, stale_served,
             estimated,
         )
+        self._last_sensed = sensed
+        return sensed
+
+    def _disaggregate_batched(
+        self,
+        values: np.ndarray,
+        success: np.ndarray,
+        stale_served: list[PowerReading],
+        unresolved: list[int],
+        now_s: float,
+        trace: TraceBuilder,
+    ) -> tuple[list[PowerReading], list[PowerReading]]:
+        """Array-cache twin of :meth:`_sense_disaggregated`.
+
+        The measured sum is a left-to-right cumsum over successes in
+        broadcast position order followed by the stale-served readings
+        — bitwise-equal to the scalar lane's running sum — so both
+        control backends hand the estimator the identical residual.
+        """
+        estimator = self.estimator
+        assert estimator is not None
+        parts = np.concatenate(
+            (
+                values[success],
+                [r.power_w for r in stale_served],
+            )
+        )
+        measured_sum = float(np.cumsum(parts)[-1]) if parts.size else 0.0
+        ttl = self.config.reading_cache_ttl_s
+        stale_out = [
+            replace(
+                reading,
+                confidence=estimator.stale_confidence(
+                    now_s - reading.time_s, ttl
+                ),
+            )
+            for reading in stale_served
+        ]
+        dark: list[tuple[str, str]] = []
+        for p in unresolved:
+            service = self._pos_service[p] if self._last_has[p] else "unknown"
+            dark.append((self.server_ids[p], service))
+        residual_w, metered_w = self._metering_residual_w(measured_sum)
+        estimated = [
+            PowerReading(
+                server_id=estimate.server_id,
+                power_w=estimate.power_w,
+                estimated=True,
+                service=estimate.service,
+                time_s=now_s,
+                confidence=estimate.confidence,
+            )
+            for estimate in estimator.disaggregate(residual_w, dark)
+        ]
+        trace.pulls_estimated = len(unresolved)
+        trace.disaggregated = len(unresolved)
+        self._cycle_metered_w = metered_w
+        return stale_out, estimated
 
     def _estimate_failed_position(
         self,
@@ -520,14 +749,36 @@ class LeafPowerController(BaseController[list[PowerReading]]):
     def aggregate(
         self, sensed: list[PowerReading], now_s: float, trace: TraceBuilder
     ) -> float:
-        """Sum server readings, fixed overhead, and component draws."""
+        """Sum server readings, fixed overhead, and component draws.
+
+        On disaggregated cycles the sum is additionally inflated by the
+        uncertain readings' margin (power weighted by lost confidence,
+        scaled by ``estimation.uncertainty_inflation``): the controller
+        caps against an over-estimate, never an under-estimate, while
+        sensors are dark.  The signed gap between the inflated aggregate
+        and the metered ground truth lands in the trace so campaigns can
+        report the margin.
+        """
         if isinstance(sensed, BatchedSense):
             aggregate = sensed.total_power_w() + self.device.fixed_overhead_w
         else:
             aggregate = (
                 sum(r.power_w for r in sensed) + self.device.fixed_overhead_w
             )
-        aggregate += sum(c.power_w() for c in self._components)
+        components_w = sum(c.power_w() for c in self._components)
+        aggregate += components_w
+        if trace.disaggregated:
+            uncertain = (
+                sensed.stale_served + sensed.estimated
+                if isinstance(sensed, BatchedSense)
+                else sensed
+            )
+            aggregate += uncertainty_margin_w(
+                uncertain, self.config.estimation.uncertainty_inflation
+            )
+            trace.estimation_error_w = aggregate - (
+                self._cycle_metered_w + components_w
+            )
         return aggregate
 
     # ------------------------------------------------------------------
@@ -781,6 +1032,9 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         state["actuation_successes"] = self._actuation_successes
         state["actuation_failures"] = self._actuation_failures
         state["capped_count_series"] = self.capped_count_series.snapshot_state()
+        state["estimator"] = (
+            None if self.estimator is None else self.estimator.snapshot_state()
+        )
         return state
 
     def restore_state(self, state: dict) -> None:
@@ -816,6 +1070,12 @@ class LeafPowerController(BaseController[list[PowerReading]]):
         self._actuation_successes = int(state["actuation_successes"])
         self._actuation_failures = int(state["actuation_failures"])
         self.capped_count_series.restore_state(state["capped_count_series"])
+        # Estimator model state (absent in pre-estimation snapshots; a
+        # mid-blackout snapshot must restore the fitted models or the
+        # resumed run would re-learn from scratch while dark).
+        estimator_state = state.get("estimator")
+        if self.estimator is not None and estimator_state is not None:
+            self.estimator.restore_state(estimator_state)
         if self._batch is not None:
             self._last_has[:] = False
             self._last_est[:] = False

@@ -22,6 +22,12 @@ class PowerReading:
         time_s: simulation time of the reading.
         stale: True when the value was served from the controller's
             last-known-good cache because this cycle's pull failed.
+        confidence: how much the aggregation trusts this value.
+            Measured readings carry 1.0; under degraded sensing, stale
+            cache hits decay with age and disaggregation estimates
+            derive theirs from the model's fit error.  Anything below
+            1.0 contributes uncertainty margin to the inflated
+            aggregate (never under-cap).
     """
 
     server_id: str
@@ -31,6 +37,7 @@ class PowerReading:
     time_s: float
     breakdown: PowerBreakdown | None = None
     stale: bool = False
+    confidence: float = 1.0
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,35 @@
+"""Online power disaggregation: capping when sensors go dark.
+
+The paper's rule for widespread sensor loss is abort-and-alert; this
+package is the ROADMAP's WattScope-direction answer: fit per-service
+power models while sensing is healthy, then reconstruct dark servers
+from the device-metering residual so the leaf controller can keep
+capping — against an uncertainty-inflated total, in the
+SENSOR_DEGRADED posture — instead of leaving the breaker unprotected.
+"""
+
+from repro.estimation.attribution import (
+    ServiceAttribution,
+    attribute_leaf,
+    render_attribution,
+)
+from repro.estimation.disaggregator import (
+    MAX_ESTIMATE_CONFIDENCE,
+    PowerDisaggregator,
+    ServerEstimate,
+    ServiceModel,
+    ServerState,
+    uncertainty_margin_w,
+)
+
+__all__ = [
+    "MAX_ESTIMATE_CONFIDENCE",
+    "PowerDisaggregator",
+    "ServerEstimate",
+    "ServiceAttribution",
+    "ServiceModel",
+    "ServerState",
+    "attribute_leaf",
+    "render_attribution",
+    "uncertainty_margin_w",
+]

@@ -85,6 +85,14 @@ def controller_view(name: str, controller: Any) -> dict:
         "mode": "n/a" if machine is None else machine.mode.value,
         **extra,
     }
+    last_trace = getattr(instance, "last_trace", None)
+    if last_trace is not None:
+        # Sensing-coverage posture from the latest control cycle (the
+        # degraded-sensing subsystem's observable surface).
+        view["coverage_fraction"] = last_trace.coverage_fraction
+        view["pulls_disaggregated"] = last_trace.disaggregated
+        if last_trace.disaggregated:
+            view["estimation_error_w"] = last_trace.estimation_error_w
     return view
 
 
@@ -131,6 +139,7 @@ def health_view(session: Session) -> dict:
         "modes": dynamo.operating_modes(),
         "safe_mode_entries": dynamo.safe_mode_entries(),
         "degraded_mode_entries": dynamo.degraded_mode_entries(),
+        "sensor_degraded_entries": dynamo.sensor_degraded_entries(),
         "quarantined": dynamo.health.quarantined_endpoints(now_s),
         "endpoints": endpoints,
         "pending_serve_faults": session.pending_fault_specs(),

@@ -57,6 +57,15 @@ class TickTrace:
     pulls_stale: int = 0
     #: The controller's operating posture when the tick ran.
     mode: str = "normal"
+    #: Fraction of pulls resolved by measurement or the stale cache
+    #: (1.0 on fully healthy cycles).
+    coverage_fraction: float = 1.0
+    #: Dark servers reconstructed by the disaggregation estimator.
+    disaggregated: int = 0
+    #: Signed error of the (inflated) aggregate versus the simulated
+    #: ground truth, on disaggregated cycles; >= 0 means the margin
+    #: held and the controller could not under-cap.
+    estimation_error_w: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -90,6 +99,12 @@ class TickTrace:
         # legacy (and golden-fingerprint) renders stay byte-identical.
         stale = f" stale={self.pulls_stale}" if self.pulls_stale else ""
         mode = f" mode={self.mode}" if self.mode != "normal" else ""
+        disagg = (
+            f" cov={self.coverage_fraction:.2f}"
+            f" esterr={self.estimation_error_w:.1f}W"
+            if self.disaggregated
+            else ""
+        )
         return (
             f"{self.time_s:.3f} {self.controller} [{self.kind}] {self.action}"
             f" {flags} pulls={self.pulls_attempted - self.pulls_failed}"
@@ -97,7 +112,7 @@ class TickTrace:
             f" agg={aggregate}W limit={limit}W"
             f" cut={self.cut_requested_w:.1f}/{self.cut_allocated_w:.1f}W"
             f" act={self.actuation_successes}+{self.actuation_failures}f"
-            f" capped={self.capped_after}{stale}{mode}"
+            f" capped={self.capped_after}{stale}{mode}{disagg}"
         )
 
 
@@ -130,6 +145,9 @@ class TraceBuilder:
     detail: str = ""
     pulls_stale: int = 0
     mode: str = "normal"
+    coverage_fraction: float = 1.0
+    disaggregated: int = 0
+    estimation_error_w: float = 0.0
 
     def finish(self) -> TickTrace:
         """Freeze the draft into an immutable :class:`TickTrace`."""
@@ -159,6 +177,9 @@ class TraceBuilder:
             detail=self.detail,
             pulls_stale=self.pulls_stale,
             mode=self.mode,
+            coverage_fraction=self.coverage_fraction,
+            disaggregated=self.disaggregated,
+            estimation_error_w=self.estimation_error_w,
         )
 
 
@@ -175,6 +196,9 @@ class TraceMetrics:
     pulls_failed: int = 0
     pulls_estimated: int = 0
     pulls_stale: int = 0
+    pulls_disaggregated: int = 0
+    min_coverage_fraction: float = 1.0
+    max_estimation_error_w: float = 0.0
     cut_requested_w: float = 0.0
     cut_allocated_w: float = 0.0
     actuation_successes: int = 0
@@ -201,6 +225,14 @@ class TraceMetrics:
                 f"/{self.pulls_failed}/{self.pulls_estimated}",
             ),
             ("stale reads served", str(self.pulls_stale)),
+            ("pulls disaggregated", str(self.pulls_disaggregated)),
+            ("min sensing coverage", f"{self.min_coverage_fraction:.2f}"),
+            (
+                "max estimation error",
+                "-"
+                if self.pulls_disaggregated == 0
+                else f"{self.max_estimation_error_w:.1f} W",
+            ),
             (
                 "watts requested vs allocated",
                 f"{self.cut_requested_w:.1f} / {self.cut_allocated_w:.1f}",
@@ -287,6 +319,14 @@ class TraceBuffer:
             pulls_failed=sum(t.pulls_failed for t in traces),
             pulls_estimated=sum(t.pulls_estimated for t in traces),
             pulls_stale=sum(t.pulls_stale for t in traces),
+            pulls_disaggregated=sum(t.disaggregated for t in traces),
+            min_coverage_fraction=min(
+                t.coverage_fraction for t in traces
+            ),
+            max_estimation_error_w=max(
+                (abs(t.estimation_error_w) for t in traces if t.disaggregated),
+                default=0.0,
+            ),
             cut_requested_w=sum(t.cut_requested_w for t in traces),
             cut_allocated_w=sum(t.cut_allocated_w for t in traces),
             actuation_successes=sum(t.actuation_successes for t in traces),

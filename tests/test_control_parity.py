@@ -36,6 +36,7 @@ def build_parity_run(
     seed: int = SEED,
     physics_backend: str = "scalar",
     control_backend: str = "scalar",
+    estimation: bool = False,
 ):
     """A deterministic two-suite deployment with faults and a squeeze."""
     engine = SimulationEngine()
@@ -56,7 +57,23 @@ def build_parity_run(
         [ServiceAllocation("web", 32), ServiceAllocation("cache", 16)],
         rng,
     )
-    dynamo = Dynamo(engine, topology, fleet, rng_streams=rng.fork("dynamo"))
+    config = None
+    if estimation:
+        from repro.config import (
+            ControllerConfig,
+            DynamoConfig,
+            EstimationConfig,
+        )
+
+        config = DynamoConfig(
+            controller=ControllerConfig(
+                estimation=EstimationConfig(enabled=True)
+            )
+        )
+    dynamo = Dynamo(
+        engine, topology, fleet, config=config,
+        rng_streams=rng.fork("dynamo"),
+    )
     driver = FleetDriver(
         engine, topology, fleet, physics_backend=physics_backend
     )
@@ -94,10 +111,11 @@ def run_and_fingerprint(
     end_s: float = END_S,
     physics_backend: str = "scalar",
     control_backend: str = "scalar",
+    estimation: bool = False,
 ) -> str:
     """Run the scenario and render the behaviour fingerprint."""
     engine, dynamo, driver, orchestrator = build_parity_run(
-        seed, physics_backend, control_backend
+        seed, physics_backend, control_backend, estimation
     )
     ticks: list[str] = []
 
@@ -180,6 +198,59 @@ def test_vectorized_control_matches_golden_fingerprint():
     assert current == golden, (
         "batched control plane diverged from the scalar golden; the "
         "group broadcast must be bit-identical to per-endpoint calls"
+    )
+
+
+def test_estimation_enabled_matches_golden_fingerprint():
+    """Enabling the disaggregation estimator is invisible while healthy.
+
+    The parity scenario's agent crash keeps the failure fraction under
+    the 20% threshold, so the estimator only *trains* — it draws no
+    randomness, mutates no readings, and adds no trace output — and the
+    fingerprint must stay byte-identical to the estimation-off golden.
+    """
+    golden = GOLDEN_PATH.read_text()
+    current = run_and_fingerprint(estimation=True)
+    assert current == golden, (
+        "enabling estimation changed behaviour on a healthy run; the "
+        "estimator must be a pure observer below the failure threshold"
+    )
+
+
+def _blackout_fingerprint(physics_backend: str, control_backend: str) -> str:
+    """Per-tick fingerprint of the dark row's controller in a blackout."""
+    from repro.chaos.scenarios import sensor_blackout_50
+
+    run = sensor_blackout_50(
+        seed=7,
+        physics_backend=physics_backend,
+        control_backend=control_backend,
+    )
+    run.run()
+    dynamo = run.dynamo
+    lines = [t.render() for t in dynamo.traces.for_controller("rpp0")]
+    lines.append(
+        f"cap={dynamo.total_cap_events()} "
+        f"uncap={dynamo.total_uncap_events()} "
+        f"sensor_degraded={dynamo.sensor_degraded_entries()} "
+        f"safe={dynamo.safe_mode_entries()}"
+    )
+    return "\n".join(lines)
+
+
+def test_blackout_parity_across_control_backends():
+    """Scalar and vectorized sense lanes agree through a 50% blackout.
+
+    Stale-cache serving, the failure-fraction threshold, estimator
+    training, residual disaggregation, and the uncertainty-inflated
+    aggregate must all be bit-identical between the per-endpoint
+    broadcast and the batched control plane — every rendered tick
+    (including coverage and estimation-error fields) byte-for-byte.
+    """
+    scalar = _blackout_fingerprint("scalar", "scalar")
+    batched = _blackout_fingerprint("vectorized", "vectorized")
+    assert scalar == batched, (
+        "degraded-sensing behaviour diverged between control backends"
     )
 
 
