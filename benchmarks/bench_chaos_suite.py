@@ -174,7 +174,18 @@ def test_chaos_sensor_blackout_campaign(once, bench_report):
             "cap_events": oracle_score.cap_events,
         },
     }
-    bench_report("chaos_sensor_blackout", report)
+    bench_report(
+        "chaos_sensor_blackout",
+        report,
+        knobs={
+            "scenarios": [
+                "sensor-blackout-50",
+                "sensor-blackout-70",
+                "sensor-blackout-oracle",
+            ],
+            "seed": 7,
+        },
+    )
     print(
         f"blackout-50 margin over ground truth: "
         f"{report['blackout_50']['min_margin_w']:.1f}.."

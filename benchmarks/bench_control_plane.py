@@ -89,7 +89,11 @@ def _compare(servers: int, cycles: int) -> dict:
 
 def test_control_plane_speedup_1k(once, bench_report):
     result = once(lambda: _compare(_sized(1_000), cycles=10))
-    bench_report("control_plane", {"control_1k": result})
+    bench_report(
+        "control_plane",
+        {"control_1k": result},
+        knobs={"seed": 0, "scale": _SCALE, "physics_backend": "vectorized"},
+    )
     print(
         f"\n{result['servers']} servers: control "
         f"{result['scalar_control_ms_per_tick']:.2f} ms/tick scalar, "
@@ -105,7 +109,11 @@ def test_control_plane_speedup_1k(once, bench_report):
 
 def test_control_plane_speedup_10k(once, bench_report):
     result = once(lambda: _compare(_sized(10_000), cycles=5))
-    bench_report("control_plane", {"control_10k": result})
+    bench_report(
+        "control_plane",
+        {"control_10k": result},
+        knobs={"seed": 0, "scale": _SCALE, "physics_backend": "vectorized"},
+    )
     print(
         f"\n{result['servers']} servers: control "
         f"{result['scalar_control_ms_per_tick']:.2f} ms/tick scalar, "
@@ -123,7 +131,11 @@ def test_control_plane_full_tick_100k(once, bench_report):
     result = once(
         lambda: _time_world(_sized(100_000), "vectorized", cycles=3)
     )
-    bench_report("control_plane", {"control_100k": result})
+    bench_report(
+        "control_plane",
+        {"control_100k": result},
+        knobs={"seed": 0, "scale": _SCALE, "physics_backend": "vectorized"},
+    )
     print(
         f"\n{result['servers']} servers: full tick "
         f"{result['full_tick_ms']:.0f} ms (physics "

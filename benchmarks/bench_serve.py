@@ -129,7 +129,11 @@ def test_bench_serve_concurrent_load(once, bench_report, tmp_path):
         "latency_p50_ms": round(1e3 * _percentile(latencies, 0.50), 3),
         "latency_p99_ms": round(1e3 * _percentile(latencies, 0.99), 3),
     }
-    bench_report("serve", report)
+    bench_report(
+        "serve",
+        report,
+        knobs={"seed": SEED, "warmup_s": WARMUP_S, "builder": "quickstart"},
+    )
     print()
     for key, value in report.items():
         print(f"{key}: {value}")

@@ -84,4 +84,8 @@ def test_bench_warm_start_sweep_vs_cold_runs(once, bench_report, tmp_path):
     # even when the one-time capture cost is charged against it.
     assert report["speedup_including_capture"] >= 2.0
     assert report["branch_fingerprints_distinct"] == BRANCHES
-    bench_report("snapshot", report)
+    bench_report(
+        "snapshot",
+        report,
+        knobs={"seed": SEED, "builder": "quickstart", "branches": BRANCHES},
+    )

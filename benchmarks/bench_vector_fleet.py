@@ -94,7 +94,11 @@ def _measure(n: int, ticks: int) -> dict:
 
 def test_vector_fleet_speedup_1k(once, bench_report):
     result = once(lambda: _measure(1_000, ticks=60))
-    bench_report("vector_fleet", {"fleet_1k": result})
+    bench_report(
+        "vector_fleet",
+        {"fleet_1k": result},
+        knobs={"seed": 0, "service_mix": dict(_MIX)},
+    )
     print(
         f"\n1k servers: scalar {result['scalar_ms_per_tick']:.2f} ms/tick, "
         f"vectorized {result['vectorized_ms_per_tick']:.2f} ms/tick, "
@@ -108,7 +112,11 @@ def test_vector_fleet_speedup_1k(once, bench_report):
 
 def test_vector_fleet_speedup_10k(once, bench_report):
     result = once(lambda: _measure(10_000, ticks=15))
-    bench_report("vector_fleet", {"fleet_10k": result})
+    bench_report(
+        "vector_fleet",
+        {"fleet_10k": result},
+        knobs={"seed": 0, "service_mix": dict(_MIX)},
+    )
     print(
         f"\n10k servers: scalar {result['scalar_ms_per_tick']:.2f} ms/tick, "
         f"vectorized {result['vectorized_ms_per_tick']:.2f} ms/tick, "

@@ -31,7 +31,14 @@ def once(benchmark):
 # Machine-readable reports
 # ---------------------------------------------------------------------------
 
+#: Bumped whenever the report envelope changes shape.  Version 2 wraps
+#: every payload in ``{"schema_version", "knobs", "results"}`` so a
+#: consumer can tell at a glance which scenario/config produced the
+#: numbers it is about to compare.
+SCHEMA_VERSION = 2
+
 _REPORTS: dict[str, dict] = {}
+_KNOBS: dict[str, dict] = {}
 
 
 @pytest.fixture
@@ -40,10 +47,15 @@ def bench_report():
 
     Reports accumulate across the session and are flushed once at exit,
     so a bench module can contribute several measurements to one file.
+    Pass ``knobs`` (scenario name, seed, backend, fleet size, …) to
+    stamp the provenance of the numbers into the report envelope;
+    repeated calls merge their knobs.
     """
 
-    def record(name: str, payload: dict) -> None:
+    def record(name: str, payload: dict, *, knobs: dict | None = None) -> None:
         _REPORTS.setdefault(name, {}).update(payload)
+        if knobs:
+            _KNOBS.setdefault(name, {}).update(knobs)
 
     return record
 
@@ -51,7 +63,12 @@ def bench_report():
 def pytest_sessionfinish(session, exitstatus):
     """Flush collected reports next to the invocation directory."""
     for name, payload in _REPORTS.items():
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "knobs": _KNOBS.get(name, {}),
+            "results": payload,
+        }
         Path(f"BENCH_{name}.json").write_text(
-            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            json.dumps(envelope, indent=1, sort_keys=True) + "\n",
             encoding="utf-8",
         )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A carbon/price-aware day, governed vs price-blind on the same seed.
+
+Dynamo decides *how much* power each rack may draw; the economics
+subsystem adds *when* it is cheapest and cleanest to draw it.  This
+example runs the ``price-spike-day`` scenario twice with identical
+physics and RNG streams:
+
+* **governed** — the :class:`EconomicGovernor` watches the price and
+  carbon signals, defers the Hadoop batch tier (utilization ceiling +
+  Turbo revocation) through the morning price spike, and trims band
+  headroom during the expensive evening ramp;
+* **price-blind** — the same governor only meters cost and carbon and
+  never acts: the counterfactual day.
+
+Three things to notice:
+
+1. The governed day is cheaper *and* cleaner — energy moved out of the
+   spike windows, not merely suppressed.
+2. The safety rows are identical: zero breaker trips, zero SAFE
+   entries, zero SLA-deadline misses on both sides.  Economics is
+   advisory; the breaker envelope always wins.
+3. The delta is attributable: governor ticks draw no randomness, so
+   both runs share byte-identical workload/noise streams and the only
+   difference is governing.
+
+Run:  python examples/carbon_aware_day.py     (~60 s)
+"""
+
+from repro.economics import (
+    build_econ_scorecard,
+    render_econ_scorecard,
+    run_econ_day,
+)
+from repro.units import hours
+
+SCENARIO = "price-spike-day"
+SEED = 3
+#: Ten hours spans the morning price spike (08:00-10:00) without the
+#: full-day runtime; bump to 24.0 for the whole diurnal cycle.
+HOURS = 10.0
+
+
+def main() -> None:
+    scores = {}
+    for governed in (True, False):
+        label = "governed" if governed else "price-blind"
+        print(f"running the {label} day ({SCENARIO}, seed {SEED})...")
+        world = run_econ_day(
+            SCENARIO, seed=SEED, governed=governed, duration_s=hours(HOURS)
+        )
+        scores[label] = build_econ_scorecard(world)
+
+    governed, blind = scores["governed"], scores["price-blind"]
+    print()
+    print(render_econ_scorecard(governed, blind))
+    print()
+
+    cost_delta = blind.cost - governed.cost
+    carbon_delta_g = 1000.0 * (blind.carbon_kg - governed.carbon_kg)
+    print(
+        f"governing saved ${cost_delta:.2f} "
+        f"({cost_delta / blind.cost:.1%}) and {carbon_delta_g:.0f} gCO2 "
+        f"({carbon_delta_g / (1000.0 * blind.carbon_kg):.1%}) "
+        f"over {HOURS:.0f} h"
+    )
+    print(
+        f"safety (governed vs blind): trips {governed.breaker_trips} vs "
+        f"{blind.breaker_trips}, SAFE entries {governed.safe_entries} vs "
+        f"{blind.safe_entries}, SLA misses {governed.sla_deadline_misses} "
+        f"vs {blind.sla_deadline_misses}"
+    )
+
+    assert governed.cost < blind.cost
+    assert governed.carbon_kg < blind.carbon_kg
+    assert governed.breaker_trips == blind.breaker_trips == 0
+    assert governed.safe_entries == blind.safe_entries == 0
+    assert governed.sla_deadline_misses == blind.sla_deadline_misses == 0
+    print("\nadvisory economics: cheaper, cleaner, and exactly as safe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,10 @@ Named scenarios map to the paper's fault-tolerance claims:
                     estimate; at 70% coverage falls below the estimation
                     floor and the controller escalates to SAFE instead
                     of aborting silently.
+``price-spike-surge``  a power surge lands while the economic governor
+                    is shaping against an early price spike; breaker
+                    safety overrides advisory economics and nothing
+                    trips.
 ``breaker-derate``  the SB rating is derated mid-run; capping pulls the
                     load under the new limit.
 ``campaign``        a seeded random campaign over the whole catalogue.
@@ -48,6 +52,7 @@ from repro.chaos.faults import FaultSpec
 from repro.config import (
     ControllerConfig,
     DynamoConfig,
+    EconomicsConfig,
     EstimationConfig,
 )
 from repro.chaos.orchestrator import ChaosContext, ChaosOrchestrator
@@ -79,9 +84,12 @@ class ChaosRun:
     extras: dict = field(default_factory=dict)
 
     def start(self) -> None:
-        """Start the physical world and Dynamo."""
+        """Start the physical world, Dynamo, and any attached governor."""
         self.driver.start()
         self.dynamo.start()
+        governor = self.extras.get("governor")
+        if governor is not None:
+            governor.start()
 
     def run(self) -> None:
         """Start everything and run the schedule to completion."""
@@ -444,6 +452,49 @@ def sensor_blackout_70(
     )
 
 
+def price_spike_surge(
+    seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
+) -> ChaosRun:
+    """A power surge lands mid price-spike; breaker safety must win.
+
+    The economic governor is shaping bands against an early price spike
+    (minutes 5–20) when an outage-recovery surge hits the same window.
+    The drill asserts the precedence contract: advisory economics never
+    blocks capping — the hierarchy rides the surge out with zero trips
+    while the ledger still books the spike.
+    """
+    from repro.economics.governor import EconomicGovernor
+
+    specs = [
+        FaultSpec(
+            kind="power-surge",
+            start_s=420.0,
+            duration_s=600.0,
+            params={"multiplier": 1.6, "ramp_s": 120.0},
+        )
+    ]
+    config = DynamoConfig(
+        economics=EconomicsConfig(
+            enabled=True,
+            price_signal="price-spike-early",
+            carbon_signal="carbon-flat",
+        )
+    )
+    run = build_chaos_run(
+        "price-spike-surge",
+        specs,
+        seed=seed,
+        end_s=1800.0,
+        physics_backend=physics_backend,
+        control_backend=control_backend,
+        config=config,
+    )
+    run.extras["governor"] = EconomicGovernor(
+        run.engine, run.dynamo, run.fleet
+    )
+    return run
+
+
 def breaker_derate(
     seed: int = 7, *, physics_backend: str = "scalar", control_backend: str = "scalar"
 ) -> ChaosRun:
@@ -568,6 +619,7 @@ CHAOS_SCENARIOS: dict[str, Callable[..., ChaosRun]] = {
     "sensor-blackout-30": sensor_blackout_30,
     "sensor-blackout-50": sensor_blackout_50,
     "sensor-blackout-70": sensor_blackout_70,
+    "price-spike-surge": price_spike_surge,
     "breaker-derate": breaker_derate,
     "campaign": campaign,
 }

@@ -22,6 +22,10 @@ Usage::
     python -m repro profile quickstart --physics-backend vectorized
     python -m repro profile sb-outage --top 10
     python -m repro serve --port 8640
+    python -m repro econ price-spike-day --compare
+    python -m repro econ carbon-spike-day --hours 10 --seed 3
+    python -m repro signals list
+    python -m repro signals price-spike-day
 
 Each scenario prints a short report; exit code is 0 when the run's
 safety invariant (no breaker trips) holds.  Operational errors exit
@@ -340,9 +344,15 @@ def _run_snapshot(args: argparse.Namespace) -> int:
 
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.chaos import CHAOS_SCENARIOS
+    from repro.economics.scenarios import ECON_SCENARIOS, run_econ_day
 
     if args.scenario == "quickstart":
         dynamo, _, _ = _quickstart_deployment(args.seed, args.duration_h)
+    elif args.scenario in ECON_SCENARIOS:
+        world = run_econ_day(
+            args.scenario, seed=args.seed, duration_s=hours(args.duration_h)
+        )
+        dynamo = world.dynamo
     else:
         run = CHAOS_SCENARIOS[args.scenario](seed=args.seed)
         run.run()
@@ -483,10 +493,16 @@ def _run_health(args: argparse.Namespace) -> int:
     from repro.core.agent import agent_endpoint
     from repro.core.failover import FailoverController
     from repro.core.remote import controller_endpoint
+    from repro.economics.scenarios import ECON_SCENARIOS, run_econ_day
     from repro.errors import ConfigurationError
 
     if args.scenario == "quickstart":
         dynamo, _, _ = _quickstart_deployment(args.seed, args.duration_h)
+    elif args.scenario in ECON_SCENARIOS:
+        world = run_econ_day(
+            args.scenario, seed=args.seed, duration_s=hours(args.duration_h)
+        )
+        dynamo = world.dynamo
     else:
         run = CHAOS_SCENARIOS[args.scenario](seed=args.seed)
         run.run()
@@ -550,6 +566,17 @@ def _run_health(args: argparse.Namespace) -> int:
         if dynamo.resilient_transport is not None:
             line += f" breaker={dynamo.resilient_transport.breaker_state(endpoint)}"
         print(f"  {line}")
+    governor = dynamo.economics
+    if governor is not None:
+        summary = governor.ledger.summary()
+        print(
+            f"economics: score={governor.last_score:.2f} "
+            f"deferring={'yes' if governor.deferring else 'no'} "
+            f"cost=${summary['cost']:.2f} "
+            f"carbon={summary['carbon_kg']:.1f} kgCO2 "
+            f"deferred={summary['deferred_energy_kwh']:.2f} kWh "
+            f"sla_misses={summary['sla_deadline_misses']}"
+        )
     return 0
 
 
@@ -590,6 +617,88 @@ def _run_attribute(args: argparse.Namespace) -> int:
         )
         return 1
     print(render_attribution(args.device, attribute_leaf(instance)))
+    return 0
+
+
+def _run_econ(args: argparse.Namespace) -> int:
+    """Run an economics scenario and render its cost/carbon scorecard.
+
+    ``--compare`` runs the governed day and the price-blind day on the
+    same seed and renders them side by side, plus the savings delta;
+    the exit code then also requires the governed run to introduce no
+    extra breaker trips or SLA-deadline misses.
+    """
+    from repro.economics import (
+        build_econ_scorecard,
+        render_econ_scorecard,
+        run_econ_day,
+    )
+
+    duration_s = None if args.hours is None else hours(args.hours)
+    modes = [not args.blind]
+    if args.compare:
+        modes = [True, False]
+    scores = []
+    for governed in modes:
+        world = run_econ_day(
+            args.scenario,
+            seed=args.seed,
+            governed=governed,
+            duration_s=duration_s,
+            physics_backend=args.physics_backend,
+            control_backend=args.control_backend,
+        )
+        scores.append(build_econ_scorecard(world))
+    print(render_econ_scorecard(*scores))
+    failed = any(s.breaker_trips for s in scores)
+    if args.compare:
+        governed_score, blind = scores
+        print(
+            f"delta (governed - blind): "
+            f"${governed_score.cost - blind.cost:+.2f}, "
+            f"{governed_score.carbon_kg - blind.carbon_kg:+.1f} kgCO2, "
+            f"{governed_score.energy_kwh - blind.energy_kwh:+.1f} kWh"
+        )
+        safety_ok = (
+            governed_score.breaker_trips <= blind.breaker_trips
+            and governed_score.sla_deadline_misses
+            <= blind.sla_deadline_misses
+        )
+        print(
+            "safety: "
+            + (
+                "no additional trips or SLA-deadline misses"
+                if safety_ok
+                else "GOVERNED RUN ADDED TRIPS OR SLA MISSES"
+            )
+        )
+        failed = failed or not safety_ok
+    return 1 if failed else 0
+
+
+def _run_signals(args: argparse.Namespace) -> int:
+    """Summarize a named price/carbon series for scenario authoring."""
+    from repro.economics.signals import (
+        SIGNALS,
+        get_signal,
+        render_signal_summary,
+        summarize_signal,
+    )
+
+    if args.name == "list":
+        for name in sorted(SIGNALS):
+            signal = SIGNALS[name]
+            low, high = signal.bounds()
+            print(f"{name}: {low:g}..{high:g} {signal.unit}")
+        return 0
+    signal = get_signal(args.name)
+    summary = summarize_signal(
+        signal,
+        duration_s=hours(args.duration_h),
+        interval_s=args.interval_s,
+        window_s=hours(args.window_h),
+    )
+    print(render_signal_summary(summary))
     return 0
 
 
@@ -754,6 +863,9 @@ def build_parser() -> argparse.ArgumentParser:
     snap_sweep.add_argument(
         "--json", default=None, help="also write results to this JSON file"
     )
+    from repro.economics.scenarios import ECON_SCENARIOS
+    from repro.economics.signals import SIGNALS
+
     trace = sub.add_parser(
         "trace", help="per-tick control-cycle traces for one controller"
     )
@@ -761,7 +873,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--scenario",
         default="quickstart",
-        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+        choices=[
+            "quickstart",
+            *sorted(CHAOS_SCENARIOS),
+            *sorted(ECON_SCENARIOS),
+        ],
         help="scenario to run before dumping traces",
     )
     trace.add_argument("--seed", type=int, default=0)
@@ -821,7 +937,11 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument(
         "--scenario",
         default="quickstart",
-        choices=["quickstart", *sorted(CHAOS_SCENARIOS)],
+        choices=[
+            "quickstart",
+            *sorted(CHAOS_SCENARIOS),
+            *sorted(ECON_SCENARIOS),
+        ],
         help="scenario to run before reporting health",
     )
     health.add_argument("--seed", type=int, default=0)
@@ -841,6 +961,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attribute.add_argument("--seed", type=int, default=7)
     attribute.add_argument("--duration-h", type=float, default=0.25)
+    econ = sub.add_parser(
+        "econ",
+        help="run an economics scenario and print its cost/carbon "
+        "scorecard",
+    )
+    econ.add_argument(
+        "scenario",
+        nargs="?",
+        default="price-spike-day",
+        choices=sorted(ECON_SCENARIOS),
+        help="economics scenario (default: price-spike-day)",
+    )
+    econ.add_argument("--seed", type=int, default=0)
+    econ.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        help="simulated hours (default: the scenario's full day)",
+    )
+    econ.add_argument(
+        "--blind",
+        action="store_true",
+        help="run the price-blind baseline (metering-only governor)",
+    )
+    econ.add_argument(
+        "--compare",
+        action="store_true",
+        help="run governed and price-blind on the same seed and render "
+        "both columns plus the savings delta",
+    )
+    econ.add_argument(
+        "--physics-backend",
+        default="scalar",
+        choices=PHYSICS_BACKENDS,
+        help="fleet physics implementation",
+    )
+    econ.add_argument(
+        "--control-backend",
+        default="scalar",
+        choices=CONTROL_BACKENDS,
+        help="control-plane dispatch",
+    )
+    signals = sub.add_parser(
+        "signals",
+        help="summarize a price/carbon series (or 'list' to enumerate)",
+    )
+    signals.add_argument(
+        "name",
+        choices=["list", *sorted(SIGNALS)],
+        help="signal name, or 'list' to enumerate the registry",
+    )
+    signals.add_argument(
+        "--duration-h",
+        type=float,
+        default=24.0,
+        help="summary horizon in simulated hours",
+    )
+    signals.add_argument(
+        "--interval-s",
+        type=float,
+        default=300.0,
+        help="sampling interval in seconds",
+    )
+    signals.add_argument(
+        "--window-h",
+        type=float,
+        default=1.0,
+        help="rolling window for cheapest/dirtiest-window detection",
+    )
     serve = sub.add_parser(
         "serve", help="host live simulation sessions over HTTP"
     )
@@ -879,6 +1068,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_health(args)
     if args.command == "attribute":
         return _run_attribute(args)
+    if args.command == "econ":
+        return _run_econ(args)
+    if args.command == "signals":
+        return _run_signals(args)
     if args.command == "serve":
         return _run_serve(args)
     return _RUNNERS[args.scenario](args)

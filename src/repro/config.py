@@ -132,6 +132,72 @@ class EstimationConfig:
 
 
 @dataclass(frozen=True)
+class EconomicsConfig:
+    """Price/carbon-aware headroom shaping (the economics subsystem).
+
+    When enabled, an :class:`~repro.economics.governor.EconomicGovernor`
+    periodically scores the moment's electricity price and grid carbon
+    intensity, and during expensive/dirty windows shapes *deferrable*
+    demand: batch workloads are deferred (utilization ceiling + Turbo
+    disabled) and leaf controllers receive tightened advisory three-band
+    configs via ``set_band_config``.  Shaping is advisory only — bands
+    are scaled by at most ``max_shaping`` and never loosened, SAFE /
+    SENSOR_DEGRADED postures take precedence, and deferral is bounded by
+    SLA deadline floors.
+
+    Disabled by default: economics-off runs are bit-identical to runs
+    built before the subsystem existed.
+    """
+
+    enabled: bool = False
+    #: How often the governor re-scores the signals and re-shapes.
+    governor_interval_s: float = 60.0
+    #: Named entries in :data:`repro.economics.signals.SIGNALS`.
+    price_signal: str = "price-diurnal"
+    carbon_signal: str = "carbon-diurnal"
+    #: Relative weights of the normalized price and carbon scores in the
+    #: composite (renormalized to sum to 1).
+    price_weight: float = 0.6
+    carbon_weight: float = 0.4
+    #: Composite score in [0, 1] above which shaping begins.
+    shape_threshold: float = 0.55
+    #: Deepest fractional cut water-filling may take from the fleet
+    #: demand budget; also the floor on advisory band scaling (bands
+    #: never scale below ``1 - max_shaping`` of baseline).
+    max_shaping: float = 0.25
+    #: Utilization ceiling applied to deferrable batch workloads while
+    #: their priority group is being shaped.
+    defer_ceiling: float = 0.40
+    #: SLA deadline window for deferred batch work.
+    sla_deadline_s: float = 86400.0
+    #: At most this fraction of a deadline window may be spent deferred;
+    #: beyond it the governor force-releases and counts a deadline miss.
+    sla_max_defer_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.governor_interval_s <= 0:
+            raise ConfigurationError("governor interval must be positive")
+        if not self.price_signal or not self.carbon_signal:
+            raise ConfigurationError("signal names cannot be empty")
+        if self.price_weight < 0 or self.carbon_weight < 0:
+            raise ConfigurationError("signal weights cannot be negative")
+        if self.price_weight + self.carbon_weight <= 0:
+            raise ConfigurationError("at least one signal weight must be > 0")
+        if not 0.0 <= self.shape_threshold < 1.0:
+            raise ConfigurationError("shape threshold must be within [0, 1)")
+        if not 0.0 < self.max_shaping < 1.0:
+            raise ConfigurationError("max shaping must be within (0, 1)")
+        if not 0.0 < self.defer_ceiling <= 1.0:
+            raise ConfigurationError("defer ceiling must be within (0, 1]")
+        if self.sla_deadline_s <= 0:
+            raise ConfigurationError("SLA deadline window must be positive")
+        if not 0.0 < self.sla_max_defer_fraction <= 1.0:
+            raise ConfigurationError(
+                "SLA max defer fraction must be within (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
 class CallPolicyConfig:
     """Per-call resilience policy: deadline, retries, backoff.
 
@@ -410,6 +476,7 @@ class DynamoConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     snapshot: SnapshotConfig = field(default_factory=SnapshotConfig)
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    economics: EconomicsConfig = field(default_factory=EconomicsConfig)
     # The paper skips rack-level controllers in the Facebook deployment
     # (footnote 2): leaf controllers sit at the RPP / PDU-breaker level.
     leaf_level: str = "rpp"

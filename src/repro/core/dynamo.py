@@ -9,6 +9,8 @@ construct a :class:`Dynamo`, call :meth:`start`, and run the engine.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.config import DynamoConfig
 from repro.core.agent import DynamoAgent
 from repro.core.agent_batch import AgentBatch
@@ -31,6 +33,9 @@ from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import RngStreams
 from repro.telemetry.alerts import AlertSink
 from repro.telemetry.tracing import TraceBuffer
+
+if TYPE_CHECKING:
+    from repro.economics.governor import EconomicGovernor
 
 
 class Dynamo:
@@ -90,6 +95,10 @@ class Dynamo:
         #: The batched control plane (``enable_vectorized_control``);
         #: None while the deployment runs the scalar reference path.
         self.agent_batch: AgentBatch | None = None
+        #: The economic governor, when one is attached
+        #: (:class:`~repro.economics.governor.EconomicGovernor` sets
+        #: this at construction); None for plain deployments.
+        self.economics: EconomicGovernor | None = None
         self.hierarchy: ControllerHierarchy = build_controller_hierarchy(
             topology,
             self.controller_transport,

@@ -1,0 +1,68 @@
+"""The economics subsystem: price/carbon-aware headroom shaping.
+
+Dynamo's controllers decide *how much* power to cut but never *when*
+power is worth spending.  This package adds that axis on top of the
+capping hierarchy, without ever loosening it:
+
+* :mod:`repro.economics.signals` — deterministic electricity-price and
+  grid-carbon-intensity time series (diurnal base + spike events, plus
+  a CSV replay reader), registered by name like workloads are.
+* :mod:`repro.economics.governor` — the :class:`EconomicGovernor` sits
+  above the upper controllers and shapes *deferrable* demand into
+  cheap/clean windows: batch workloads are deferred (utilization
+  ceiling + Turbo revoked) and leaf controllers receive tightened
+  advisory three-band configs, allocated by water-filling over priority
+  groups with SLA deadline floors.  Breaker safety, SAFE-mode
+  fail-safes, and SENSOR_DEGRADED posture always take precedence.
+* :mod:`repro.economics.ledger` — the cost/carbon ledger and scorecard
+  ($ and gCO₂ per interval, deferred-energy accounting, SLA-deadline
+  misses), parallel to the chaos robustness scorecard.
+* :mod:`repro.economics.scenarios` — recipe-built economics worlds
+  (``python -m repro econ <scenario>``).
+"""
+
+from repro.economics.governor import EconomicGovernor, GroupDemand, water_fill
+from repro.economics.ledger import (
+    CostCarbonLedger,
+    EconScore,
+    build_econ_scorecard,
+    render_econ_scorecard,
+)
+from repro.economics.scenarios import (
+    ECON_SCENARIOS,
+    build_econ_world,
+    run_econ_day,
+)
+from repro.economics.signals import (
+    SIGNALS,
+    DiurnalSignal,
+    ReplaySignal,
+    SpikeEvent,
+    get_signal,
+    normalized_score,
+    render_signal_summary,
+    seeded_spikes,
+    summarize_signal,
+)
+
+__all__ = [
+    "ECON_SCENARIOS",
+    "SIGNALS",
+    "CostCarbonLedger",
+    "DiurnalSignal",
+    "EconScore",
+    "EconomicGovernor",
+    "GroupDemand",
+    "ReplaySignal",
+    "SpikeEvent",
+    "build_econ_scorecard",
+    "build_econ_world",
+    "get_signal",
+    "normalized_score",
+    "render_econ_scorecard",
+    "render_signal_summary",
+    "run_econ_day",
+    "seeded_spikes",
+    "summarize_signal",
+    "water_fill",
+]

@@ -22,6 +22,7 @@ GET     /sessions/{id}/tree                    power-tree JSON (``?depth=``)
 GET     /sessions/{id}/controllers             every controller's state
 GET     /sessions/{id}/controllers/{name}      one controller
 GET     /sessions/{id}/health                  modes + endpoint health
+GET     /sessions/{id}/economics               governor posture + ledger
 POST    /sessions/{id}/band                    replace band thresholds
 POST    /sessions/{id}/faults                  inject a catalogue fault
 POST    /sessions/{id}/failover                enable/fail/restore a pair
@@ -59,6 +60,7 @@ from repro.serve.sessions import Session, SessionManager
 from repro.serve.views import (
     controller_view,
     controllers_view,
+    economics_view,
     health_view,
     session_view,
     tree_view,
@@ -178,6 +180,7 @@ class ServeApp:
                 self._controller,
             ),
             ("GET", _compile("/sessions/{sid}/health"), self._health),
+            ("GET", _compile("/sessions/{sid}/economics"), self._economics),
             ("POST", _compile("/sessions/{sid}/band"), self._band),
             ("POST", _compile("/sessions/{sid}/faults"), self._fault),
             ("POST", _compile("/sessions/{sid}/failover"), self._failover),
@@ -318,6 +321,11 @@ class ServeApp:
         session = self._session(sid)
         with session.lock:
             return json_response(health_view(session))
+
+    def _economics(self, request: Request, sid: str) -> Response:
+        session = self._session(sid)
+        with session.lock:
+            return json_response(economics_view(session))
 
     def _band(self, request: Request, sid: str) -> Response:
         payload = request.json()

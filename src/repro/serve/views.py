@@ -146,6 +146,43 @@ def health_view(session: Session) -> dict:
     }
 
 
+def economics_view(session: Session) -> dict:
+    """The economic governor's posture plus ledger totals.
+
+    Raises :class:`ValueError` when the session's world carries no
+    governor (mapped to 400 by the app layer); callers that want a
+    cheap presence probe should check ``session_view()["economics"]``.
+    """
+    world = session.world
+    governor = world.governor
+    if governor is None:
+        raise ValueError(
+            "session has no economic governor; build with the 'econ' recipe"
+        )
+    config = governor.config
+    last = governor.ledger.last_sample
+    view: dict[str, Any] = {
+        "time_s": world.now_s,
+        "shaping": governor.shaping,
+        "interval_s": governor.process.interval_s,
+        "price_signal": config.price_signal,
+        "carbon_signal": config.carbon_signal,
+        "deferring": governor.deferring,
+        "applied_band_scale": governor.applied_scale,
+        "last_score": governor.last_score,
+        "ledger": governor.ledger.summary(),
+    }
+    if last is not None:
+        view["last_sample"] = {
+            "time_s": last.time_s,
+            "price_per_kwh": last.price_per_kwh,
+            "carbon_g_per_kwh": last.carbon_g_per_kwh,
+            "power_w": last.power_w,
+            "shaped": last.shaped,
+        }
+    return view
+
+
 def session_view(session: Session) -> dict:
     """One session's summary row (the list/detail endpoints)."""
     world = session.world
@@ -161,6 +198,7 @@ def session_view(session: Session) -> dict:
         "cap_events": world.dynamo.total_cap_events(),
         "uncap_events": world.dynamo.total_uncap_events(),
         "trips": len(world.driver.trips),
+        "economics": world.governor is not None,
         "ticker": session.ticker.state(),
         "pending_serve_faults": len(session.pending_fault_specs()),
         "log_entries": len(session.log),

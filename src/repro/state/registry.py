@@ -82,6 +82,8 @@ def _world_processes(world: World) -> dict[str, PeriodicProcess]:
     add(world.dynamo.watchdog.process)
     if world.orchestrator is not None and world.orchestrator.probe is not None:
         add(world.orchestrator.probe)
+    if world.governor is not None:
+        add(world.governor.process)
     return processes
 
 
@@ -166,6 +168,10 @@ class SnapshotRegistry:
                 for label, process in _world_processes(world).items()
             },
         }
+        # Conditional key: worlds without a governor keep the exact
+        # pre-economics snapshot shape (golden fingerprints unchanged).
+        if world.governor is not None:
+            state["economics"] = world.governor.snapshot_state()
         self._check_pending_coverage(world, state)
         return WorldSnapshot(
             recipe=dict(world.recipe),
@@ -283,6 +289,14 @@ class SnapshotRegistry:
             )
         if world.orchestrator is not None:
             world.orchestrator.restore_state(state["orchestrator"])
+        captured_econ = state.get("economics")
+        if (captured_econ is None) != (world.governor is None):
+            raise SnapshotError(
+                "snapshot and rebuilt world disagree on the presence of "
+                "an economic governor; the recipe does not match"
+            )
+        if world.governor is not None:
+            world.governor.restore_state(captured_econ)
 
         self._rearm_schedules(world, state)
         return world

@@ -16,12 +16,16 @@ Builders:
 * ``chaos`` — any named scenario from
   :data:`repro.chaos.scenarios.CHAOS_SCENARIOS`, fully armed (fault
   schedule + health probe) and started.
+* ``econ`` — any named scenario from
+  :data:`repro.economics.scenarios.ECON_SCENARIOS`: the quickstart
+  shape plus a deferrable batch tier, governed (or metered) by an
+  :class:`~repro.economics.governor.EconomicGovernor`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.chaos.orchestrator import ChaosOrchestrator
 from repro.core.dynamo import Dynamo
@@ -30,6 +34,9 @@ from repro.fleet import Fleet, FleetDriver
 from repro.power.topology import PowerTopology
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import RngStreams
+
+if TYPE_CHECKING:
+    from repro.economics.governor import EconomicGovernor
 
 
 @dataclass
@@ -44,6 +51,7 @@ class World:
     driver: FleetDriver
     rng: RngStreams
     orchestrator: ChaosOrchestrator | None = None
+    governor: "EconomicGovernor | None" = None
     extras: dict = field(default_factory=dict)
 
     def run_until(self, end_s: float) -> None:
@@ -213,7 +221,31 @@ def build_chaos_world(
         driver=run.driver,
         rng=run.rng,
         orchestrator=run.orchestrator,
+        governor=run.extras.get("governor"),
         extras={"chaos_run": run, "end_s": run.end_s},
+    )
+
+
+def build_econ_world(
+    scenario: str = "price-spike-day",
+    seed: int = 0,
+    governed: bool = True,
+    physics_backend: str = "scalar",
+    control_backend: str = "scalar",
+) -> World:
+    """A named economics scenario, governed and started at t=0.
+
+    Thin registry wrapper; the real builder lives with the economics
+    package (imported lazily to keep this module cycle-free).
+    """
+    from repro.economics.scenarios import build_econ_world as build
+
+    return build(
+        scenario=scenario,
+        seed=seed,
+        governed=governed,
+        physics_backend=physics_backend,
+        control_backend=control_backend,
     )
 
 
@@ -221,6 +253,7 @@ WORLD_BUILDERS: dict[str, Callable[..., World]] = {
     "quickstart": build_quickstart_world,
     "sized": build_sized_world,
     "chaos": build_chaos_world,
+    "econ": build_econ_world,
 }
 
 

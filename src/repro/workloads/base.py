@@ -212,6 +212,20 @@ class StochasticWorkload:
             value = modifier.apply(now_s, value)
         return min(1.0, max(0.0, value))
 
+    def extra_state(self) -> dict:
+        """Subclass-specific mutable state beyond noise/bursts.
+
+        Subclasses whose ``base_utilization`` carries lazily-advanced
+        state (e.g. hadoop's job phases) override this pair so snapshots
+        capture it.  The default is empty, and an empty dict is omitted
+        from the snapshot entirely — workloads without extra state keep
+        the exact historical snapshot shape.
+        """
+        return {}
+
+    def restore_extra_state(self, state: dict) -> None:
+        """Restore :meth:`extra_state` output in place."""
+
     def snapshot_state(self) -> dict:
         """Serializable workload phase: noise, bursts, and modifiers.
 
@@ -221,11 +235,15 @@ class StochasticWorkload:
         """
         from repro.workloads.events import encode_modifier
 
-        return {
+        state = {
             "noise": self._noise.snapshot_state(),
             "bursts": self._bursts.snapshot_state(),
             "modifiers": [encode_modifier(m) for m in self._modifiers],
         }
+        extra = self.extra_state()
+        if extra:
+            state["extra"] = extra
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Restore workload phase in place, rebuilding modifiers by value."""
@@ -234,5 +252,6 @@ class StochasticWorkload:
         self._noise.restore_state(state["noise"])
         self._bursts.restore_state(state["bursts"])
         self._modifiers = [decode_modifier(m) for m in state["modifiers"]]
+        self.restore_extra_state(state.get("extra", {}))
         if self._modifier_hook is not None:
             self._modifier_hook()

@@ -178,6 +178,30 @@ class SiteOutageRecoveryEvent:
         return utilization * self.multiplier(now_s)
 
 
+@dataclass(frozen=True)
+class DeferModifier:
+    """A utilization ceiling the economic governor clamps batch work to.
+
+    Unlike the traffic events above this is not a stimulus but an
+    *actuation*: while attached, the workload's demand cannot exceed
+    ``ceiling``, deferring the clipped work to whenever the governor
+    detaches the modifier (a cheaper/cleaner hour).  Equality-by-value
+    (frozen dataclass) is load-bearing: the governor removes the
+    modifier with a freshly built equal instance, the same way chaos
+    fault recovery does.
+    """
+
+    ceiling: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ceiling <= 1.0:
+            raise ConfigurationError("defer ceiling must be in (0, 1]")
+
+    def apply(self, now_s: float, utilization: float) -> float:
+        """Clamp demand to the ceiling."""
+        return min(utilization, self.ceiling)
+
+
 # ---------------------------------------------------------------------------
 # Snapshot codec
 # ---------------------------------------------------------------------------
@@ -223,6 +247,8 @@ def encode_modifier(modifier: object) -> dict:
             "surge_duration_s": modifier.surge_duration_s,
             "surge_decay_s": modifier.surge_decay_s,
         }
+    if isinstance(modifier, DeferModifier):
+        return {"type": "defer", "ceiling": modifier.ceiling}
     raise ConfigurationError(
         f"cannot serialize workload modifier {type(modifier).__name__}"
     )
@@ -255,4 +281,6 @@ def decode_modifier(state: dict) -> object:
             surge_duration_s=state["surge_duration_s"],
             surge_decay_s=state["surge_decay_s"],
         )
+    if kind == "defer":
+        return DeferModifier(ceiling=state["ceiling"])
     raise ConfigurationError(f"unknown workload modifier type {kind!r}")

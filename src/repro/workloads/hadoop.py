@@ -60,3 +60,17 @@ class HadoopWorkload(StochasticWorkload):
         if self._phase_is_compute:
             return self._compute_level
         return self._io_level
+
+    def extra_state(self) -> dict:
+        """Lazily-advanced job-phase state (see the base-class hook)."""
+        return {
+            "phase_is_compute": bool(self._phase_is_compute),
+            "phase_end_s": float(self._phase_end_s),
+        }
+
+    def restore_extra_state(self, state: dict) -> None:
+        """Restore job-phase state; without it a resumed server would
+        fast-forward through thousands of phases, burning RNG draws the
+        original run never made."""
+        self._phase_is_compute = bool(state["phase_is_compute"])
+        self._phase_end_s = float(state["phase_end_s"])

@@ -226,3 +226,55 @@ class TestServeCommand:
         assert (args.host, args.port, args.max_sessions) == (
             "0.0.0.0", 9000, 4
         )
+
+
+class TestEconCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["econ"])
+        assert args.scenario == "price-spike-day"
+        assert args.hours is None
+        assert not args.compare and not args.blind
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["econ", "free-energy-day"])
+
+    def test_flat_day_runs_clean(self, capsys):
+        code = main(["econ", "flat-day", "--hours", "0.2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cost/carbon scorecard" in out
+        assert "flat-day (governed)" in out
+
+    def test_compare_prints_delta_and_safety(self, capsys):
+        code = main(
+            ["econ", "flat-day", "--hours", "0.2", "--seed", "1",
+             "--compare"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flat-day (governed)" in out
+        assert "flat-day (blind)" in out
+        assert "delta (governed - blind)" in out
+        assert "no additional trips" in out
+
+
+class TestSignalsCommand:
+    def test_signals_list(self, capsys):
+        from repro.economics.signals import SIGNALS
+
+        assert main(["signals", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SIGNALS:
+            assert name in out
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["signals", "price-of-tea"])
+
+    def test_signal_summary_renders(self, capsys):
+        code = main(["signals", "price-spike-day"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Signal summary: price-spike-day" in out
+        assert "lowest" in out and "highest" in out

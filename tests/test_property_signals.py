@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on day-periodic time series.
+
+The economics signals and the user-facing workload trend share the same
+raised-cosine day shape, and both are queried across midnight by any
+multi-day run.  These properties pin the day-boundary behaviour: exact
+24 h periodicity over a 48 h horizon, Lipschitz continuity across the
+midnight wraparound (no step at the seam), envelope containment, and
+the replay signal's loop boundary.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.signals import DiurnalSignal, ReplaySignal
+from repro.units import SECONDS_PER_DAY, hours
+from repro.workloads.diurnal import DiurnalShape
+
+# ---------------------------------------------------------------------------
+# Economics DiurnalSignal
+# ---------------------------------------------------------------------------
+
+signal_params = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),  # low
+    st.floats(min_value=0.0, max_value=1.0),  # extra span above low
+    st.floats(min_value=0.0, max_value=SECONDS_PER_DAY),  # peak time
+)
+
+#: Query times spanning two full days, so every property below also
+#: exercises the midnight wraparound at t = 86 400 s.
+two_days = st.floats(min_value=0.0, max_value=2.0 * SECONDS_PER_DAY)
+
+
+@given(params=signal_params, t=two_days)
+@settings(max_examples=200)
+def test_diurnal_signal_is_day_periodic_over_48h(params, t):
+    low, span, peak = params
+    signal = DiurnalSignal("p", "$/kWh", low, low + span, peak_time_s=peak)
+    assert math.isclose(
+        signal.base_value(t),
+        signal.base_value(t + SECONDS_PER_DAY),
+        rel_tol=0.0,
+        abs_tol=1e-9,
+    )
+
+
+@given(params=signal_params, t=two_days)
+@settings(max_examples=200)
+def test_diurnal_signal_stays_inside_its_envelope(params, t):
+    low, span, peak = params
+    signal = DiurnalSignal("p", "$/kWh", low, low + span, peak_time_s=peak)
+    lo, hi = signal.bounds()
+    assert lo - 1e-12 <= signal.base_value(t) <= hi + 1e-12
+
+
+@given(
+    params=signal_params,
+    t=st.floats(min_value=1.0, max_value=2.0 * SECONDS_PER_DAY - 1.0),
+    dt=st.floats(min_value=1e-6, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_diurnal_signal_is_continuous_across_day_boundaries(params, t, dt):
+    """The raised cosine is Lipschitz: no step anywhere, midnight included."""
+    low, span, peak = params
+    signal = DiurnalSignal("p", "$/kWh", low, low + span, peak_time_s=peak)
+    # |d/dt| <= span * pi / DAY for the raised cosine.
+    lipschitz = span * math.pi / SECONDS_PER_DAY
+    jump = abs(signal.base_value(t + dt) - signal.base_value(t))
+    assert jump <= lipschitz * dt + 1e-9
+
+
+@given(t=two_days)
+@settings(max_examples=100)
+def test_diurnal_signal_midnight_seam_is_smooth(t):
+    """Approaching midnight from both sides converges to the same value."""
+    signal = DiurnalSignal("p", "$/kWh", 0.04, 0.14, peak_time_s=hours(18))
+    eps = 1e-3
+    before = signal.base_value(SECONDS_PER_DAY - eps)
+    after = signal.base_value(SECONDS_PER_DAY + eps)
+    assert abs(before - after) < 1e-6
+    # And the anchor: the value right after the seam equals t=eps of day 1.
+    assert math.isclose(after, signal.base_value(eps), abs_tol=1e-9)
+    del t  # the seam check is constant; t only drives example variety
+
+
+# ---------------------------------------------------------------------------
+# Workload DiurnalShape (the same cosine, feeding utilization)
+# ---------------------------------------------------------------------------
+
+shape_params = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),  # trough
+    st.floats(min_value=0.0, max_value=1.0),  # blend toward 1.0 for peak
+    st.floats(min_value=0.0, max_value=SECONDS_PER_DAY),  # peak time
+)
+
+
+def _shape(params) -> DiurnalShape:
+    trough, blend, peak_time = params
+    peak = trough + (1.0 - trough) * blend
+    return DiurnalShape(trough=trough, peak=peak, peak_time_s=peak_time)
+
+
+@given(params=shape_params, t=two_days)
+@settings(max_examples=200)
+def test_workload_shape_is_day_periodic_over_48h(params, t):
+    shape = _shape(params)
+    assert math.isclose(
+        shape.value(t),
+        shape.value(t + SECONDS_PER_DAY),
+        rel_tol=0.0,
+        abs_tol=1e-9,
+    )
+
+
+@given(
+    params=shape_params,
+    t=st.floats(min_value=1.0, max_value=2.0 * SECONDS_PER_DAY - 1.0),
+    dt=st.floats(min_value=1e-6, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_workload_shape_is_continuous_across_day_boundaries(params, t, dt):
+    shape = _shape(params)
+    lipschitz = (shape.peak - shape.trough) * math.pi / SECONDS_PER_DAY
+    jump = abs(shape.value(t + dt) - shape.value(t))
+    assert jump <= lipschitz * dt + 1e-9
+
+
+@given(params=shape_params, t=two_days)
+@settings(max_examples=200)
+def test_workload_shape_stays_inside_trough_peak(params, t):
+    shape = _shape(params)
+    assert shape.trough - 1e-12 <= shape.value(t) <= shape.peak + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# ReplaySignal loop boundary
+# ---------------------------------------------------------------------------
+
+trace_values = st.lists(
+    st.floats(min_value=0.0, max_value=100.0), min_size=3, max_size=24
+)
+
+
+@given(values=trace_values, t=two_days)
+@settings(max_examples=200)
+def test_replay_signal_loops_exactly_one_period_later(values, t):
+    """With a closed trace (first == last), looping is period-exact."""
+    values = list(values)
+    values[-1] = values[0]  # close the loop so the seam is continuous
+    step = SECONDS_PER_DAY / (len(values) - 1)
+    times = [i * step for i in range(len(values))]
+    signal = ReplaySignal("trace", "$/kWh", times, values)
+    assert math.isclose(
+        signal.value(t),
+        signal.value(t + SECONDS_PER_DAY),
+        rel_tol=0.0,
+        abs_tol=1e-9,
+    )
+
+
+@given(values=trace_values)
+@settings(max_examples=100)
+def test_replay_signal_interpolation_stays_inside_sample_envelope(values):
+    step = 600.0
+    times = [i * step for i in range(len(values))]
+    signal = ReplaySignal("trace", "$/kWh", times, values)
+    lo, hi = signal.bounds()
+    horizon = times[-1]
+    for k in range(48):
+        value = signal.value(horizon * k / 47.0)
+        assert lo - 1e-12 <= value <= hi + 1e-12
