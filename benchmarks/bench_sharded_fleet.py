@@ -1,0 +1,207 @@
+"""Sharded multi-process execution at production fleet sizes.
+
+PR 9's ``bench_control_plane`` established the single-process 100k
+full-tick cost; this bench times the same identically seeded worlds
+under ``execution_backend="sharded"`` at 2/4/8 workers, reporting
+ms-per-tick, the share of each tick spent in the aggregate exchange
+(shared-memory power barrier + RPC token relay), and a 1M-server row —
+the scale target the sharded backend opens the road to.  Results land
+in ``BENCH_sharded_fleet.json``.
+
+Sharded execution is bit-identical to single-process by contract (the
+parity suite enforces fingerprint equality); here the cheap end of that
+contract is re-checked at scale: the full power vector after identical
+horizons must match exactly.
+
+The wall-clock speedup threshold only applies where it is physically
+meaningful: full scale (``REPRO_BENCH_SHARDED_SCALE`` unset or >= 1)
+*and* at least 4 usable cores.  On smaller machines the rows are still
+measured and reported — ``knobs.cpus`` records what the numbers mean.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.state.worlds import build_sized_world, shard_world
+
+#: One full tick = one 3 s leaf-controller cycle: three 1 s physics
+#: steps plus every controller's sense → aggregate → decide → actuate.
+_CYCLE_S = 3.0
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SHARDED_SCALE", "1.0"))
+_FULL_SCALE = _SCALE >= 1.0
+_CPUS = len(os.sched_getaffinity(0))
+
+_WORKER_COUNTS = (2, 4, 8)
+
+
+def _sized(n: int) -> int:
+    return max(400, int(n * _SCALE))
+
+
+def _build(servers: int):
+    return build_sized_world(
+        servers=servers,
+        seed=0,
+        physics_backend="vectorized",
+        control_backend="vectorized",
+    )
+
+
+def _power_vector(world) -> np.ndarray:
+    return np.array(world.driver.stepper._arrays.power)
+
+
+def _time_single(servers: int, cycles: int) -> dict:
+    world = _build(servers)
+    world.run_until(2 * _CYCLE_S)
+    t0 = time.perf_counter()
+    world.run_until((2 + cycles) * _CYCLE_S)
+    wall_s = time.perf_counter() - t0
+    return {
+        "servers": servers,
+        "cycles": cycles,
+        "full_tick_ms": 1e3 * wall_s / cycles,
+        "power": _power_vector(world),
+    }
+
+
+def _time_sharded(servers: int, workers: int, cycles: int) -> dict:
+    world = _build(servers)
+    # A shard owns at least one leaf controller; scaled-down smoke runs
+    # have few leaves, so clamp rather than refuse.
+    workers = min(workers, len(world.dynamo.hierarchy.leaf_controllers))
+    with shard_world(world, workers) as sharded:
+        sharded.run_until(2 * _CYCLE_S)
+        base = dict(sharded.wall)
+        t0 = time.perf_counter()
+        sharded.run_until((2 + cycles) * _CYCLE_S)
+        wall_s = time.perf_counter() - t0
+        delta = {
+            key: sharded.wall[key] - base[key] for key in sharded.wall
+        }
+        power = _power_vector(sharded.world)
+    accounted = sum(delta.values())
+    return {
+        "servers": servers,
+        "workers": workers,
+        "cycles": cycles,
+        "full_tick_ms": 1e3 * wall_s / cycles,
+        "exchange_ms_per_tick": 1e3 * delta["exchange_s"] / cycles,
+        "exchange_share": (
+            delta["exchange_s"] / accounted if accounted > 0 else 0.0
+        ),
+        "power": power,
+    }
+
+
+def _compare_100k(cycles: int = 3) -> dict:
+    servers = _sized(100_000)
+    single = _time_single(servers, cycles)
+    rows: dict = {
+        "servers": servers,
+        "cycles": cycles,
+        "single_full_tick_ms": single["full_tick_ms"],
+        "sharded": {},
+    }
+    for workers in _WORKER_COUNTS:
+        sharded = _time_sharded(servers, workers, cycles)
+        workers = sharded["workers"]  # clamped on small smoke worlds
+        if str(workers) in rows["sharded"]:
+            continue
+        assert np.array_equal(sharded["power"], single["power"]), (
+            f"sharded x{workers} power vector diverged from the "
+            "single-process run at an identical horizon"
+        )
+        rows["sharded"][str(workers)] = {
+            "full_tick_ms": sharded["full_tick_ms"],
+            "exchange_ms_per_tick": sharded["exchange_ms_per_tick"],
+            "exchange_share": round(sharded["exchange_share"], 4),
+            "speedup_vs_single": (
+                single["full_tick_ms"] / sharded["full_tick_ms"]
+            ),
+        }
+    return rows
+
+
+def _measure_1m(cycles: int = 1, workers: int = 8) -> dict:
+    """The 1M-server row: one build, timed single then re-wrapped sharded."""
+    servers = _sized(1_000_000)
+    world = _build(servers)
+    world.run_until(_CYCLE_S)
+    t0 = time.perf_counter()
+    world.run_until(2 * _CYCLE_S)
+    single_wall_s = time.perf_counter() - t0
+    workers = min(workers, len(world.dynamo.hierarchy.leaf_controllers))
+    with shard_world(world, workers) as sharded:
+        sharded.run_until(3 * _CYCLE_S)
+        base = dict(sharded.wall)
+        t0 = time.perf_counter()
+        sharded.run_until((3 + cycles) * _CYCLE_S)
+        wall_s = time.perf_counter() - t0
+        exchange_s = sharded.wall["exchange_s"] - base["exchange_s"]
+        accounted = sum(sharded.wall.values()) - sum(base.values())
+    return {
+        "servers": servers,
+        "workers": workers,
+        "cycles": cycles,
+        "single_full_tick_ms": 1e3 * single_wall_s,
+        "sharded_full_tick_ms": 1e3 * wall_s / cycles,
+        "exchange_share": (
+            round(exchange_s / accounted, 4) if accounted > 0 else 0.0
+        ),
+    }
+
+
+def test_sharded_full_tick_100k(once, bench_report):
+    result = once(_compare_100k)
+    bench_report(
+        "sharded_fleet",
+        {"sharded_100k": result},
+        knobs={
+            "seed": 0,
+            "scale": _SCALE,
+            "cpus": _CPUS,
+            "workers": list(_WORKER_COUNTS),
+            "physics_backend": "vectorized",
+            "control_backend": "vectorized",
+        },
+    )
+    print(
+        f"\n{result['servers']} servers: single "
+        f"{result['single_full_tick_ms']:.0f} ms/tick"
+    )
+    for workers, row in result["sharded"].items():
+        print(
+            f"  sharded x{workers}: {row['full_tick_ms']:.0f} ms/tick "
+            f"({row['speedup_vs_single']:.2f}x, exchange "
+            f"{100 * row['exchange_share']:.1f}%)"
+        )
+    if _FULL_SCALE and _CPUS >= 4:
+        best = max(
+            row["speedup_vs_single"]
+            for workers, row in result["sharded"].items()
+            if int(workers) >= 4
+        )
+        assert best >= 2.5, (
+            f"sharded execution only {best:.2f}x faster than "
+            f"single-process at {result['servers']} servers on "
+            f"{_CPUS} cores (floor 2.5x on >= 4 workers)"
+        )
+
+
+def test_sharded_full_tick_1m(once, bench_report):
+    result = once(_measure_1m)
+    bench_report(
+        "sharded_fleet",
+        {"sharded_1m": result},
+        knobs={"seed": 0, "scale": _SCALE, "cpus": _CPUS},
+    )
+    print(
+        f"\n{result['servers']} servers: single "
+        f"{result['single_full_tick_ms']:.0f} ms/tick, sharded "
+        f"x{result['workers']} {result['sharded_full_tick_ms']:.0f} "
+        f"ms/tick (exchange {100 * result['exchange_share']:.1f}%)"
+    )

@@ -15,6 +15,7 @@ from repro.state import (
     WorldSnapshot,
     build_quickstart_world,
     run_sweep,
+    shutdown_sweep_pool,
 )
 
 WARMUP_S = 1800.0
@@ -51,6 +52,17 @@ def test_bench_warm_start_sweep_vs_cold_runs(once, bench_report, tmp_path):
             cold.run_until(WARMUP_S + HORIZON_S)
         cold_s = time.perf_counter() - t0
 
+        # Persistent-pool delta: the first parallel sweep pays worker
+        # start-up, later sweep points reuse the warm pool.
+        shutdown_sweep_pool()
+        t0 = time.perf_counter()
+        run_sweep(path, branches=BRANCHES, horizon_s=HORIZON_S, workers=2)
+        pool_cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_sweep(path, branches=BRANCHES, horizon_s=HORIZON_S, workers=2)
+        pool_warm_s = time.perf_counter() - t0
+        shutdown_sweep_pool()
+
         t0 = time.perf_counter()
         snapshot = WorldSnapshot.load(path)
         load_s = time.perf_counter() - t0
@@ -74,6 +86,9 @@ def test_bench_warm_start_sweep_vs_cold_runs(once, bench_report, tmp_path):
             "snapshot_restore_wall_s": round(restore_s, 4),
             "snapshot_file_bytes": path.stat().st_size,
             "sweep_throughput_branches_per_s": round(BRANCHES / sweep_s, 2),
+            "parallel_sweep_cold_pool_wall_s": round(pool_cold_s, 3),
+            "parallel_sweep_warm_pool_wall_s": round(pool_warm_s, 3),
+            "warm_pool_speedup": round(pool_cold_s / pool_warm_s, 2),
             "branch_fingerprints_distinct": len(
                 {r.fingerprint for r in results}
             ),

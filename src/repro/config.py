@@ -385,6 +385,9 @@ PHYSICS_BACKENDS = ("scalar", "vectorized")
 #: Control-plane backends (agent sensing and RAPL actuation).
 CONTROL_BACKENDS = ("scalar", "vectorized")
 
+#: Execution backends: one process, or a sharded worker-process fleet.
+EXECUTION_BACKENDS = ("single", "sharded")
+
 
 @dataclass(frozen=True)
 class FleetConfig:
@@ -409,11 +412,22 @@ class FleetConfig:
     resilience semantics draw-for-draw.  It requires the vectorized
     physics backend (batched reads load straight from the stepper's
     power array).
+
+    ``execution_backend`` selects the process topology: ``"single"``
+    runs everything in one process; ``"sharded"`` partitions the fleet
+    across ``shards`` persistent worker processes, each stepping and
+    leaf-controlling its own slice (see :mod:`repro.sharding`), with
+    compact per-shard aggregates flowing to the upper controllers in
+    the parent.  Sharded execution requires both vectorized backends
+    and is bit-identical to single-process by contract.
     """
 
     physics_backend: str = "scalar"
     prefetch_draws: int = 64
     control_backend: str = "scalar"
+    execution_backend: str = "single"
+    #: Worker-process count for ``execution_backend="sharded"``.
+    shards: int = 1
     #: Whether leaf controllers can read device/breaker-side metering
     #: (``PowerDevice.power_w``).  The disaggregation estimator needs it
     #: for the aggregate residual; with metering unavailable an enabled
@@ -443,6 +457,23 @@ class FleetConfig:
             raise ConfigurationError(
                 "vectorized control requires the vectorized physics "
                 "backend (batched sensing reads the stepper's buffers)"
+            )
+        if self.execution_backend not in EXECUTION_BACKENDS:
+            known = ", ".join(EXECUTION_BACKENDS)
+            raise ConfigurationError(
+                f"unknown execution backend {self.execution_backend!r}; "
+                f"known: {known}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError("shard count must be >= 1")
+        if self.execution_backend == "sharded" and (
+            self.physics_backend != "vectorized"
+            or self.control_backend != "vectorized"
+        ):
+            raise ConfigurationError(
+                "sharded execution requires physics_backend='vectorized' "
+                "and control_backend='vectorized' (workers step and sense "
+                "their shard through the packed arrays)"
             )
 
 

@@ -118,3 +118,7 @@ class SnapshotVersionError(SnapshotError):
         )
         self.found = found
         self.supported = supported
+
+
+class ShardingError(ReproError):
+    """The sharded execution backend hit a protocol or worker failure."""

@@ -199,6 +199,21 @@ class VectorizedFleetStepper:
         self._hadoop_idx = np.nonzero(self._hadoop_mask)[0]
         self._burst_pos = self._burst_rate > 0.0
 
+        # Sharded execution: pristine lane state, so an ownership mask
+        # can be applied (and lifted) without rebuilding the stepper.
+        self._owned: np.ndarray | None = None
+        self._full_lane_state = (
+            self._always_fallback,
+            self._ou_mask,
+            self._hadoop_mask,
+            self._burst_pos,
+            self._diurnal_groups,
+            self._const_groups,
+            self._exp_groups,
+            self._ou_groups,
+            self._rapl_groups,
+        )
+
         # Scratch buffers reused every tick.
         self._scratch_u = np.zeros(n)
         self._scratch_dyn = np.zeros(n)
@@ -273,6 +288,58 @@ class VectorizedFleetStepper:
         except ImportError:  # pragma: no cover - analysis extras absent
             return False
         return kind is FlatWorkload
+
+    def set_owned_mask(self, owned: Any) -> None:
+        """Restrict stepping to the ``owned`` rows (sharded execution).
+
+        A shard worker owns a subset of servers: the lane masks and
+        group index arrays are rebuilt restricted to that subset, so
+        per-tick work is proportional to the shard and the streams of
+        non-owned servers are never touched.  Non-owned rows keep
+        whatever state the shared power exchange writes into the
+        arrays.  Pass ``None`` to restore full ownership.  An all-False
+        mask is valid: the parent process of a sharded world steps
+        nothing but still advances ``step_count`` in lock-step.
+        """
+        (af, ou_m, hd_m, bp, diur, const, exps, oug, rapl) = self._full_lane_state
+        if owned is None:
+            self._owned = None
+            self._always_fallback = af
+            self._ou_mask = ou_m
+            self._hadoop_mask = hd_m
+            self._burst_pos = bp
+            self._diurnal_groups = diur
+            self._const_groups = const
+            self._exp_groups = exps
+            self._ou_groups = oug
+            self._rapl_groups = rapl
+            self._hadoop_idx = np.nonzero(hd_m)[0]
+            return
+        mask = np.array(owned, dtype=bool)
+        if mask.shape != (self._n,):
+            raise ValueError(
+                f"owned mask has shape {mask.shape}, fleet has {self._n} rows"
+            )
+
+        def _filter(groups: list) -> list:
+            out = []
+            for key, idx in groups:
+                sel = idx[mask[idx]]
+                if sel.size:
+                    out.append((key, sel))
+            return out
+
+        self._owned = mask
+        self._always_fallback = af & mask
+        self._ou_mask = ou_m & mask
+        self._hadoop_mask = hd_m & mask
+        self._burst_pos = bp & mask
+        self._diurnal_groups = _filter(diur)
+        self._const_groups = _filter(const)
+        self._exp_groups = _filter(exps)
+        self._ou_groups = _filter(oug)
+        self._rapl_groups = _filter(rapl)
+        self._hadoop_idx = np.nonzero(self._hadoop_mask)[0]
 
     def _on_modifiers(self, i: int, workload: StochasticWorkload) -> None:
         if workload._modifiers:
@@ -362,7 +429,8 @@ class VectorizedFleetStepper:
         if n == 0:
             return
         a = self._arrays
-        online = a.online
+        owned = self._owned
+        online = a.online if owned is None else a.online & owned
         u = self._scratch_u
 
         # Lane selection: servers whose stream would see a variable
@@ -442,13 +510,23 @@ class VectorizedFleetStepper:
         for i in np.nonzero(fallback)[0]:
             u[i] = min(1.0, max(0.0, self._workloads[i].utilization(now_s)))
 
-        off_idx = np.nonzero(~online)[0]
+        # Only rows this process owns are zeroed when offline; under an
+        # ownership mask, plain ``~online`` would also cover every
+        # non-owned row and wipe state the exchange just delivered.
+        off_sel = ~a.online if owned is None else owned & ~a.online
+        off_idx = np.nonzero(off_sel)[0]
         if off_idx.size:
             u[off_idx] = 0.0
 
         # Power model: python ** per element (numpy's pow differs by
         # 1 ulp on a few percent of inputs), group-batched by exponent.
         dyn = self._scratch_dyn
+        if owned is not None:
+            # Non-owned rows are absent from the (filtered) exponent
+            # groups and never rewritten; left alone, the whole-array
+            # multiply below would compound their stale scratch values
+            # every step until they overflow.
+            dyn[~owned] = 0.0
         for exp_e, gidx in self._exp_groups:
             dyn[gidx] = [v**exp_e for v in u[gidx].tolist()]
         dyn *= self._dyn_range

@@ -1,0 +1,25 @@
+"""Sharded multi-process fleet execution.
+
+Partitions the fleet across K persistent worker processes — each owning
+a contiguous run of leaf controllers with their servers, agents, and RNG
+streams — while the parent runs the upper control layers.  Per-tick
+exchange is reduced to compact aggregates (shared-memory power rows, the
+RPC token, per-leaf reports), and the result is bit-identical to
+single-process execution.
+
+Select it with ``execution_backend="sharded"`` on
+:class:`~repro.config.FleetConfig`, the world builders, or the CLI
+(``--execution-backend sharded --shards K``).
+"""
+
+from repro.sharding.executor import ShardedWorld
+from repro.sharding.merge import merge_sharded_state
+from repro.sharding.partition import ShardPlan, leaf_instance, plan_shards
+
+__all__ = [
+    "ShardPlan",
+    "ShardedWorld",
+    "leaf_instance",
+    "merge_sharded_state",
+    "plan_shards",
+]

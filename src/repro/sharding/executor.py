@@ -1,0 +1,439 @@
+"""The sharded execution backend: K warm worker processes, one parent.
+
+:class:`ShardedWorld` wraps a fully built (or snapshot-restored)
+:class:`~repro.state.worlds.World`.  Construction forks K persistent
+workers — copy-on-write replicas of the whole object graph, so nothing
+is pickled — then masks the parent down to the upper layers: upper
+controllers, chaos accounting, the watchdog, and the authoritative RPC
+fabric scalars.  Each worker masks itself down to its shard (see
+:mod:`repro.sharding.worker`).
+
+Per tick, only compact aggregates cross process boundaries:
+
+* the stepped power rows, through a double-buffered shared-memory array
+  (the only O(n) exchange, and it is memory-bandwidth cheap);
+* the RPC token plus per-leaf ``(aggregate, invalid_cycles)`` reports at
+  leaf instants;
+* the authoritative contractual leaf limits, piggybacked on the next
+  instant message.
+
+The result is bit-identical to ``execution_backend="single"``: same
+fingerprints, same snapshot bytes (see ``merge_sharded_state``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.core.coordinator import PRIORITY_LEAF, PRIORITY_UPPER
+from repro.core.failover import FailoverController
+from repro.core.remote import RemoteChildController
+from repro.errors import ConfigurationError, ShardingError
+from repro.sharding.merge import merge_sharded_state
+from repro.sharding.messages import (
+    OP_CAPTURE,
+    OP_CLOSE,
+    OP_ERROR,
+    OP_FINISH,
+    OP_INSTANT,
+    OP_POWER,
+    OP_ROWS,
+    OP_STATE,
+    OP_STATS,
+    OP_TOKEN,
+    apply_token,
+    snapshot_token,
+)
+from repro.sharding.partition import ShardPlan, leaf_instance, plan_shards
+from repro.sharding.worker import _worker_entry
+
+
+def _validate_shardable(world: Any) -> None:
+    """Refuse world shapes the sharded backend cannot run bit-exactly."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ConfigurationError(
+            "sharded execution requires the 'fork' start method (workers "
+            "inherit the built world copy-on-write); this platform does "
+            "not support it"
+        )
+    if world.governor is not None:
+        raise ConfigurationError(
+            "sharded execution does not support economics worlds yet "
+            "(the governor reshapes headroom fleet-wide each cycle); "
+            "use execution_backend='single'"
+        )
+    if world.driver.stepper is None:
+        raise ConfigurationError(
+            "sharded execution requires physics_backend='vectorized' "
+            "(workers step their shard through the packed arrays)"
+        )
+    if world.dynamo.agent_batch is None:
+        raise ConfigurationError(
+            "sharded execution requires control_backend='vectorized' "
+            "(workers sense their shard through the agent batch)"
+        )
+    if world.dynamo.resilient_transport is None:
+        raise ConfigurationError(
+            "sharded execution requires the resilience layer (the RPC "
+            "token relays its RNG and backoff state between shards)"
+        )
+    for controller in world.dynamo.hierarchy.upper_controllers.values():
+        instance = (
+            controller.primary
+            if isinstance(controller, FailoverController)
+            else controller
+        )
+        for child in instance.children:
+            if isinstance(child, RemoteChildController):
+                raise ConfigurationError(
+                    "sharded execution does not support distributed "
+                    "hierarchies (remote child proxies); use "
+                    "execution_backend='single'"
+                )
+
+
+class ShardedWorld:
+    """A world executed across shard worker processes, bit-identically.
+
+    The wrapped world object stays live in the parent but is only
+    partially fresh between captures (workers own their rows); read
+    results through :meth:`capture` or :meth:`to_local`, never off
+    ``self.world`` directly.
+    """
+
+    def __init__(self, world: Any, shards: int) -> None:
+        _validate_shardable(world)
+        self.world = world
+        self.plan: ShardPlan = plan_shards(world, shards)
+        #: Parent-side wall-clock per phase, for ``repro profile``.
+        self.wall = {
+            "shard_step_s": 0.0,
+            "exchange_s": 0.0,
+            "coordinator_s": 0.0,
+        }
+        self._closed = False
+        stepper = world.driver.stepper
+        n = stepper._n
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(16, 2 * n * 8)
+        )
+        self._slots: np.ndarray = np.ndarray(
+            (2, n), dtype=np.float64, buffer=self._shm.buf
+        )
+        self._slots[0] = stepper._arrays.power
+        self._slots[1] = stepper._arrays.power
+        ctx = multiprocessing.get_context("fork")
+        self._conns: list[Any] = []
+        self._procs: list[Any] = []
+        try:
+            for shard in range(self.plan.shards):
+                # Create each pipe immediately before its fork and close
+                # the child end right after, so no worker inherits
+                # another worker's child-side descriptors.
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(world, self.plan, shard, child_conn, self._slots),
+                    daemon=True,
+                    name=f"repro-shard-{shard}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+        # Mask the parent: it steps nothing (but keeps step_count in
+        # lock-step), no-ops every leaf tick, and serves the power
+        # barrier from the hook below.
+        stepper.set_owned_mask(np.zeros(n, dtype=bool))
+        world.dynamo.coordinator.masked_ticks = set(self.plan.leaf_names)
+        world.driver.shard_sync = self._parent_sync
+        # First-materialization ledgers: registry insertion order for
+        # endpoints/breakers, extended from worker reports at each leaf
+        # instant.  This is what makes the merged snapshot's dict order
+        # bitwise single-process.
+        self._health_order: list[str] = list(
+            world.dynamo.health._endpoints
+        )
+        self._breaker_order: list[str] = list(
+            world.dynamo.resilient_transport._breakers
+        )
+
+    # ------------------------------------------------------------------
+    # Construction from a snapshot
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Any, shards: int) -> "ShardedWorld":
+        """Boot a sharded world from a snapshot envelope or file path.
+
+        The world is restored single-process in the parent, then
+        re-partitioned and re-forked — restore cost is paid once, and
+        the partition is a pure function of (structure, shard count).
+        """
+        from repro.state.registry import SnapshotRegistry
+        from repro.state.snapshot import WorldSnapshot
+
+        if not isinstance(snapshot, WorldSnapshot):
+            snapshot = WorldSnapshot.load(snapshot)
+        world = SnapshotRegistry().restore(snapshot)
+        return cls(world, shards)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time (clocks are replicated)."""
+        return float(self.world.engine.clock.now)
+
+    @property
+    def extras(self) -> dict:
+        """The wrapped world's builder extras (scenario metadata)."""
+        return self.world.extras
+
+    def run_until(self, end_s: float) -> None:
+        """Advance the world to ``end_s`` across all shards."""
+        self._check_open()
+        engine = self.world.engine
+        while True:
+            next_time = engine.peek_next_time()
+            if next_time is None or next_time > end_s:
+                break
+            self._run_instant(next_time)
+        limits = self._leaf_limits()
+        for conn in self._conns:
+            conn.send((OP_FINISH, end_s, limits))
+        engine.run_until(end_s)
+        for conn in self._conns:
+            self._expect(conn, OP_FINISH)
+
+    def _run_instant(self, t: float) -> None:
+        engine = self.world.engine
+        limits = self._leaf_limits()
+        for conn in self._conns:
+            conn.send((OP_INSTANT, t, limits))
+        exchange_before = self.wall["exchange_s"]
+        t0 = time.perf_counter()
+        # Phase A: physics (parent steps an empty mask; the barrier in
+        # ``_parent_sync`` republishes the full power array), chaos,
+        # probes.
+        engine.run_at_instant(t, PRIORITY_LEAF)
+        head = engine.peek_next()
+        has_leaf = (
+            head is not None
+            and head[0] == t
+            and PRIORITY_LEAF <= head[1] < PRIORITY_UPPER
+        )
+        if has_leaf:
+            # Phase B: consume the leaf-band events (all masked here;
+            # the owners run them shard-side).
+            engine.run_at_instant(t, PRIORITY_UPPER)
+        t1 = time.perf_counter()
+        self.wall["shard_step_s"] += (t1 - t0) - (
+            self.wall["exchange_s"] - exchange_before
+        )
+        if has_leaf:
+            self._relay_token()
+            t2 = time.perf_counter()
+            self.wall["exchange_s"] += t2 - t1
+        # Phase C: upper-level decide/actuate and the clock advance.
+        t3 = time.perf_counter()
+        engine.run_until(t)
+        self.wall["coordinator_s"] += time.perf_counter() - t3
+
+    def _relay_token(self) -> None:
+        """Walk the RPC token through shards in leaf order; adopt it."""
+        dynamo = self.world.dynamo
+        token = snapshot_token(dynamo)
+        for conn in self._conns:
+            conn.send((OP_TOKEN, token))
+            msg = self._expect(conn, OP_TOKEN)
+            token = msg[1]
+            self._patch_reports(msg[2])
+            self._health_order.extend(msg[3])
+            self._breaker_order.extend(msg[4])
+        apply_token(dynamo, token)
+
+    def _patch_reports(self, reports: dict) -> None:
+        """Adopt per-leaf aggregates into the parent's leaf replicas.
+
+        Upper controllers sense ``last_aggregate_power_w`` and the chaos
+        probe sums ``invalid_cycles`` off these objects; patching the
+        two fields keeps every parent-side read single-process exact.
+        """
+        hierarchy = self.world.dynamo.hierarchy
+        for name, report in reports.items():
+            controller = hierarchy.leaf_controllers[name]
+            if report["pair"]:
+                aggregate, invalid = report["primary"]
+                controller.primary._last_aggregate_w = aggregate
+                controller.primary.invalid_cycles = invalid
+                aggregate, invalid = report["backup"]
+                controller.backup._last_aggregate_w = aggregate
+                controller.backup.invalid_cycles = invalid
+            else:
+                aggregate, invalid = report["state"]
+                controller._last_aggregate_w = aggregate
+                controller.invalid_cycles = invalid
+
+    def _leaf_limits(self) -> list:
+        """Authoritative contractual limits, aligned to plan leaf order."""
+        hierarchy = self.world.dynamo.hierarchy
+        limits = []
+        for name in self.plan.leaf_names:
+            controller = hierarchy.leaf_controllers[name]
+            limits.append(leaf_instance(controller)._contractual_limit_w)
+        return limits
+
+    def _parent_sync(self) -> None:
+        """Power barrier: collect every shard's rows, release the slot."""
+        t0 = time.perf_counter()
+        for conn in self._conns:
+            self._expect(conn, OP_ROWS)
+        stepper = self.world.driver.stepper
+        stepper._arrays.power[:] = self._slots[stepper.step_count % 2]
+        for conn in self._conns:
+            conn.send((OP_POWER,))
+        self.wall["exchange_s"] += time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # Snapshot capture / downgrade
+    # ------------------------------------------------------------------
+
+    def capture(self, *, include_traces: bool | None = None) -> Any:
+        """A snapshot bitwise identical to a single-process capture."""
+        from repro.state.registry import SnapshotRegistry
+        from repro.state.snapshot import WorldSnapshot
+
+        self._check_open()
+        if include_traces is None:
+            include_traces = (
+                self.world.dynamo.config.snapshot.include_traces
+            )
+        for conn in self._conns:
+            conn.send((OP_CAPTURE, include_traces))
+        snapshot = SnapshotRegistry().capture(
+            self.world, include_traces=include_traces
+        )
+        parts = [
+            self._expect(conn, OP_STATE)[1] for conn in self._conns
+        ]
+        parts.sort(key=lambda part: part["shard"])
+        merged = merge_sharded_state(
+            snapshot.state,
+            parts,
+            self.plan,
+            self._health_order,
+            self._breaker_order,
+            include_traces,
+        )
+        return WorldSnapshot(
+            recipe=snapshot.recipe,
+            state=merged,
+            schema_version=snapshot.schema_version,
+            meta=snapshot.meta,
+        )
+
+    def to_local(self) -> Any:
+        """Materialize a plain single-process :class:`World` at this state.
+
+        The sharded world stays open; close it separately when done.
+        """
+        from repro.state.registry import SnapshotRegistry
+
+        return SnapshotRegistry().restore(self.capture())
+
+    def worker_stats(self) -> list[dict]:
+        """Per-shard wall-clock accounting (compute vs waiting)."""
+        self._check_open()
+        for conn in self._conns:
+            conn.send((OP_STATS,))
+        stats = [self._expect(conn, OP_STATS)[1] for conn in self._conns]
+        stats.sort(key=lambda s: s["shard"])
+        return stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers, free shared memory, unmask the parent.
+
+        The wrapped world remains structurally intact but its shard-owned
+        rows are only as fresh as the last power exchange; state read
+        after close is meaningful only through a capture taken before.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send((OP_CLOSE,))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        # Drop the buffer view before unlinking the segment.
+        self._slots = np.ndarray((0,), dtype=np.float64)
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        world = self.world
+        if world.driver.stepper is not None:
+            world.driver.stepper.set_owned_mask(None)
+        world.dynamo.coordinator.masked_ticks = None
+        world.driver.shard_sync = None
+
+    def __enter__(self) -> "ShardedWorld":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardingError("this sharded world has been closed")
+
+    def _expect(self, conn: Any, op: str) -> tuple:
+        try:
+            msg = conn.recv()
+        except EOFError as exc:
+            raise ShardingError(
+                "a shard worker exited unexpectedly (EOF on its pipe)"
+            ) from exc
+        if msg[0] == OP_ERROR:
+            raise ShardingError(f"shard worker failed: {msg[1]}")
+        if msg[0] != op:
+            raise ShardingError(
+                f"protocol error: expected {op!r}, got {msg[0]!r}"
+            )
+        return msg
+
+
+__all__ = ["ShardedWorld"]

@@ -1,0 +1,225 @@
+"""Merge a parent capture with per-shard owned-state contributions.
+
+The parent's :class:`~repro.state.registry.SnapshotRegistry` capture is
+structurally complete but stale wherever a shard owns the state: server
+physics rows (only power is exchanged per step), agent and leaf
+controller state, per-server RNG streams, agent-endpoint health and
+breaker records, fast-lane success counters, leaf alerts and traces, and
+the per-server slices of mid-flight chaos fault state.  Each worker
+ships exactly that slice (see ``ShardWorker.collect_owned_state``); this
+module substitutes the slices into the parent state so the merged dict
+is bitwise what a single process would have captured.
+
+Ordering rules (they make the merge exact, not just equivalent):
+
+* health endpoints and breakers are emitted in the parent's *ledger*
+  order — first-materialization order relayed with the RPC token — which
+  is the single-process registry insertion order;
+* alerts and traces at one instant sort leaves (by global leaf rank,
+  then per-leaf emission order) before parent-side uppers, matching the
+  coordinator's intra-instant tick order; the trace ring then keeps the
+  last ``capacity`` entries, exactly like the single-process ring.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sharding.partition import ShardPlan
+
+
+def merge_sharded_state(
+    state: dict,
+    parts: list[dict],
+    plan: ShardPlan,
+    health_order: list[str],
+    breaker_order: list[str],
+    include_traces: bool,
+) -> dict:
+    """Substitute shard-owned slices into the parent capture, in place."""
+    for part in parts:
+        state["servers"].update(part["servers"])
+        state["agents"].update(part["agents"])
+        state["controllers"].update(part["controllers"])
+        state["rng"]["streams"].update(part["rng_streams"])
+
+    if state.get("control_batch") is not None:
+        fast = list(state["control_batch"]["fast_successes"])
+        for part in parts:
+            values = part["fast_successes"]
+            if values is None:
+                continue
+            for row, value in zip(plan.shard_rows[part["shard"]], values):
+                fast[row] = value
+        state["control_batch"] = {"fast_successes": fast}
+
+    state["health"] = {
+        "endpoints": _merge_keyed(
+            health_order,
+            state["health"]["endpoints"],
+            [part["health"] for part in parts],
+        )
+    }
+    if state.get("resilient") is not None:
+        state["resilient"]["breakers"] = _merge_keyed(
+            breaker_order,
+            state["resilient"]["breakers"],
+            [part["breakers"] for part in parts],
+        )
+
+    state["alerts"] = {
+        "alerts": _merge_ordered(
+            state["alerts"]["alerts"],
+            [part["alerts"] for part in parts],
+            plan,
+            source_key="source",
+        )
+    }
+    state["traces"] = _merge_traces(
+        state["traces"], [part["traces"] for part in parts], plan,
+        include_traces,
+    )
+
+    if state.get("orchestrator") is not None:
+        _merge_faults(
+            state["orchestrator"]["faults"],
+            [part["faults"] for part in parts],
+            plan,
+        )
+    return state
+
+
+def _merge_keyed(
+    order: list[str],
+    parent_entries: dict[str, Any],
+    part_entries: list[dict[str, Any]],
+) -> dict[str, Any]:
+    """Rebuild a registry dict in ledger order, owner entries preferred.
+
+    Keys the ledger missed (none are expected — the token relay reports
+    every first materialization) are appended in parent order, then in
+    shard order, so the merge stays deterministic even if a future code
+    path creates entries outside the relay.
+    """
+    owned: dict[str, Any] = {}
+    for entries in part_entries:
+        owned.update(entries)
+    merged: dict[str, Any] = {}
+    seen: set[str] = set()
+    for key in order:
+        if key in seen:
+            continue
+        seen.add(key)
+        if key in owned:
+            merged[key] = owned[key]
+        elif key in parent_entries:
+            merged[key] = parent_entries[key]
+    for key, value in parent_entries.items():
+        if key not in seen and key not in owned:
+            merged[key] = value
+            seen.add(key)
+    for key, value in owned.items():
+        if key not in seen:
+            merged[key] = value
+    return merged
+
+
+def _merge_ordered(
+    parent_items: list[dict],
+    part_items: list[list[dict]],
+    plan: ShardPlan,
+    *,
+    source_key: str,
+) -> list[dict]:
+    """Interleave per-leaf streams with the parent's upper-level stream.
+
+    At any instant the coordinator ticks every leaf (in global leaf
+    order) before any upper controller, so leaf-sourced entries sort
+    ahead of parent entries at equal times.
+    """
+    entries: list[tuple[float, int, int, int, dict]] = []
+    for index, item in enumerate(parent_items):
+        entries.append((item["time_s"], 1, 0, index, item))
+    for items in part_items:
+        for index, item in enumerate(items):
+            rank = plan.leaf_rank.get(item[source_key], 0)
+            entries.append((item["time_s"], 0, rank, index, item))
+    entries.sort(key=lambda entry: entry[:4])
+    return [entry[4] for entry in entries]
+
+
+def _merge_traces(
+    parent: dict, parts: list[dict], plan: ShardPlan, include_traces: bool
+) -> dict:
+    """Union the trace rings and re-apply the ring-capacity bound.
+
+    Each process's ring keeps the last ``capacity`` of *its own* stream
+    (owned leaves in workers, uppers in the parent), which is a superset
+    of that stream's contribution to the single-process ring — so the
+    sorted union truncated to ``capacity`` is exactly the single-process
+    ring contents.
+    """
+    capacity = parent["capacity"]
+    recorded = parent["recorded"] + sum(p["recorded"] for p in parts)
+    traces: list[dict] = []
+    if include_traces:
+        traces = _merge_ordered(
+            parent["traces"],
+            [p["traces"] for p in parts],
+            plan,
+            source_key="controller",
+        )[-capacity:]
+    return {
+        "capacity": capacity,
+        "recorded": recorded,
+        "traces": traces,
+        "truncated": not include_traces,
+    }
+
+
+def _merge_faults(
+    parent_faults: list[dict], part_faults: list[list[dict] | None],
+    plan: ShardPlan,
+) -> None:
+    """Substitute per-server fault-state nodes from their owning shard.
+
+    Fault injection runs replicated in every process, so the captured
+    structures are congruent; only nodes tied to a specific server (they
+    carry a ``server_id``) hold owner-live data — sensor noise RNG
+    states, frozen readings drawn through the owner's stream.
+    """
+    parts = [faults for faults in part_faults if faults is not None]
+    if not parts:
+        return
+    for index, entry in enumerate(parent_faults):
+        entry["state"] = _substitute(
+            entry["state"], [faults[index] for faults in parts], plan
+        )
+
+
+def _substitute(node: Any, part_nodes: list[Any], plan: ShardPlan) -> Any:
+    """Walk congruent structures; swap server-tied nodes for the owner's.
+
+    ``part_nodes[s]`` is shard ``s``'s copy of the node at this path
+    (every worker captures the full, structurally identical fault
+    state).  A dict carrying a ``server_id`` is owner-live data and is
+    taken wholesale from the owning shard's copy.
+    """
+    if isinstance(node, dict):
+        server_id = node.get("server_id")
+        if isinstance(server_id, str) and server_id in plan.shard_of_server:
+            return part_nodes[plan.shard_of_server[server_id]]
+        return {
+            key: _substitute(
+                value, [part[key] for part in part_nodes], plan
+            )
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [
+            _substitute(
+                value, [part[index] for part in part_nodes], plan
+            )
+            for index, value in enumerate(node)
+        ]
+    return node

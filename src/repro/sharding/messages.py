@@ -1,0 +1,86 @@
+"""Wire-format helpers for the parent ↔ shard-worker protocol.
+
+Everything on the pipes is small and structural — per-instant control
+messages, the relayed RPC token, compact per-leaf reports — never world
+state.  Worker state crosses the pipe exactly once per snapshot capture
+(the pruned owned-state dict built in :mod:`repro.sharding.worker`).
+
+The **RPC token** carries the shared scalar state of the fabric: the
+transport RNG and latency/call counters, and the resilience layer's
+jitter RNG and backoff accounting.  It visits shards in index order at
+every leaf instant, so draws land in single-process order; the parent
+holds the post-relay state and is authoritative for it at capture.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Message op codes (first element of every pipe tuple).
+OP_INSTANT = "instant"
+OP_TOKEN = "token"
+OP_ROWS = "rows"
+OP_POWER = "power"
+OP_FINISH = "finish"
+OP_CAPTURE = "capture"
+OP_STATE = "state"
+OP_STATS = "stats"
+OP_CLOSE = "close"
+OP_ERROR = "error"
+
+
+def snapshot_token(dynamo: Any) -> dict:
+    """The fabric's shared scalar state, as relayed between processes."""
+    transport = dynamo.transport
+    resilient = dynamo.resilient_transport
+    token: dict = {
+        "rng": transport._rng.bit_generator.state,
+        "calls_made": transport.calls_made,
+        "calls_failed": transport.calls_failed,
+        "total_latency_s": transport.total_latency_s,
+        "last_call_latency_s": transport.last_call_latency_s,
+    }
+    if resilient is not None:
+        token["resilient"] = {
+            "rng": (
+                None
+                if resilient._rng is None
+                else resilient._rng.bit_generator.state
+            ),
+            "backoff_waited_s": resilient.backoff_waited_s,
+        }
+    else:
+        token["resilient"] = None
+    return token
+
+
+def apply_token(dynamo: Any, token: dict) -> None:
+    """Overwrite the fabric's shared scalar state from a relayed token."""
+    transport = dynamo.transport
+    transport._rng.bit_generator.state = token["rng"]
+    transport.calls_made = int(token["calls_made"])
+    transport.calls_failed = int(token["calls_failed"])
+    transport.total_latency_s = float(token["total_latency_s"])
+    transport.last_call_latency_s = float(token["last_call_latency_s"])
+    resilient = dynamo.resilient_transport
+    relayed = token["resilient"]
+    if resilient is not None and relayed is not None:
+        if resilient._rng is not None and relayed["rng"] is not None:
+            resilient._rng.bit_generator.state = relayed["rng"]
+        resilient.backoff_waited_s = float(relayed["backoff_waited_s"])
+
+
+__all__ = [
+    "OP_CAPTURE",
+    "OP_CLOSE",
+    "OP_ERROR",
+    "OP_FINISH",
+    "OP_INSTANT",
+    "OP_POWER",
+    "OP_ROWS",
+    "OP_STATE",
+    "OP_STATS",
+    "OP_TOKEN",
+    "apply_token",
+    "snapshot_token",
+]

@@ -1,0 +1,140 @@
+"""Deterministic fleet partitioning for sharded execution.
+
+A shard owns a *contiguous run of leaf controllers* in hierarchy order
+(which is topology pre-order — the same order the coordinator ticks
+leaves at a coincident instant).  Owning a leaf means owning its
+servers: their physics rows, their Dynamo agents, and their per-server
+RNG streams (``server.{id}``, ``sensor.{id}``).
+
+Contiguity is what makes the per-instant RPC-token relay cheap and the
+merge deterministic: at a leaf instant the token visits shards in index
+order, which is exactly the order a single process would tick the same
+leaves in, so every RNG draw and every health/breaker registry insertion
+lands in the single-process position.
+
+The partition is a pure function of (world structure, shard count) —
+re-partitioning a restored world with the same shard count reproduces
+the same ownership exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def leaf_instance(controller: Any) -> Any:
+    """The concrete leaf behind a possible failover pair (its primary).
+
+    Primary and backup protect the same device over the same servers,
+    so structural reads (``server_ids``) are safe on either half.
+    """
+    return getattr(controller, "primary", controller)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Who owns what, for one (world shape, shard count) pair."""
+
+    shards: int
+    #: Every leaf controller name, in hierarchy (tick) order.
+    leaf_names: tuple[str, ...]
+    #: Leaf names per shard, contiguous in :attr:`leaf_names`.
+    shard_leaves: tuple[tuple[str, ...], ...]
+    #: Server ids per shard (their leaves' ``server_ids``, in order).
+    shard_server_ids: tuple[tuple[str, ...], ...]
+    #: Physics-array row indices per shard (fleet iteration order).
+    shard_rows: tuple[tuple[int, ...], ...]
+    #: Global tick rank of each leaf (index into :attr:`leaf_names`).
+    leaf_rank: dict[str, int]
+    #: Owning shard per leaf name.
+    shard_of_leaf: dict[str, int]
+    #: Owning shard per server id.
+    shard_of_server: dict[str, int]
+
+    @property
+    def n_servers(self) -> int:
+        """Total servers covered by the plan."""
+        return len(self.shard_of_server)
+
+
+def plan_shards(world: Any, shards: int) -> ShardPlan:
+    """Partition ``world``'s leaves into ``shards`` contiguous groups.
+
+    Raises:
+        ConfigurationError: shard count out of range, or a server is
+            not reachable through exactly one leaf controller.
+    """
+    leaves = list(world.dynamo.hierarchy.leaf_controllers.items())
+    if shards < 1:
+        raise ConfigurationError("shard count must be >= 1")
+    if shards > len(leaves):
+        raise ConfigurationError(
+            f"cannot split {len(leaves)} leaf controllers into "
+            f"{shards} shards; use at most one shard per leaf"
+        )
+
+    row_of = {sid: row for row, sid in enumerate(world.fleet.servers)}
+    leaf_names: list[str] = []
+    shard_leaves: list[tuple[str, ...]] = []
+    shard_server_ids: list[tuple[str, ...]] = []
+    shard_rows: list[tuple[int, ...]] = []
+    leaf_rank: dict[str, int] = {}
+    shard_of_leaf: dict[str, int] = {}
+    shard_of_server: dict[str, int] = {}
+
+    for name, _ in leaves:
+        leaf_rank[name] = len(leaf_names)
+        leaf_names.append(name)
+
+    total = len(leaves)
+    for shard in range(shards):
+        lo = shard * total // shards
+        hi = (shard + 1) * total // shards
+        names: list[str] = []
+        sids: list[str] = []
+        rows: list[int] = []
+        for name, controller in leaves[lo:hi]:
+            names.append(name)
+            shard_of_leaf[name] = shard
+            for sid in leaf_instance(controller).server_ids:
+                if sid in shard_of_server:
+                    raise ConfigurationError(
+                        f"server {sid!r} is owned by two leaf "
+                        "controllers; sharded execution requires a "
+                        "strict partition"
+                    )
+                if sid not in row_of:
+                    raise ConfigurationError(
+                        f"leaf {name!r} references unknown server {sid!r}"
+                    )
+                shard_of_server[sid] = shard
+                sids.append(sid)
+                rows.append(row_of[sid])
+        shard_leaves.append(tuple(names))
+        shard_server_ids.append(tuple(sids))
+        shard_rows.append(tuple(rows))
+
+    if len(shard_of_server) != len(row_of):
+        orphans = sorted(set(row_of) - set(shard_of_server))[:5]
+        raise ConfigurationError(
+            f"{len(row_of) - len(shard_of_server)} servers are not under "
+            f"any leaf controller (e.g. {orphans}); sharded execution "
+            "requires full leaf coverage"
+        )
+
+    return ShardPlan(
+        shards=shards,
+        leaf_names=tuple(leaf_names),
+        shard_leaves=tuple(shard_leaves),
+        shard_server_ids=tuple(shard_server_ids),
+        shard_rows=tuple(shard_rows),
+        leaf_rank=leaf_rank,
+        shard_of_leaf=shard_of_leaf,
+        shard_of_server=shard_of_server,
+    )
+
+
+__all__ = ["ShardPlan", "leaf_instance", "plan_shards"]

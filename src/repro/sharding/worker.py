@@ -1,0 +1,487 @@
+"""The shard worker process: one shard's slice of the fleet, run warm.
+
+A worker is forked from the fully built parent world, so it holds a
+complete replica of the object graph.  Execution is then *masked* rather
+than partitioned structurally:
+
+* every process runs every engine event (clocks, sequence numbers, and
+  pending queues stay bitwise replicated), but
+* the physics stepper only steps this shard's server rows,
+* the coordinator no-ops every controller tick except this shard's own
+  leaf controllers, which are *collected* and run explicitly once the
+  per-instant protocol says it is their turn, and
+* upper-level control, chaos accounting, the watchdog snapshot, and all
+  fabric-wide scalars are authoritative in the parent.
+
+Determinism contract: the RPC token (transport RNG + latency counters +
+resilience jitter/backoff) visits shards in index order at every leaf
+instant — the same order a single process ticks those leaves in.  A leaf
+whose sense *and* actuate would run entirely on the batched fast lane is
+"pure": its only shared-state effect is a known number of latency draws,
+so the worker ticks it immediately (in parallel with other shards) with
+draws *deferred*, then replays the draw counts against the token when it
+arrives.  Any leaf that would touch the scalar lane (failover pairs,
+armed faults, breakers, quarantines, missing sensors) waits for the
+token and ticks with real draws, serialized in shard order.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from typing import Any
+
+import numpy as np
+
+from repro.core.agent import agent_endpoint
+from repro.core.coordinator import PRIORITY_LEAF, PRIORITY_UPPER
+from repro.core.failover import FailoverController
+from repro.errors import ShardingError
+from repro.sharding.messages import (
+    OP_CAPTURE,
+    OP_CLOSE,
+    OP_ERROR,
+    OP_FINISH,
+    OP_INSTANT,
+    OP_POWER,
+    OP_ROWS,
+    OP_STATE,
+    OP_STATS,
+    OP_TOKEN,
+    apply_token,
+    snapshot_token,
+)
+from repro.sharding.partition import ShardPlan
+
+
+def _worker_entry(
+    world: Any, plan: ShardPlan, index: int, conn: Any, power_slots: Any
+) -> None:
+    """Fork target: mask the inherited world down to one shard and serve."""
+    worker = ShardWorker(world, plan, index, conn, power_slots)
+    try:
+        worker.setup()
+        worker.run()
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        try:
+            conn.send(
+                (OP_ERROR, f"{exc!r}\n{traceback.format_exc(limit=20)}")
+            )
+        except Exception:
+            pass
+        sys.exit(1)
+
+
+class ShardWorker:
+    """Serves one shard over a pipe to the :class:`ShardedWorld` parent."""
+
+    def __init__(
+        self,
+        world: Any,
+        plan: ShardPlan,
+        index: int,
+        conn: Any,
+        power_slots: np.ndarray,
+    ) -> None:
+        self._world = world
+        self._plan = plan
+        self._index = index
+        self._conn = conn
+        self._slots = power_slots
+        self._owned_leaf_list = plan.shard_leaves[index]
+        self._owned_leaves = set(self._owned_leaf_list)
+        self._owned_sids = plan.shard_server_ids[index]
+        self._owned_rows = np.asarray(plan.shard_rows[index], dtype=np.intp)
+        #: Wall-clock spent computing (physics + leaf ticks) vs blocked
+        #: on the parent (token/power waits) — shipped on ``OP_STATS``.
+        self.step_wall_s = 0.0
+        self.wait_wall_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Post-fork masking
+    # ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Restrict the inherited full world to this shard's ownership."""
+        world = self._world
+        stepper = world.driver.stepper
+        if stepper is None:
+            raise ShardingError("shard worker requires the vectorized stepper")
+        owned = np.zeros(stepper._n, dtype=bool)
+        owned[self._owned_rows] = True
+        stepper.set_owned_mask(owned)
+        world.driver.shard_sync = self._sync_power
+        coordinator = world.dynamo.coordinator
+        coordinator.masked_ticks = (
+            set(coordinator._controllers) - self._owned_leaves
+        )
+        coordinator.collect_names = frozenset(self._owned_leaves)
+        # Worker telemetry contributions are "since fork": any pre-fork
+        # history (a restored world's alerts and trace ring) is already
+        # parent-authoritative and must not merge twice.
+        world.dynamo.alerts._alerts.clear()
+        world.dynamo.traces._traces.clear()
+        world.dynamo.traces._recorded = 0
+
+    # ------------------------------------------------------------------
+    # Message loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve parent messages until ``OP_CLOSE``."""
+        while True:
+            msg = self._conn.recv()
+            op = msg[0]
+            if op == OP_INSTANT:
+                self._instant(msg[1], msg[2])
+            elif op == OP_FINISH:
+                self._finish(msg[1], msg[2])
+            elif op == OP_CAPTURE:
+                self._conn.send(
+                    (OP_STATE, self.collect_owned_state(msg[1]))
+                )
+            elif op == OP_STATS:
+                self._conn.send(
+                    (
+                        OP_STATS,
+                        {
+                            "shard": self._index,
+                            "servers": len(self._owned_sids),
+                            "leaves": len(self._owned_leaf_list),
+                            "step_wall_s": self.step_wall_s,
+                            "wait_wall_s": self.wait_wall_s,
+                        },
+                    )
+                )
+            elif op == OP_CLOSE:
+                return
+            else:
+                raise ShardingError(f"unexpected op {op!r} in shard worker")
+
+    # ------------------------------------------------------------------
+    # Per-instant protocol
+    # ------------------------------------------------------------------
+
+    def _instant(self, t: float, limits: list) -> None:
+        """Run one simulation instant in lockstep with the parent."""
+        self._apply_limits(limits)
+        engine = self._world.engine
+        t0 = time.perf_counter()
+        waited = self.wait_wall_s
+        # Phase A: physics / chaos / probes (priority < leaf band).  A
+        # physics step fires the shared-memory power exchange inside
+        # ``driver.shard_sync``.
+        engine.run_at_instant(t, PRIORITY_LEAF)
+        head = engine.peek_next()
+        has_leaf = (
+            head is not None
+            and head[0] == t
+            and PRIORITY_LEAF <= head[1] < PRIORITY_UPPER
+        )
+        if has_leaf:
+            coordinator = self._world.dynamo.coordinator
+            sink: list[tuple[str, float]] = []
+            coordinator.collect_sink = sink
+            try:
+                # Phase B: consume the leaf-band events.  Owned leaves
+                # are recorded into the sink (in tick order) instead of
+                # running; everything else no-ops.
+                engine.run_at_instant(t, PRIORITY_UPPER)
+            finally:
+                coordinator.collect_sink = None
+            self._leaf_exchange(t, sink)
+        # Phase C: upper ticks (masked) and the clock advance.
+        engine.run_until(t)
+        self.step_wall_s += (
+            time.perf_counter() - t0 - (self.wait_wall_s - waited)
+        )
+
+    def _finish(self, end_s: float, limits: list) -> None:
+        """Advance past the last event to the requested end time."""
+        self._apply_limits(limits)
+        self._world.engine.run_until(end_s)
+        self._conn.send((OP_FINISH,))
+
+    def _leaf_exchange(self, t: float, sink: list[tuple[str, float]]) -> None:
+        """Tick this shard's collected leaves under the token protocol."""
+        dynamo = self._world.dynamo
+        transport = dynamo.transport
+        coordinator = dynamo.coordinator
+        pure = bool(sink) and all(
+            self._leaf_is_pure(name, t) for name, _ in sink
+        )
+        if pure:
+            transport.begin_deferred_draws()
+            try:
+                for name, now_s in sink:
+                    coordinator.scheduled_controller(name).tick(now_s)
+            finally:
+                segments = transport.end_deferred_draws()
+            token = self._recv_token()
+            apply_token(dynamo, token)
+            worst = transport.replay_deferred_draws(segments)
+            resilient = dynamo.resilient_transport
+            if resilient is not None and worst > resilient.policy.deadline_s:
+                raise ShardingError(
+                    f"deferred fast-lane latency {worst:.6f} s exceeded "
+                    f"the {resilient.policy.deadline_s:g} s deadline at "
+                    f"t={t:.3f}; the deferred tick assumed no demotion — "
+                    "rerun with execution_backend='single'"
+                )
+            new_health: list[str] = []
+            new_breakers: list[str] = []
+        else:
+            token = self._recv_token()
+            apply_token(dynamo, token)
+            health_before = set(dynamo.health._endpoints)
+            resilient = dynamo.resilient_transport
+            breakers_before = (
+                set() if resilient is None else set(resilient._breakers)
+            )
+            for name, now_s in sink:
+                coordinator.scheduled_controller(name).tick(now_s)
+            new_health = [
+                endpoint
+                for endpoint in dynamo.health._endpoints
+                if endpoint not in health_before
+            ]
+            new_breakers = (
+                []
+                if resilient is None
+                else [
+                    endpoint
+                    for endpoint in resilient._breakers
+                    if endpoint not in breakers_before
+                ]
+            )
+        self._conn.send(
+            (
+                OP_TOKEN,
+                snapshot_token(dynamo),
+                self._leaf_reports(),
+                new_health,
+                new_breakers,
+            )
+        )
+
+    def _leaf_is_pure(self, name: str, now_s: float) -> bool:
+        """Whether a leaf's whole tick stays on the batched fast lane.
+
+        Pure means the tick's only shared-fabric effect is a knowable
+        number of latency draws: no failover pair (its health flip path
+        is scalar), no scalar-lane endpoint (crashed agent, armed
+        per-endpoint fault, sensor swapped out, existing breaker, or
+        active quarantine), no armed global fault rates.  The check is
+        conservative — anything unclear goes down the serialized
+        real-draw path, which is always correct.
+        """
+        dynamo = self._world.dynamo
+        controller = dynamo.hierarchy.leaf_controllers[name]
+        if isinstance(controller, FailoverController):
+            return False
+        transport = dynamo.transport
+        resilient = dynamo.resilient_transport
+        if resilient is None or transport._batch is None:
+            return False
+        if not transport._group_allowed():
+            return False
+        endpoints = controller._endpoints()
+        plan = transport._group_plan(endpoints)
+        if plan is None or not bool(plan.sense_ok.all()):
+            return False
+        if not bool(transport._group_fast_mask(plan, plan.sense_ok).all()):
+            return False
+        for endpoint in endpoints:
+            if endpoint in resilient._breakers:
+                return False
+            if resilient.health.is_quarantined(endpoint, now_s):
+                return False
+        return True
+
+    def _recv_token(self) -> dict:
+        t0 = time.perf_counter()
+        msg = self._conn.recv()
+        self.wait_wall_s += time.perf_counter() - t0
+        if msg[0] == OP_ERROR:
+            raise ShardingError(f"parent relayed an error: {msg[1]}")
+        if msg[0] != OP_TOKEN:
+            raise ShardingError(f"expected token, got {msg[0]!r}")
+        return msg[1]
+
+    def _apply_limits(self, limits: list) -> None:
+        """Adopt the parent's authoritative contractual leaf limits.
+
+        A pair's halves always hold equal limits (the pair setter writes
+        both), so one relayed value covers primary and backup.
+        """
+        hierarchy = self._world.dynamo.hierarchy
+        rank = self._plan.leaf_rank
+        for name in self._owned_leaf_list:
+            value = limits[rank[name]]
+            controller = hierarchy.leaf_controllers[name]
+            if isinstance(controller, FailoverController):
+                controller.primary._contractual_limit_w = value
+                controller.backup._contractual_limit_w = value
+            else:
+                controller._contractual_limit_w = value
+
+    def _leaf_reports(self) -> dict:
+        """Compact per-leaf aggregates the parent patches into its replicas."""
+        hierarchy = self._world.dynamo.hierarchy
+        reports: dict[str, dict] = {}
+        for name in self._owned_leaf_list:
+            controller = hierarchy.leaf_controllers[name]
+            if isinstance(controller, FailoverController):
+                reports[name] = {
+                    "pair": True,
+                    "primary": (
+                        controller.primary._last_aggregate_w,
+                        controller.primary.invalid_cycles,
+                    ),
+                    "backup": (
+                        controller.backup._last_aggregate_w,
+                        controller.backup.invalid_cycles,
+                    ),
+                }
+            else:
+                reports[name] = {
+                    "pair": False,
+                    "state": (
+                        controller._last_aggregate_w,
+                        controller.invalid_cycles,
+                    ),
+                }
+        return reports
+
+    # ------------------------------------------------------------------
+    # Shared-memory power exchange (driver shard_sync hook)
+    # ------------------------------------------------------------------
+
+    def _sync_power(self) -> None:
+        """Publish owned power rows; adopt the full fleet's fresh power.
+
+        Double-buffered on step parity: every process increments
+        ``step_count`` on every step (the parent steps an empty mask),
+        so all pick the same slot, and a slot is never rewritten before
+        every process has copied it (writing slot p at step k+2 requires
+        the parent to have issued instant k+2, which requires all
+        row-barriers of step k+1, which happen after every process
+        copied slot p at step k).
+        """
+        stepper = self._world.driver.stepper
+        slot = self._slots[stepper.step_count % 2]
+        rows = self._owned_rows
+        power = stepper._arrays.power
+        slot[rows] = power[rows]
+        self._conn.send((OP_ROWS,))
+        t0 = time.perf_counter()
+        msg = self._conn.recv()
+        self.wait_wall_s += time.perf_counter() - t0
+        if msg[0] == OP_ERROR:
+            raise ShardingError(f"parent relayed an error: {msg[1]}")
+        if msg[0] != OP_POWER:
+            raise ShardingError(f"expected power release, got {msg[0]!r}")
+        power[:] = slot
+
+    # ------------------------------------------------------------------
+    # Snapshot contribution
+    # ------------------------------------------------------------------
+
+    def collect_owned_state(self, include_traces: bool) -> dict:
+        """This shard's authoritative slice of the world state.
+
+        Mirrors the shapes :class:`~repro.state.registry.SnapshotRegistry`
+        captures so the parent can substitute entries wholesale.
+        """
+        from repro.state.registry import SnapshotRegistry
+
+        world = self._world
+        dynamo = world.dynamo
+        world.driver.sync_physics()
+        batch = dynamo.agent_batch
+        if batch is not None:
+            batch.sync()
+        registry = SnapshotRegistry()
+        servers = {
+            sid: world.fleet.servers[sid].snapshot_state()
+            for sid in self._owned_sids
+        }
+        agents = {
+            sid: dynamo.agents[sid].snapshot_state()
+            for sid in self._owned_sids
+        }
+        controllers = {
+            name: registry._capture_controller(
+                dynamo.hierarchy.leaf_controllers[name]
+            )
+            for name in self._owned_leaf_list
+        }
+        # Per-server streams are owned by the server's shard whatever
+        # their prefix: ``server.{id}``/``sensor.{id}`` in recipe
+        # worlds, ``w.{id}`` in the analysis/chaos worlds.  Family
+        # streams (``chaos.campaign``) have no server-id suffix and
+        # stay parent-authoritative.
+        owned_ids = set(self._owned_sids)
+        rng_streams: dict[str, dict] = {}
+        for name, gen in world.rng._streams.items():
+            if name in owned_ids or name.rsplit(".", 1)[-1] in owned_ids:
+                rng_streams[name] = gen.bit_generator.state
+        owned_endpoints = {agent_endpoint(sid) for sid in self._owned_sids}
+        health = {
+            endpoint: stats
+            for endpoint, stats in dynamo.health.snapshot_state()[
+                "endpoints"
+            ].items()
+            if endpoint in owned_endpoints
+        }
+        resilient = dynamo.resilient_transport
+        breakers: dict[str, dict] = {}
+        if resilient is not None:
+            breakers = {
+                endpoint: state
+                for endpoint, state in resilient.snapshot_state()[
+                    "breakers"
+                ].items()
+                if endpoint in owned_endpoints
+            }
+        fast_successes = None
+        if batch is not None:
+            fast_successes = [
+                int(batch.fast_successes[row]) for row in self._owned_rows
+            ]
+        alerts = [
+            alert
+            for alert in dynamo.alerts.snapshot_state()["alerts"]
+            if alert["source"] in self._owned_leaves
+        ]
+        traces_state = dynamo.traces.snapshot_state(
+            include_traces=include_traces
+        )
+        traces_state["traces"] = [
+            trace
+            for trace in traces_state["traces"]
+            if trace["controller"] in self._owned_leaves
+        ]
+        faults = None
+        if world.orchestrator is not None:
+            faults = [
+                fault.snapshot_state(world.orchestrator.ctx)
+                for fault in world.orchestrator.faults
+            ]
+        return {
+            "shard": self._index,
+            "servers": servers,
+            "agents": agents,
+            "controllers": controllers,
+            "rng_streams": rng_streams,
+            "health": health,
+            "breakers": breakers,
+            "fast_successes": fast_successes,
+            "alerts": alerts,
+            "traces": traces_state,
+            "faults": faults,
+        }
+
+
+__all__ = ["ShardWorker", "_worker_entry"]

@@ -23,6 +23,7 @@ from repro.state.fork import (
     fork_world,
     run_branch,
     run_sweep,
+    shutdown_sweep_pool,
 )
 from repro.state.registry import SnapshotRegistry, Snapshotable
 from repro.state.snapshot import (
@@ -58,5 +59,6 @@ __all__ = [
     "fork_world",
     "run_branch",
     "run_sweep",
+    "shutdown_sweep_pool",
     "state_digest",
 ]

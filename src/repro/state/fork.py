@@ -11,10 +11,16 @@ injected fault, config override) for what-if sweeps.
 :func:`run_sweep` drives the branches through a
 :class:`concurrent.futures.ProcessPoolExecutor`; the worker is a
 module-level function taking only primitives, so it pickles cleanly.
+The pool is *persistent*: the first parallel sweep pays the worker
+start-up cost, and every later sweep — a parameter scan calling
+:func:`run_sweep` once per sweep point — reuses the warm workers.
+:func:`shutdown_sweep_pool` releases them explicitly; an atexit hook
+covers interpreter shutdown.
 """
 
 from __future__ import annotations
 
+import atexit
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -168,6 +174,34 @@ def _sweep_worker(args: tuple[str, int, float]) -> dict:
     return run_branch(path, index, horizon_s).to_dict()
 
 
+_pool: ProcessPoolExecutor | None = None
+_pool_workers: int | None = None
+
+
+def _sweep_pool(workers: int | None) -> ProcessPoolExecutor:
+    """The shared sweep pool, (re)built only when the size changes."""
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers != workers:
+        _pool.shutdown(wait=True)
+        _pool = None
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_sweep_pool() -> None:
+    """Stop the persistent sweep workers (no-op if none are running)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = None
+
+
+atexit.register(shutdown_sweep_pool)
+
+
 def run_sweep(
     snapshot_path: str | Path,
     branches: int,
@@ -178,12 +212,14 @@ def run_sweep(
     """Run a fork sweep of ``branches`` branches over ``horizon_s``.
 
     ``workers`` caps the process pool; ``0`` or ``1`` runs serially in
-    this process (useful under profilers and in tests).
+    this process (useful under profilers and in tests).  Parallel
+    sweeps share one persistent pool across calls, so a parameter scan
+    pays worker start-up once, not once per sweep point; call
+    :func:`shutdown_sweep_pool` to release the workers early.
     """
     jobs = [(str(snapshot_path), index, horizon_s) for index in range(branches)]
     if workers is not None and workers <= 1:
         results = [_sweep_worker(job) for job in jobs]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_sweep_worker, jobs))
+        results = list(_sweep_pool(workers).map(_sweep_worker, jobs))
     return [BranchResult(**entry) for entry in results]
